@@ -1,0 +1,329 @@
+(* tfiris: the command-line front end.
+
+   Subcommands:
+     run          run an SHL program
+     trace        print the small-step trace of an SHL program
+     check-term   verify termination with transfinite time credits
+     refine       check a termination-preserving refinement
+     dilemma      run the §2.7/Theorem 7.1 demonstration
+
+   Programs are given either inline (-e) or as a file path. *)
+
+open Cmdliner
+open Tfiris
+module Shl = Tfiris.Shl
+
+let read_program expr_opt file_opt =
+  match expr_opt, file_opt with
+  | Some src, None -> Ok src
+  | None, Some path -> (
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error m -> Error m)
+  | Some _, Some _ -> Error "give either -e or a file, not both"
+  | None, None -> Error "no program: use -e EXPR or a file argument"
+
+let parse_program src =
+  match Shl.Parser.parse src with
+  | Ok e -> Ok e
+  | Error m -> Error m
+
+let program_term =
+  let expr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Program text.")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
+  in
+  Term.(const read_program $ expr $ file)
+
+let or_die = function
+  | Ok x -> x
+  | Error m ->
+    Format.eprintf "tfiris: %s@." m;
+    exit 2
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 10_000_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Maximum number of steps.")
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let action program fuel stats =
+    let e = or_die (Result.bind program parse_program) in
+    match Shl.Interp.exec ~fuel e with
+    | Shl.Interp.Value (v, _), st ->
+      Format.printf "%s@." (Shl.Pretty.value_to_string v);
+      if stats then
+        Format.printf "steps: %d (pure %d, heap %d)@." st.Shl.Interp.steps
+          st.Shl.Interp.pure_steps st.Shl.Interp.heap_steps;
+      0
+    | Shl.Interp.Stuck (_, redex), st ->
+      Format.eprintf "stuck after %d steps on: %s@." st.Shl.Interp.steps
+        (Shl.Pretty.expr_to_string redex);
+      1
+    | Shl.Interp.Out_of_fuel _, _ ->
+      Format.eprintf "out of fuel (%d steps)@." fuel;
+      1
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print step statistics.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an SHL program.")
+    Term.(const (fun p f s -> Stdlib.exit (action p f s)) $ program_term $ fuel_arg $ stats)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let action program n =
+    let e = or_die (Result.bind program parse_program) in
+    let tr = Shl.Interp.trace ~fuel:n e in
+    List.iteri
+      (fun i cfg ->
+        Format.printf "%4d: %s@." i (Shl.Pretty.expr_to_string cfg.Shl.Step.expr))
+      tr;
+    0
+  in
+  let steps =
+    Arg.(
+      value & opt int 50 & info [ "n"; "steps" ] ~docv:"N" ~doc:"Trace length.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Print the small-step trace of an SHL program.")
+    Term.(const (fun p n -> Stdlib.exit (action p n)) $ program_term $ steps)
+
+(* ---- check-term ---- *)
+
+let parse_credit s =
+  (* "n", "w", "w^w", "w*k", "w+n" — a tiny grammar for common credits *)
+  match int_of_string_opt s with
+  | Some n -> Ok (Ord.of_int n)
+  | None -> (
+    match s with
+    | "w" | "omega" -> Ok Ord.omega
+    | "w^w" -> Ok (Ord.omega_pow Ord.omega)
+    | "w^2" -> Ok (Ord.omega_pow Ord.two)
+    | "w*2" -> Ok (Ord.mul Ord.omega Ord.two)
+    | _ -> Error (Printf.sprintf "cannot parse credit %S (try: 100, w, w*2, w^2, w^w)" s))
+
+let check_term_cmd =
+  let action program credit =
+    let e = or_die (Result.bind program parse_program) in
+    let credits = or_die (parse_credit credit) in
+    let v =
+      Termination.Wp.run ~credits (Termination.Wp.adaptive ())
+        (Shl.Step.config e)
+    in
+    Format.printf "%a@." Termination.Wp.pp_verdict v;
+    match v with Termination.Wp.Terminated _ -> 0 | Termination.Wp.Rejected _ -> 1
+  in
+  let credit =
+    Arg.(
+      value
+      & opt string "w"
+      & info [ "credits" ] ~docv:"ORD" ~doc:"Initial credit (e.g. 100, w, w*2, w^w).")
+  in
+  Cmd.v
+    (Cmd.info "check-term"
+       ~doc:"Verify termination of an SHL program with transfinite time credits.")
+    Term.(const (fun p c -> Stdlib.exit (action p c)) $ program_term $ credit)
+
+(* ---- refine ---- *)
+
+let refine_cmd =
+  let action target source fuel =
+    let parse_arg what = function
+      | Some s -> parse_program s
+      | None -> Error ("missing --" ^ what)
+    in
+    let t = or_die (parse_arg "target" target) in
+    let s = or_die (parse_arg "source" source) in
+    let tc = Shl.Step.config t and sc = Shl.Step.config s in
+    match Refinement.Strategy.oracle ~fuel ~target:tc ~source:sc () with
+    | Some strat -> (
+      let v = Refinement.Driver.run ~fuel ~target:tc ~source:sc strat in
+      Format.printf "%a@." Refinement.Driver.pp_verdict v;
+      match v with
+      | Refinement.Driver.Accepted _ -> 0
+      | Refinement.Driver.Rejected _ -> 1)
+    | None -> (
+      (* no oracle certificate: fall back to lockstep (handles the
+         diverging/diverging case) *)
+      let v =
+        Refinement.Driver.run ~fuel ~target:tc ~source:sc
+          Refinement.Strategy.lockstep
+      in
+      Format.printf "(no oracle certificate; lockstep attempt)@.%a@."
+        Refinement.Driver.pp_verdict v;
+      match v with
+      | Refinement.Driver.Accepted _ -> 0
+      | Refinement.Driver.Rejected _ -> 1)
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"EXPR" ~doc:"Target program (the refined one).")
+  in
+  let source =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"EXPR" ~doc:"Source program (the specification).")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Check a termination-preserving refinement between two SHL programs.")
+    Term.(const (fun t s f -> Stdlib.exit (action t s f)) $ target $ source $ fuel_arg)
+
+(* ---- prove ---- *)
+
+let prove_cmd =
+  let action src =
+    match Formula_parser.parse src with
+    | Error m ->
+      Format.eprintf "tfiris: parse error: %s@." m;
+      2
+    | Ok goal -> (
+      Format.printf "goal:  %a@." Formula.pp goal;
+      Format.printf "valid (finite model):      %b@."
+        (Logic_semantics.valid_fin goal);
+      Format.printf "valid (transfinite model): %b@."
+        (Logic_semantics.valid_trans goal);
+      match Tauto.prove goal with
+      | Some d -> (
+        match Proof.check Proof.Transfinite d with
+        | Ok seq ->
+          Format.printf "intuitionistically PROVED; derivation re-checked: %a@."
+            Proof.pp_sequent seq;
+          0
+        | Error e ->
+          Format.eprintf "internal error: derivation rejected: %a@."
+            Proof.pp_error e;
+          3)
+      | None ->
+        Format.printf "no intuitionistic proof found (G4ip search)@.";
+        1)
+  in
+  let goal =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FORMULA"
+          ~doc:"Formula, e.g. \"(a -> b) -> a -> b\" or \"~(p /\\\\ ~p)\".")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Search for an intuitionistic proof (G4ip) and evaluate in both models.")
+    Term.(const (fun s -> Stdlib.exit (action s)) $ goal)
+
+(* ---- goodstein ---- *)
+
+let goodstein_cmd =
+  let action n max_len =
+    if n < 0 then begin
+      Format.eprintf "tfiris: seed must be non-negative@.";
+      2
+    end
+    else begin
+      List.iter
+        (fun (base, v) ->
+          Format.printf "base %3d: value %-12d ordinal %a@." base v Ord.pp
+            (Goodstein.ordinal_of ~base v))
+        (Goodstein.sequence ~max_len n);
+      0
+    end
+  in
+  let seed =
+    Arg.(value & pos 0 int 3 & info [] ~docv:"N" ~doc:"Starting value.")
+  in
+  let max_len =
+    Arg.(
+      value & opt int 16 & info [ "max-len" ] ~docv:"K" ~doc:"Truncation length.")
+  in
+  Cmd.v
+    (Cmd.info "goodstein"
+       ~doc:"Print a Goodstein sequence with its descending ordinal certificate.")
+    Term.(const (fun n k -> Stdlib.exit (action n k)) $ seed $ max_len)
+
+(* ---- hydra ---- *)
+
+let hydra_cmd =
+  let action width depth regrow adversarial =
+    let h = Hydra.bush ~width ~depth in
+    Format.printf "hydra: %a@.measure: %a@." Hydra.pp h Ord.pp (Hydra.measure h);
+    let choose = if adversarial then Hydra.choose_fattest else Hydra.choose_first in
+    match Hydra.play ~regrow ~choose h with
+    | Ok chops ->
+      Format.printf "dead after %d chops (regrow %d, %s Hercules)@." chops
+        regrow
+        (if adversarial then "adversarial" else "greedy");
+      0
+    | Error _ ->
+      Format.eprintf "measure violation?!@.";
+      1
+  in
+  let width =
+    Arg.(value & opt int 2 & info [ "width" ] ~docv:"W" ~doc:"Bush width.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Bush depth (careful: the game length grows like \xcf\x89-towers).")
+  in
+  let regrow =
+    Arg.(value & opt int 2 & info [ "regrow" ] ~docv:"R" ~doc:"Heads regrown per chop.")
+  in
+  let adversarial =
+    Arg.(
+      value & flag
+      & info [ "adversarial" ] ~doc:"Hercules keeps the hydra as big as possible.")
+  in
+  Cmd.v
+    (Cmd.info "hydra"
+       ~doc:"Play the Kirby\xe2\x80\x93Paris hydra game to the death by ordinal descent.")
+    Term.(
+      const (fun w d r a -> Stdlib.exit (action w d r a))
+      $ width $ depth $ regrow $ adversarial)
+
+(* ---- dilemma ---- *)
+
+let dilemma_cmd =
+  let action () =
+    Format.printf "%a@.@.%a@." Dilemma.pp_outcome
+      (Dilemma.run Proof.Finite)
+      Dilemma.pp_outcome
+      (Dilemma.run Proof.Transfinite);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dilemma" ~doc:"Run the §2.7 / Theorem 7.1 demonstration.")
+    Term.(const (fun () -> Stdlib.exit (action ())) $ const ())
+
+let () =
+  let doc = "Transfinite Iris, executable — SHL runner and liveness checkers" in
+  let info = Cmd.info "tfiris" ~version:Tfiris.version ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            run_cmd;
+            trace_cmd;
+            check_term_cmd;
+            refine_cmd;
+            dilemma_cmd;
+            prove_cmd;
+            goodstein_cmd;
+            hydra_cmd;
+          ]))

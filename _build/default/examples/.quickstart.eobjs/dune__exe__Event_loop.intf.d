@@ -1,0 +1,1 @@
+examples/event_loop.mli:

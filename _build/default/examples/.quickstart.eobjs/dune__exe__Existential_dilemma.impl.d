@@ -1,0 +1,1 @@
+examples/existential_dilemma.ml: Counterexample Dilemma Fin_height Format Height List Logic_semantics Option Printf Proof String Tfiris

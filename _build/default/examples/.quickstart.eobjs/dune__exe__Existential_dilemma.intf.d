@@ -1,0 +1,1 @@
+examples/existential_dilemma.mli:

@@ -1,0 +1,1 @@
+examples/hydra_goodstein.ml: Format Goodstein Hydra List Ord Tfiris

@@ -1,0 +1,1 @@
+examples/hydra_goodstein.mli:

@@ -1,0 +1,1 @@
+examples/memoization.ml: Format List Option Tfiris

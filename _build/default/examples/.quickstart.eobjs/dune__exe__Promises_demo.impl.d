@@ -1,0 +1,1 @@
+examples/promises_demo.ml: Format Semantics Syntax Termination Tfiris Typing

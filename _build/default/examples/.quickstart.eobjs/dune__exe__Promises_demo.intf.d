@@ -1,0 +1,1 @@
+examples/promises_demo.mli:

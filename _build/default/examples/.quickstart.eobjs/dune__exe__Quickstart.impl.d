@@ -1,0 +1,1 @@
+examples/quickstart.ml: Existential Format Formula Height Logic_semantics Ord Refinement Termination Tfiris

@@ -1,0 +1,1 @@
+examples/safety_logic.ml: Assertion Format Invariant Logrel Tfiris Triple

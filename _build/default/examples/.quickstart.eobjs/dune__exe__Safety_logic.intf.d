@@ -1,0 +1,1 @@
+examples/safety_logic.mli:

@@ -1,0 +1,43 @@
+(* The reentrant event loop (§5.2): termination without an intrinsic
+   measure, via transfinite time credits.
+
+   Run with:  dune exec examples/event_loop.exe *)
+
+module Shl = Tfiris.Shl
+module Term = Tfiris.Termination
+
+let () =
+  print_endline "A reentrant event loop: run q pops and executes tasks; tasks";
+  print_endline "may addtask more tasks while the loop drains.  The queue";
+  print_endline "length is NOT a termination measure — it can grow before it";
+  print_endline "shrinks.  The paper's argument: each addtask deposits credits,";
+  print_endline "and the total credit is an ordinal, so only boundedly many";
+  print_endline "tasks can ever be added.";
+  print_endline "";
+
+  print_endline "== reentrant clients: n top-level tasks, each spawning m ==";
+  List.iter
+    (fun (n, m) ->
+      Format.printf "  n=%d m=%d with $\xcf\x89\xc2\xb72:  %a@." n m
+        Term.Wp.pp_verdict
+        (Term.Event_loop.verify_client (Term.Event_loop.reentrant_client ~n ~m)))
+    [ (1, 1); (3, 5); (6, 6) ];
+  print_endline "";
+
+  print_endline "== dynamic reentrancy: the spawn count comes from u () ==";
+  let u = Shl.Parser.parse_exn "fun v -> 6 * 7" in
+  Format.printf "  k = u () = 42, $\xcf\x89\xc2\xb72:   %a@." Term.Wp.pp_verdict
+    (Term.Event_loop.verify_client (Term.Event_loop.dynamic_client ~u));
+  print_endline "";
+  print_endline "  finite credits must guess the bound up front and fail when";
+  print_endline "  the guess is too small (Mével et al.'s time credits prove";
+  print_endline "  only bounded termination):";
+  List.iter
+    (fun budget ->
+      Format.printf "  finite $%-5d          %a@." budget Term.Wp.pp_verdict
+        (Term.Event_loop.verify_client_finite ~budget
+           (Term.Event_loop.dynamic_client ~u)))
+    [ 60; 400; 2000 ];
+  print_endline "";
+  print_endline "  with $ω the bound is instantiated during execution, at the";
+  print_endline "  moment k becomes known — TSource in action (§5.1)."

@@ -1,0 +1,66 @@
+(* Quickstart: a tour of the Transfinite Iris library.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Tfiris
+module Shl = Tfiris.Shl
+
+let () =
+  print_endline "== 1. Ordinals (the transfinite step-indices) ==";
+  (* Cantor normal form arithmetic below ε₀ *)
+  let w = Ord.omega in
+  let a = Ord.add (Ord.mul w Ord.two) (Ord.of_int 3) in
+  Format.printf "  ω·2 + 3           = %a@." Ord.pp a;
+  Format.printf "  1 + ω             = %a  (absorption)@." Ord.pp (Ord.add Ord.one w);
+  Format.printf "  ω ⊕ (ω+1)         = %a  (Hessenberg sum)@." Ord.pp
+    (Ord.hsum w (Ord.succ w));
+  Format.printf "  descent depth ω·2 = %d  (well-foundedness, executably)@."
+    (Ord.descent_depth (Ord.mul w Ord.two));
+
+  print_endline "\n== 2. Step-indexed propositions as truth heights ==";
+  (* SProp ≅ Ord ⊎ {⊤}: each down-closed proposition is a cut *)
+  let p = Height.later_n 3 Height.ff in
+  Format.printf "  h(▷³ False)       = %s@." (Height.to_string p);
+  Format.printf "  Löb: (▷P ⇒ P) ⊨ P? %b@."
+    (Height.entails (Height.impl (Height.later p) p) p);
+
+  print_endline "\n== 3. The existential property (Theorem 6.2) ==";
+  let fml = Formula.Exists_nat Formula.later_bot_family in
+  Format.printf "  ∃n. ▷ⁿ False — finite model valid: %b, transfinite: %b@."
+    (Logic_semantics.valid_fin fml)
+    (Logic_semantics.valid_trans fml);
+  Format.printf "  transfinite witness extraction: %a@." Existential.pp_verdict
+    (Existential.check_trans Formula.later_bot_family);
+
+  print_endline "\n== 4. Sequential HeapLang ==";
+  let prog =
+    Shl.Parser.parse_exn
+      "let r = ref 1 in (rec f n. if n = 0 then !r else (r := !r * n; f (n - 1))) 5"
+  in
+  (match Shl.Interp.exec prog with
+  | Shl.Interp.Value (v, _), stats ->
+    Format.printf "  factorial via a reference: %s in %d steps@."
+      (Shl.Pretty.value_to_string v)
+      stats.Shl.Interp.steps
+  | _ -> print_endline "  unexpected");
+
+  print_endline "\n== 5. Termination-preserving refinement (§4) ==";
+  let inst = Refinement.Memo_spec.fib_instance 10 in
+  (match Refinement.Memo_spec.certify inst with
+  | Some v -> Format.printf "  memo_rec Fib 10 ⪯ fib 10: %a@." Refinement.Driver.pp_verdict v
+  | None -> print_endline "  no certificate");
+
+  print_endline "\n== 6. Termination via transfinite time credits (§5) ==";
+  let fib12 =
+    Shl.Ast.App (Shl.Prog.rec_of Shl.Prog.fib_template, Shl.Ast.int_ 12)
+  in
+  Format.printf "  fib 12 with $ω:  %a@." Termination.Wp.pp_verdict
+    (Termination.Wp.run ~credits:Ord.omega
+       (Termination.Wp.adaptive ())
+       (Shl.Step.config fib12));
+  Format.printf "  e_loop with $ω^ω: %a  (divergence is never certified)@."
+    Termination.Wp.pp_verdict
+    (Termination.Wp.run
+       ~credits:(Ord.omega_pow Ord.omega)
+       (Termination.Wp.adaptive ~fuel:50_000 ())
+       (Shl.Step.config Shl.Prog.e_loop))

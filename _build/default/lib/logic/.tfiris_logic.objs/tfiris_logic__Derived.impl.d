@@ -1,0 +1,1 @@
+lib/logic/derived.ml: Formula Proof Tfiris_ordinal

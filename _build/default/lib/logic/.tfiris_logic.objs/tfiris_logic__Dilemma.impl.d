@@ -1,0 +1,1 @@
+lib/logic/dilemma.ml: Existential Format Formula Proof Semantics

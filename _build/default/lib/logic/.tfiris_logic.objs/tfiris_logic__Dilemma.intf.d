@@ -1,0 +1,1 @@
+lib/logic/dilemma.mli: Existential Format Formula Proof

@@ -1,0 +1,1 @@
+lib/logic/existential.ml: Format Formula Semantics Tfiris_sprop

@@ -1,0 +1,1 @@
+lib/logic/existential.mli: Format Formula

@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Format List String Tfiris_ordinal

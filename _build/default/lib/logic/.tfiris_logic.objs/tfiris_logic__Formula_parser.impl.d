@@ -1,0 +1,1 @@
+lib/logic/formula_parser.ml: Formula List Printf String Tfiris_ordinal

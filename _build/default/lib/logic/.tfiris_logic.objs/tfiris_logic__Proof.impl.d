@@ -1,0 +1,1 @@
+lib/logic/proof.ml: Format Formula List Result Semantics

@@ -1,0 +1,1 @@
+lib/logic/semantics.ml: Formula List Printf Tfiris_ordinal Tfiris_sprop

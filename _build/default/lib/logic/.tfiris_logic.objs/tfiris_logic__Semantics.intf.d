@@ -1,0 +1,1 @@
+lib/logic/semantics.mli: Formula Tfiris_sprop

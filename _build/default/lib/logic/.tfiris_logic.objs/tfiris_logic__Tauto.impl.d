@@ -1,0 +1,1 @@
+lib/logic/tauto.ml: Formula List Option Proof

@@ -1,0 +1,1 @@
+lib/logic/tauto.mli: Formula Proof

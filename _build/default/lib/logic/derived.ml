@@ -1,0 +1,102 @@
+(** A library of derived rules: standard lemmas of step-indexed logic
+    assembled from the primitives of {!Proof} and validated by the
+    checker in {b both} systems.
+
+    This is the §7 story from the constructive side: everything here is
+    provable {e without} the [LaterExists] commuting rule, so all of it
+    survives the move to Transfinite Iris.  The single derivation that
+    genuinely needs [LaterExists] is {!Dilemma.derivation} — and that is
+    exactly the one the transfinite checker rejects. *)
+
+module F = Formula
+open Proof
+
+(** [P ∧ Q ⊢ Q ∧ P]. *)
+let and_comm p q : t = And_intro (And_elim_r (p, q), And_elim_l (p, q))
+
+(** [(P ∧ Q) ∧ R ⊢ P ∧ (Q ∧ R)]. *)
+let and_assoc p q r : t =
+  let pq = F.And (p, q) in
+  And_intro
+    ( Cut (And_elim_l (pq, r), And_elim_l (p, q)),
+      And_intro
+        (Cut (And_elim_l (pq, r), And_elim_r (p, q)), And_elim_r (pq, r)) )
+
+(** [P ⊢ P ∧ P]. *)
+let and_dup p : t = And_intro (Refl p, Refl p)
+
+(** [P ∨ Q ⊢ Q ∨ P]. *)
+let or_comm p q : t = Or_elim (Or_intro_r (q, p), Or_intro_l (q, p))
+
+(** [⊢ P ⇒ P]. *)
+let impl_refl p : t = Impl_intro (And_elim_r (F.True, p))
+
+(** Internal modus ponens: [(P ⇒ Q) ∧ P ⊢ Q]. *)
+let modus_ponens p q : t =
+  Impl_elim (And_elim_l (F.Impl (p, q), p), And_elim_r (F.Impl (p, q), p))
+
+(** [▷(P ∧ Q) ⊢ ▷P ∧ ▷Q] — the unproblematic direction, by monotonicity. *)
+let later_and_elim p q : t =
+  And_intro (Later_mono (And_elim_l (p, q)), Later_mono (And_elim_r (p, q)))
+
+(** [▷P ∧ ▷Q ⊢ ▷(P ∧ Q)] — the commuting direction; primitive, and
+    (unlike [LaterExists]) sound in both systems. *)
+let later_and_intro p q : t = Later_conj (p, q)
+
+(** [▷(P ⇒ Q) ∧ ▷P ⊢ ▷Q]: later distributes over implication. *)
+let later_impl p q : t =
+  Cut (Later_conj (F.Impl (p, q), p), Later_mono (modus_ponens p q))
+
+(** [⊢ ▷ⁿ True], by chaining later-introductions. *)
+let later_n_true n : t =
+  let rec build k fml d =
+    if k = 0 then d else build (k - 1) (F.Later fml) (Cut (d, Later_intro fml))
+  in
+  build n F.True (Refl F.True)
+
+(** Löb with the hypothesis packaged as an implication:
+    from [⊢ ▷P ⇒ P] conclude [⊢ P]. *)
+let loeb_impl (premise : t) (p : F.t) : t =
+  (* premise : True ⊢ ▷P ⇒ P.  By Löb it suffices to derive
+     True ∧ ▷P ⊢ P, which follows by applying the implication to the
+     later hypothesis. *)
+  let ctx = F.And (F.True, F.Later p) in
+  Loeb
+    (Impl_elim
+       ( Cut (True_intro ctx, premise),
+         And_elim_r (F.True, F.Later p) ))
+
+(** [∃fin ∨-style case split]: [∃fin [P; Q] ⊣ P ∨ Q] both directions. *)
+let exists_fin_to_or p q : t =
+  Exists_fin_elim
+    { rhs = F.Or (p, q); premises = [ Or_intro_l (p, q); Or_intro_r (p, q) ] }
+
+let or_to_exists_fin p q : t =
+  Or_elim
+    ( Exists_fin_intro { members = [ p; q ]; index = 0; premise = Refl p },
+      Exists_fin_intro { members = [ p; q ]; index = 1; premise = Refl q } )
+
+(** The whole library, with the sequents they should conclude — consumed
+    by the test suite, which checks each derivation in both systems and
+    validates semantic soundness. *)
+let catalogue : (string * t) list =
+  let a = F.Index_lt (F.later_bot_family.F.sup) in
+  (* a = (idx < ω): a formula with different validity in the two models *)
+  let b = F.Index_lt Tfiris_ordinal.Ord.two in
+  [
+    ("and_comm", and_comm a b);
+    ("and_assoc", and_assoc a b F.True);
+    ("and_dup", and_dup a);
+    ("or_comm", or_comm a b);
+    ("impl_refl", impl_refl a);
+    ("modus_ponens", modus_ponens a b);
+    ("later_and_elim", later_and_elim a b);
+    ("later_and_intro", later_and_intro a b);
+    ("later_impl", later_impl a b);
+    ("later_n_true", later_n_true 5);
+    ( "loeb_impl",
+      (* ⊢ ▷True ⇒ True, then Löb gives ⊢ True *)
+      loeb_impl (Impl_intro (True_intro (F.And (F.True, F.Later F.True)))) F.True );
+    ("exists_fin_to_or", exists_fin_to_or a b);
+    ("or_to_exists_fin", or_to_exists_fin a b);
+  ]

@@ -1,0 +1,112 @@
+(** The existential dilemma, end to end (§2.7 and Theorem 7.1).
+
+    Theorem 7.1: no consistent logic has all of (a) a sound later
+    modality, (b) Löb induction, (c) the [LaterExists] commuting rule,
+    and (d) the existential property.  The proof constructs a derivation
+    of [⊢ ∃n:ℕ. ▷ⁿ False] from (b) + (c), then uses (d) to extract an
+    [n] with [⊨ ▷ⁿ False] and (a) to conclude [⊨ False].
+
+    This module builds that derivation as a concrete {!Proof.t} and runs
+    the whole argument in both systems:
+
+    - {b finite system}: the derivation checks (and its conclusion is
+      semantically valid — standard Iris really proves this formula!),
+      but the witness extraction of (d) fails: the existential property
+      is what the finite model gives up;
+    - {b transfinite system}: the checker rejects the [LaterExists] step,
+      and the formula is semantically invalid (truth height [ω]); in
+      exchange, (d) holds (Theorem 6.2).
+
+    Either way the contradiction is defused — the "dilemma" is that a
+    step-indexed logic must choose which of (c), (d) to keep. *)
+
+module F = Formula
+
+let fam = F.later_bot_family
+
+(** [∃n:ℕ. ▷ⁿ False]. *)
+let formula : F.t = Exists_nat fam
+
+(** The Löb + LaterExists derivation of [⊢ ∃n. ▷ⁿ False]:
+
+    {v
+      ⊢ ∃n. ▷ⁿ⊥
+        by Löb, from  True ∧ ▷(∃n. ▷ⁿ⊥) ⊢ ∃n. ▷ⁿ⊥
+        by ∧-elim-r and LaterExists, from  ∃n. ▷ⁿ⁺¹⊥ ⊢ ∃n. ▷ⁿ⊥
+        by ∃-elim, from  ▷ⁿ⁺¹⊥ ⊢ ∃n. ▷ⁿ⊥  for each n
+        by ∃-intro at n+1.
+    v} *)
+let derivation : Proof.t =
+  let shifted = F.later_family fam in
+  let elim =
+    Proof.Exists_nat_elim
+      {
+        fam = shifted;
+        rhs = formula;
+        premise =
+          (fun n ->
+            Exists_nat_intro
+              {
+                fam;
+                index = n + 1;
+                premise = Refl (fam.member (n + 1));
+              });
+        samples = 16;
+      }
+  in
+  let body =
+    Proof.Cut
+      ( And_elim_r (True, Later formula),
+        Cut (Later_exists fam, elim) )
+  in
+  Loeb body
+
+type outcome = {
+  system : Proof.system;
+  derivation_accepted : bool;
+  checker_message : string option;
+  formula_valid : bool;  (** semantic validity of [∃n. ▷ⁿ False] *)
+  existential_verdict : Existential.verdict;
+  consistent : bool;
+      (** whether the meta-level contradiction is avoided: it would
+          require the derivation accepted {e and} a witness extracted. *)
+}
+
+let run system : outcome =
+  let accepted, msg =
+    match Proof.check_validity system derivation with
+    | Ok _ -> (true, None)
+    | Error e -> (false, Some (Format.asprintf "%a" Proof.pp_error e))
+  in
+  let formula_valid, verdict =
+    match system with
+    | Proof.Finite -> (Semantics.valid_fin formula, Existential.check_fin fam)
+    | Proof.Transfinite ->
+      (Semantics.valid_trans formula, Existential.check_trans fam)
+  in
+  let exploded =
+    accepted && (match verdict with Existential.Witness _ -> true | _ -> false)
+  in
+  {
+    system;
+    derivation_accepted = accepted;
+    checker_message = msg;
+    formula_valid;
+    existential_verdict = verdict;
+    consistent = not exploded;
+  }
+
+let pp_outcome ppf o =
+  let name =
+    match o.system with Proof.Finite -> "finite" | Proof.Transfinite -> "transfinite"
+  in
+  Format.fprintf ppf
+    "@[<v>system: %s@,derivation of \xe2\x8a\xa2 \xe2\x88\x83n. \
+     \xe2\x96\xb7\xe2\x81\xbf\xe2\x8a\xa5 accepted: %b%a@,formula \
+     semantically valid: %b@,existential property: %a@,consistent: %b@]"
+    name o.derivation_accepted
+    (fun ppf -> function
+      | None -> ()
+      | Some m -> Format.fprintf ppf "@,checker: %s" m)
+    o.checker_message o.formula_valid Existential.pp_verdict
+    o.existential_verdict o.consistent

@@ -1,0 +1,32 @@
+(** The existential dilemma, end to end (§2.7 and Theorem 7.1): the
+    Löb + LaterExists derivation of [⊢ ∃n. ▷ⁿ False] as a concrete
+    proof tree, run through both systems.
+
+    In the finite system the derivation checks, the formula is
+    semantically valid, and witness extraction fails — consistency is
+    saved by the absence of the existential property.  In the
+    transfinite system the checker rejects the [LaterExists] step and
+    the formula is invalid — consistency is saved by the absence of the
+    commuting rule.  Theorem 7.1 is the statement that no system can
+    keep both; [consistent] records that neither of ours explodes. *)
+
+val fam : Formula.family
+(** [▷ⁿ False], with its true supremum [ω]. *)
+
+val formula : Formula.t
+(** [∃n:ℕ. ▷ⁿ False]. *)
+
+val derivation : Proof.t
+(** The Löb + LaterExists proof of [⊢ ∃n. ▷ⁿ False]. *)
+
+type outcome = {
+  system : Proof.system;
+  derivation_accepted : bool;
+  checker_message : string option;
+  formula_valid : bool;
+  existential_verdict : Existential.verdict;
+  consistent : bool;
+}
+
+val run : Proof.system -> outcome
+val pp_outcome : Format.formatter -> outcome -> unit

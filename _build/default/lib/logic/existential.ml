@@ -1,0 +1,64 @@
+(** The existential property (Theorem 6.2), executably.
+
+    The paper's central observation: in the transfinite model,
+
+    {v  if ⊨ ∃x:X. Φ x  then  ⊨ Φ x for some x  v}
+
+    Over the truth-height model this is not just provable but
+    {e computable}: if [∃n. Φ n] is valid, its supremum is [⊤], which —
+    the declared family suprema being ordinals below ε₀ — can only happen
+    because some member is itself [⊤]; a bounded search finds it.
+
+    In the finite model the property fails: [∃n. ▷ⁿ False] is valid
+    (unbounded finite heights union to everything) while every member is
+    invalid.  {!check} reports which of the two situations obtains. *)
+
+module Height = Tfiris_sprop.Height
+module Fin_height = Tfiris_sprop.Fin_height
+
+type verdict =
+  | Premise_invalid  (** [⊭ ∃n. Φ n]: the property holds vacuously. *)
+  | Witness of int  (** [⊨ Φ n] for this [n]: the property holds. *)
+  | No_witness
+      (** [⊨ ∃n. Φ n] but no member is valid — the existential property
+          {e fails} (only possible in the finite model). *)
+
+let pp_verdict ppf = function
+  | Premise_invalid -> Format.pp_print_string ppf "premise invalid (vacuous)"
+  | Witness n -> Format.fprintf ppf "witness n = %d" n
+  | No_witness -> Format.pp_print_string ppf "valid \xe2\x88\x83 with no valid member"
+
+(** Search for a valid member of the family, in the given model. *)
+let find_witness ~valid_member ~bound (fam : Formula.family) =
+  let rec go n =
+    if n >= bound then None
+    else if valid_member (fam.member n) then Some n
+    else go (n + 1)
+  in
+  go 0
+
+let check_trans ?(bound = 1024) fam =
+  if not (Semantics.valid_trans (Exists_nat fam)) then Premise_invalid
+  else
+    match find_witness ~valid_member:Semantics.valid_trans ~bound fam with
+    | Some n -> Witness n
+    | None -> No_witness
+
+let check_fin ?(bound = 1024) fam =
+  if not (Semantics.valid_fin (Exists_nat fam)) then Premise_invalid
+  else
+    match find_witness ~valid_member:Semantics.valid_fin ~bound fam with
+    | Some n -> Witness n
+    | None -> No_witness
+
+(** [holds_trans fam]: the existential property holds of this family in
+    the transfinite model (Theorem 6.2 instance). *)
+let holds_trans ?bound fam =
+  match check_trans ?bound fam with
+  | Premise_invalid | Witness _ -> true
+  | No_witness -> false
+
+let holds_fin ?bound fam =
+  match check_fin ?bound fam with
+  | Premise_invalid | Witness _ -> true
+  | No_witness -> false

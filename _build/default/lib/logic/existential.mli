@@ -1,0 +1,25 @@
+(** The existential property (Theorem 6.2), executably.
+
+    Over the truth-height model the property is computable: a valid
+    transfinite [∃n. Φ n] must have a valid member (the declared family
+    suprema are ordinals below ε₀, so the only route to [⊤] is a [⊤]
+    member), and a bounded search finds it.  In the finite model the
+    property fails — [∃n. ▷ⁿ False] is valid with no valid member. *)
+
+type verdict =
+  | Premise_invalid  (** [⊭ ∃n. Φ n]: the property holds vacuously *)
+  | Witness of int  (** [⊨ Φ n] for this [n] *)
+  | No_witness
+      (** valid [∃] with no valid member — the property {e fails}
+          (finite model only) *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_trans : ?bound:int -> Formula.family -> verdict
+val check_fin : ?bound:int -> Formula.family -> verdict
+
+val holds_trans : ?bound:int -> Formula.family -> bool
+(** The existential property holds of this family transfinitely —
+    a Theorem 6.2 instance. *)
+
+val holds_fin : ?bound:int -> Formula.family -> bool

@@ -1,0 +1,110 @@
+(** Syntax of the step-indexed core logic.
+
+    A deep embedding of the propositional fragment of (Transfinite)
+    Iris's core logic: intuitionistic connectives, the later modality,
+    and quantifiers.  The same formula can be interpreted in the finite
+    model (standard Iris, {!Semantics.eval_fin}) and in the transfinite
+    model ({!Semantics.eval_trans}) — the whole point of the paper is
+    that the two interpretations disagree on what is provable.
+
+    Quantification over ℕ-indexed families is first-class because the
+    paper's central counterexample [∃n:ℕ. ▷ⁿ False] needs it.  A family
+    carries a declared supremum of its members' truth heights (an
+    ordinal); see {!Height.sup_family} for how the declaration is
+    validated. *)
+
+module Ord = Tfiris_ordinal.Ord
+
+type t =
+  | True
+  | False
+  | Index_lt of Ord.t
+      (** The primitive proposition that holds at exactly the step-indices
+          [β < α] — an "atom" with a prescribed truth height, used to
+          build formulas with arbitrary semantics in tests.  In the
+          finite model it denotes the same cut restricted to ℕ (so any
+          transfinite [α] collapses to [⊤]). *)
+  | And of t * t
+  | Or of t * t
+  | Impl of t * t
+  | Later of t
+  | Exists_fin of t list
+  | Forall_fin of t list
+  | Exists_nat of family
+  | Forall_nat of family * int
+      (** Universal quantification over an ℕ-family, annotated with an
+          index attaining the minimal truth height.  Infima of ordinals
+          are always attained, so unlike the supremum of {!Exists_nat}
+          no declared limit is needed — just its (checkable) witness.
+          The annotation is validated by sampling during evaluation. *)
+
+and family = {
+  name : string;  (** Identity of the family, used for formula equality. *)
+  sup : Ord.t;  (** Declared supremum of the members' truth heights. *)
+  member : int -> t;
+}
+
+let rec later_n n p = if n <= 0 then p else later_n (n - 1) (Later p)
+let neg p = Impl (p, False)
+let iff p q = And (Impl (p, q), Impl (q, p))
+
+let family ~name ~sup member = { name; sup; member }
+
+(** [∃n:ℕ. ▷ⁿ False] — the paper's §2.7 counterexample, with its true
+    supremum [ω] ([h (▷ⁿ False) = n + 1]). *)
+let later_bot_family =
+  family ~name:"later_bot" ~sup:Ord.omega (fun n -> later_n n False)
+
+let later_family fam =
+  {
+    name = "later_" ^ fam.name;
+    (* h (▷ Φ n) = h (Φ n) + 1, whose sup over n is the declared sup
+       when that sup is a limit, and its successor otherwise. *)
+    sup = (if Ord.is_limit fam.sup then fam.sup else Ord.succ fam.sup);
+    member = (fun n -> Later (fam.member n));
+  }
+
+let family_equal f g = String.equal f.name g.name && Ord.equal f.sup g.sup
+
+let rec equal p q =
+  match p, q with
+  | True, True | False, False -> true
+  | Index_lt a, Index_lt b -> Ord.equal a b
+  | And (a, b), And (c, d) | Or (a, b), Or (c, d) | Impl (a, b), Impl (c, d) ->
+    equal a c && equal b d
+  | Later a, Later b -> equal a b
+  | Exists_fin xs, Exists_fin ys | Forall_fin xs, Forall_fin ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Exists_nat f, Exists_nat g -> family_equal f g
+  | Forall_nat (f, w1), Forall_nat (g, w2) -> family_equal f g && w1 = w2
+  | ( (True | False | Index_lt _ | And _ | Or _ | Impl _ | Later _
+      | Exists_fin _ | Forall_fin _ | Exists_nat _ | Forall_nat _),
+      _ ) ->
+    false
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "True"
+  | False -> Format.pp_print_string ppf "False"
+  | Index_lt a -> Format.fprintf ppf "(idx < %a)" Ord.pp a
+  | And (p, q) -> Format.fprintf ppf "(%a \xe2\x88\xa7 %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf ppf "(%a \xe2\x88\xa8 %a)" pp p pp q
+  | Impl (p, q) -> Format.fprintf ppf "(%a \xe2\x87\x92 %a)" pp p pp q
+  | Later p -> Format.fprintf ppf "\xe2\x96\xb7%a" pp p
+  | Exists_fin ps ->
+    Format.fprintf ppf "\xe2\x88\x83fin[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp)
+      ps
+  | Forall_fin ps ->
+    Format.fprintf ppf "\xe2\x88\x80fin[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp)
+      ps
+  | Exists_nat f ->
+    Format.fprintf ppf "\xe2\x88\x83n:\xe2\x84\x95. %s(n)" f.name
+  | Forall_nat (f, _) ->
+    Format.fprintf ppf "\xe2\x88\x80n:\xe2\x84\x95. %s(n)" f.name
+
+let to_string p = Format.asprintf "%a" pp p

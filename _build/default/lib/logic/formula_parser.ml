@@ -1,0 +1,130 @@
+(** A concrete syntax for formulas, for the CLI and tests.
+
+    Grammar (loosest first; [->] is right-associative, [~p] is sugar for
+    [p -> false]):
+
+    {v
+      impl ::= or (-> impl)?
+      or   ::= and (\/ or  or  | or)?
+      and  ::= atom (/\ and  or  & and)?
+      atom ::= true, false, ident, ~atom, (impl), idx<ordinal
+      ordinal ::= w, number, w^w, w*number, w+number
+    v}
+
+    Identifiers denote atoms; they are mapped to distinct [Index_lt]
+    heights (the k-th identifier gets height [ω·(k+1)]) so that distinct
+    atoms are semantically independent in the chain model as far as
+    provability is concerned. *)
+
+module F = Formula
+module Ord = Tfiris_ordinal.Ord
+
+exception Error of string
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable atoms : (string * F.t) list;
+}
+
+let fail st msg = raise (Error (Printf.sprintf "at %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n') ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | Some _ | None -> ()
+
+let eat_string st s =
+  skip_ws st;
+  let n = String.length s in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = s then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let expect st s = if not (eat_string st s) then fail st ("expected " ^ s)
+
+let ident st =
+  skip_ws st;
+  let start = st.pos in
+  let is_id c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  while
+    match peek st with Some c when is_id c -> true | Some _ | None -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected identifier"
+  else String.sub st.src start (st.pos - start)
+
+let number st =
+  skip_ws st;
+  let start = st.pos in
+  while
+    match peek st with Some c when c >= '0' && c <= '9' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected number"
+  else int_of_string (String.sub st.src start (st.pos - start))
+
+let atom_formula st (name : string) : F.t =
+  match List.assoc_opt name st.atoms with
+  | Some f -> f
+  | None ->
+    let k = List.length st.atoms in
+    let f = F.Index_lt (Ord.mul Ord.omega (Ord.of_int (k + 1))) in
+    st.atoms <- (name, f) :: st.atoms;
+    f
+
+let parse_ordinal st : Ord.t =
+  if eat_string st "w^w" then Ord.omega_pow Ord.omega
+  else if eat_string st "w*" then Ord.mul Ord.omega (Ord.of_int (number st))
+  else if eat_string st "w+" then Ord.add Ord.omega (Ord.of_int (number st))
+  else if eat_string st "w" then Ord.omega
+  else Ord.of_int (number st)
+
+let rec parse_impl st : F.t =
+  let lhs = parse_or st in
+  if eat_string st "->" then F.Impl (lhs, parse_impl st) else lhs
+
+and parse_or st : F.t =
+  let lhs = parse_and st in
+  if eat_string st "\\/" || eat_string st "|" then F.Or (lhs, parse_or st)
+  else lhs
+
+and parse_and st : F.t =
+  let lhs = parse_atom st in
+  if eat_string st "/\\" || eat_string st "&" then F.And (lhs, parse_and st)
+  else lhs
+
+and parse_atom st : F.t =
+  skip_ws st;
+  if eat_string st "(" then begin
+    let f = parse_impl st in
+    expect st ")";
+    f
+  end
+  else if eat_string st "~" then F.Impl (parse_atom st, F.False)
+  else if eat_string st "idx<" then F.Index_lt (parse_ordinal st)
+  else
+    match ident st with
+    | "true" -> F.True
+    | "false" -> F.False
+    | name -> atom_formula st name
+
+let parse (src : string) : (F.t, string) result =
+  let st = { src; pos = 0; atoms = [] } in
+  match parse_impl st with
+  | f ->
+    skip_ws st;
+    if st.pos = String.length src then Ok f
+    else Error (Printf.sprintf "trailing input at %d" st.pos)
+  | exception Error m -> Error m
+
+let parse_exn src =
+  match parse src with Ok f -> f | Error m -> failwith m

@@ -1,0 +1,10 @@
+(** A concrete syntax for formulas (used by the CLI's [prove]
+    subcommand and tests).
+
+    Connectives: [->] (right-associative), [/\ ] or [&], [\/ ] or [|],
+    [~p] (sugar for [p -> false]), [true], [false], parentheses.  Atoms:
+    identifiers (mapped to distinct [Index_lt] heights) or explicit
+    [idx<ORD] with [ORD] one of [w], [w^w], [w*k], [w+k], or a number. *)
+
+val parse : string -> (Formula.t, string) result
+val parse_exn : string -> Formula.t

@@ -1,0 +1,280 @@
+(** A proof system for the core logic, as checkable derivation trees.
+
+    Derivations are explicit trees; {!check} validates every rule
+    application and returns the concluded sequent.  The checker is
+    parameterized by the {!system}: the [LaterExists] commuting rule is
+    admitted only in the finite system — in Transfinite Iris it is
+    unsound and the checker rejects it with a reference to Theorem 7.1.
+
+    Rules with a schematic (ℕ-indexed) premise ({!Exists_nat_elim}) are
+    validated on a finite sample of instances; this is the executable
+    stand-in for the universally quantified premise one would discharge
+    in Coq, and is flagged as such in the result. *)
+
+module F = Formula
+
+type system =
+  | Finite  (** Standard Iris: ℕ step-indices, commuting rules hold. *)
+  | Transfinite
+      (** Transfinite Iris: ordinal step-indices, existential property
+          holds, commuting rules lost (§7). *)
+
+type sequent = {
+  lhs : F.t;
+  rhs : F.t;
+}
+
+let pp_sequent ppf { lhs; rhs } =
+  Format.fprintf ppf "%a \xe2\x8a\xa2 %a" F.pp lhs F.pp rhs
+
+type t =
+  | Refl of F.t  (** [P ⊢ P] *)
+  | Cut of t * t  (** from [P ⊢ Q] and [Q ⊢ R], conclude [P ⊢ R] *)
+  | True_intro of F.t  (** [P ⊢ True] *)
+  | False_elim of F.t  (** [False ⊢ P] *)
+  | And_intro of t * t  (** from [P ⊢ Q], [P ⊢ R], conclude [P ⊢ Q ∧ R] *)
+  | And_elim_l of F.t * F.t  (** [P ∧ Q ⊢ P] *)
+  | And_elim_r of F.t * F.t  (** [P ∧ Q ⊢ Q] *)
+  | Or_intro_l of F.t * F.t  (** [P ⊢ P ∨ Q] *)
+  | Or_intro_r of F.t * F.t  (** [Q ⊢ P ∨ Q] *)
+  | Or_elim of t * t  (** from [P ⊢ R], [Q ⊢ R], conclude [P ∨ Q ⊢ R] *)
+  | Impl_intro of t  (** from [P ∧ Q ⊢ R], conclude [P ⊢ Q ⇒ R] *)
+  | Impl_elim of t * t  (** from [P ⊢ Q ⇒ R] and [P ⊢ Q], conclude [P ⊢ R] *)
+  | Later_mono of t  (** from [P ⊢ Q], conclude [▷P ⊢ ▷Q] *)
+  | Later_intro of F.t  (** [P ⊢ ▷P] *)
+  | Loeb of t  (** from [P ∧ ▷Q ⊢ Q], conclude [P ⊢ Q] — Löb induction *)
+  | Exists_fin_intro of {
+      members : F.t list;
+      index : int;
+      premise : t;  (** [P ⊢ members.(index)] *)
+    }  (** conclude [P ⊢ ∃fin members] *)
+  | Exists_fin_elim of {
+      rhs : F.t;
+      premises : t list;  (** [memberᵢ ⊢ rhs] for each member *)
+    }  (** conclude [∃fin members ⊢ rhs] *)
+  | Forall_fin_intro of { premises : t list (** [P ⊢ memberᵢ] *) }
+      (** conclude [P ⊢ ∀fin members] *)
+  | Forall_fin_elim of { members : F.t list; index : int }
+      (** [∀fin members ⊢ members.(index)] *)
+  | Exists_nat_intro of {
+      fam : F.family;
+      index : int;
+      premise : t;  (** [P ⊢ fam.member index] *)
+    }  (** conclude [P ⊢ ∃n:ℕ. fam n] *)
+  | Exists_nat_elim of {
+      fam : F.family;
+      rhs : F.t;
+      premise : int -> t;  (** schematic: [fam.member n ⊢ rhs] *)
+      samples : int;
+    }  (** conclude [∃n:ℕ. fam n ⊢ rhs]; premises sampled *)
+  | Forall_nat_intro of {
+      fam : F.family;
+      witness : int;
+      premise : int -> t;  (** schematic: [P ⊢ fam.member n] *)
+      samples : int;
+    }  (** conclude [P ⊢ ∀n:ℕ. fam n]; premises sampled *)
+  | Forall_nat_elim of {
+      fam : F.family;
+      witness : int;
+      index : int;
+    }  (** [∀n:ℕ. fam n ⊢ fam.member index] *)
+  | Later_forall of F.family * int
+      (** [∀n. ▷(Φ n) ⊢ ▷(∀n. Φ n)] — the universal commuting rule.
+          Infima are attained, so this one {e survives} in Transfinite
+          Iris; the contrast with [LaterExists] is the heart of §7. *)
+  | Later_conj of F.t * F.t
+      (** [▷P ∧ ▷Q ⊢ ▷(P ∧ Q)] — the conjunction commuting rule.
+          Unlike [LaterExists], this survives in Transfinite Iris: a
+          binary (finite) meet commutes with [▷] in both models. *)
+  | Later_exists of F.family
+      (** [▷(∃n. Φ n) ⊢ ∃n. ▷(Φ n)] — the commuting rule.  Sound in the
+          finite model, rejected in the transfinite system (§7). *)
+
+type error = {
+  rule : string;
+  reason : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "[%s] %s" e.rule e.reason
+
+let ( let* ) = Result.bind
+let fail rule fmt = Format.kasprintf (fun reason -> Error { rule; reason }) fmt
+
+let nth_member rule members index =
+  match List.nth_opt members index with
+  | Some m -> Ok m
+  | None -> fail rule "index %d out of bounds (%d members)" index (List.length members)
+
+let expect_rhs rule seq rhs =
+  if F.equal seq.rhs rhs then Ok ()
+  else fail rule "expected rhs %a, found %a" F.pp rhs F.pp seq.rhs
+
+let expect_lhs rule seq lhs =
+  if F.equal seq.lhs lhs then Ok ()
+  else fail rule "expected lhs %a, found %a" F.pp lhs F.pp seq.lhs
+
+let rec check system (d : t) : (sequent, error) result =
+  match d with
+  | Refl p -> Ok { lhs = p; rhs = p }
+  | Cut (d1, d2) ->
+    let* s1 = check system d1 in
+    let* s2 = check system d2 in
+    if F.equal s1.rhs s2.lhs then Ok { lhs = s1.lhs; rhs = s2.rhs }
+    else
+      fail "Cut" "middle formulas differ: %a vs %a" F.pp s1.rhs F.pp s2.lhs
+  | True_intro p -> Ok { lhs = p; rhs = True }
+  | False_elim p -> Ok { lhs = False; rhs = p }
+  | And_intro (d1, d2) ->
+    let* s1 = check system d1 in
+    let* s2 = check system d2 in
+    if F.equal s1.lhs s2.lhs then
+      Ok { lhs = s1.lhs; rhs = And (s1.rhs, s2.rhs) }
+    else fail "And_intro" "premises have different antecedents"
+  | And_elim_l (p, q) -> Ok { lhs = And (p, q); rhs = p }
+  | And_elim_r (p, q) -> Ok { lhs = And (p, q); rhs = q }
+  | Or_intro_l (p, q) -> Ok { lhs = p; rhs = Or (p, q) }
+  | Or_intro_r (p, q) -> Ok { lhs = q; rhs = Or (p, q) }
+  | Or_elim (d1, d2) ->
+    let* s1 = check system d1 in
+    let* s2 = check system d2 in
+    if F.equal s1.rhs s2.rhs then
+      Ok { lhs = Or (s1.lhs, s2.lhs); rhs = s1.rhs }
+    else fail "Or_elim" "premises have different conclusions"
+  | Impl_intro d ->
+    let* s = check system d in
+    (match s.lhs with
+    | And (p, q) -> Ok { lhs = p; rhs = Impl (q, s.rhs) }
+    | _ -> fail "Impl_intro" "premise antecedent must be a conjunction")
+  | Impl_elim (d1, d2) ->
+    let* s1 = check system d1 in
+    let* s2 = check system d2 in
+    if not (F.equal s1.lhs s2.lhs) then
+      fail "Impl_elim" "premises have different antecedents"
+    else (
+      match s1.rhs with
+      | Impl (q, r) ->
+        if F.equal q s2.rhs then Ok { lhs = s1.lhs; rhs = r }
+        else fail "Impl_elim" "argument mismatch"
+      | _ -> fail "Impl_elim" "first premise must conclude an implication")
+  | Later_mono d ->
+    let* s = check system d in
+    Ok { lhs = Later s.lhs; rhs = Later s.rhs }
+  | Later_intro p -> Ok { lhs = p; rhs = Later p }
+  | Loeb d ->
+    let* s = check system d in
+    (match s.lhs with
+    | And (p, Later q) when F.equal q s.rhs -> Ok { lhs = p; rhs = q }
+    | _ ->
+      fail "Loeb" "premise must have shape P \xe2\x88\xa7 \xe2\x96\xb7Q \xe2\x8a\xa2 Q")
+  | Exists_fin_intro { members; index; premise } ->
+    let* s = check system premise in
+    let* m = nth_member "Exists_fin_intro" members index in
+    let* () = expect_rhs "Exists_fin_intro" s m in
+    Ok { lhs = s.lhs; rhs = Exists_fin members }
+  | Exists_fin_elim { rhs; premises } ->
+    let* seqs =
+      List.fold_right
+        (fun d acc ->
+          let* acc = acc in
+          let* s = check system d in
+          Ok (s :: acc))
+        premises (Ok [])
+    in
+    let* () =
+      if List.for_all (fun s -> F.equal s.rhs rhs) seqs then Ok ()
+      else fail "Exists_fin_elim" "premises must all conclude the same rhs"
+    in
+    Ok { lhs = Exists_fin (List.map (fun s -> s.lhs) seqs); rhs }
+  | Forall_fin_intro { premises } ->
+    let* seqs =
+      List.fold_right
+        (fun d acc ->
+          let* acc = acc in
+          let* s = check system d in
+          Ok (s :: acc))
+        premises (Ok [])
+    in
+    (match seqs with
+    | [] -> fail "Forall_fin_intro" "needs at least one premise"
+    | s0 :: _ ->
+      if List.for_all (fun s -> F.equal s.lhs s0.lhs) seqs then
+        Ok { lhs = s0.lhs; rhs = Forall_fin (List.map (fun s -> s.rhs) seqs) }
+      else fail "Forall_fin_intro" "premises have different antecedents")
+  | Forall_fin_elim { members; index } ->
+    let* m = nth_member "Forall_fin_elim" members index in
+    Ok { lhs = Forall_fin members; rhs = m }
+  | Exists_nat_intro { fam; index; premise } ->
+    let* s = check system premise in
+    let* () = expect_rhs "Exists_nat_intro" s (fam.member index) in
+    Ok { lhs = s.lhs; rhs = Exists_nat fam }
+  | Exists_nat_elim { fam; rhs; premise; samples } ->
+    let rec go n =
+      if n >= samples then Ok ()
+      else
+        let* s = check system (premise n) in
+        let* () = expect_lhs "Exists_nat_elim" s (fam.member n) in
+        let* () = expect_rhs "Exists_nat_elim" s rhs in
+        go (n + 1)
+    in
+    let* () =
+      if samples <= 0 then fail "Exists_nat_elim" "needs samples > 0" else Ok ()
+    in
+    let* () = go 0 in
+    Ok { lhs = Exists_nat fam; rhs }
+  | Forall_nat_intro { fam; witness; premise; samples } ->
+    let rec go n lhs_acc =
+      if n >= samples then Ok lhs_acc
+      else
+        let* s = check system (premise n) in
+        let* () = expect_rhs "Forall_nat_intro" s (fam.member n) in
+        match lhs_acc with
+        | None -> go (n + 1) (Some s.lhs)
+        | Some lhs ->
+          if F.equal lhs s.lhs then go (n + 1) lhs_acc
+          else fail "Forall_nat_intro" "premises have different antecedents"
+    in
+    let* () =
+      if samples <= 0 then fail "Forall_nat_intro" "needs samples > 0" else Ok ()
+    in
+    let* lhs = go 0 None in
+    (match lhs with
+    | Some lhs -> Ok { lhs; rhs = Forall_nat (fam, witness) }
+    | None -> fail "Forall_nat_intro" "no premises")
+  | Forall_nat_elim { fam; witness; index } ->
+    Ok { lhs = Forall_nat (fam, witness); rhs = fam.member index }
+  | Later_forall (fam, witness) ->
+    Ok
+      {
+        lhs = Forall_nat (F.later_family fam, witness);
+        rhs = Later (Forall_nat (fam, witness));
+      }
+  | Later_conj (p, q) ->
+    Ok { lhs = And (Later p, Later q); rhs = Later (And (p, q)) }
+  | Later_exists fam -> (
+    match system with
+    | Finite ->
+      Ok
+        {
+          lhs = Later (Exists_nat fam);
+          rhs = Exists_nat (F.later_family fam);
+        }
+    | Transfinite ->
+      fail "Later_exists"
+        "the commuting rule \xe2\x96\xb7\xe2\x88\x83 \xe2\x8a\xa2 \
+         \xe2\x88\x83\xe2\x96\xb7 is unsound in Transfinite Iris: it is \
+         incompatible with the existential property (Theorem 7.1)")
+
+(** A derivation of [⊢ P] is a derivation of [True ⊢ P]. *)
+let check_validity system d =
+  let* s = check system d in
+  match s.lhs with
+  | True -> Ok s.rhs
+  | _ -> fail "check_validity" "derivation does not start from True"
+
+(** Semantic soundness of a checked derivation: its conclusion must be a
+    semantic entailment in the corresponding model.  Used by the test
+    suite to validate every rule of the checker. *)
+let conclusion_sound system (s : sequent) =
+  match system with
+  | Finite -> Semantics.entails_fin s.lhs s.rhs
+  | Transfinite -> Semantics.entails_trans s.lhs s.rhs

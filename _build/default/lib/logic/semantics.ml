@@ -1,0 +1,73 @@
+(** Interpretation of formulas in the finite and transfinite models.
+
+    [eval_trans] interprets a formula as a transfinite truth height
+    (the model of Transfinite Iris, §6.1); [eval_fin] interprets the same
+    formula in the standard natural-number model of Iris (§2.4).
+    Everything downstream — validity, entailment, the existential
+    property, the loss of the commuting rules — is phrased in terms of
+    these two functions. *)
+
+module Ord = Tfiris_ordinal.Ord
+module Height = Tfiris_sprop.Height
+module Fin_height = Tfiris_sprop.Fin_height
+
+(* The infimum of an ℕ-family is attained; the formula carries a witness
+   index, validated against [samples] other members. *)
+let inf_family ~eval ~le (f : Formula.family) (w : int) =
+  let samples = 24 in
+  let hw = eval (f.Formula.member w) in
+  let rec check n =
+    if n >= samples then hw
+    else if le hw (eval (f.member n)) then check (n + 1)
+    else
+      raise
+        (Height.Bad_family
+           (Printf.sprintf
+              "Forall_nat: member %d is below the declared minimum (witness %d)"
+              n w))
+  in
+  check 0
+
+let rec eval_trans (p : Formula.t) : Height.t =
+  match p with
+  | True -> Height.tt
+  | False -> Height.ff
+  | Index_lt a -> Height.of_ord a
+  | And (p, q) -> Height.conj (eval_trans p) (eval_trans q)
+  | Or (p, q) -> Height.disj (eval_trans p) (eval_trans q)
+  | Impl (p, q) -> Height.impl (eval_trans p) (eval_trans q)
+  | Later p -> Height.later (eval_trans p)
+  | Exists_fin ps -> Height.exists_fin (List.map eval_trans ps)
+  | Forall_fin ps -> Height.forall_fin (List.map eval_trans ps)
+  | Exists_nat f ->
+    Height.sup_family ~limit:f.Formula.sup (fun n -> eval_trans (f.member n))
+  | Forall_nat (f, w) -> inf_family ~eval:eval_trans ~le:Height.le f w
+
+let rec eval_fin (p : Formula.t) : Fin_height.t =
+  match p with
+  | True -> Fin_height.tt
+  | False -> Fin_height.ff
+  | Index_lt a -> (
+    (* The cut {β ∈ ℕ | β < a}: transfinite cuts collapse to ⊤. *)
+    match Ord.to_int_opt a with
+    | Some n -> Fin_height.of_int n
+    | None -> Fin_height.tt)
+  | And (p, q) -> Fin_height.conj (eval_fin p) (eval_fin q)
+  | Or (p, q) -> Fin_height.disj (eval_fin p) (eval_fin q)
+  | Impl (p, q) -> Fin_height.impl (eval_fin p) (eval_fin q)
+  | Later p -> Fin_height.later (eval_fin p)
+  | Exists_fin ps -> Fin_height.exists_fin (List.map eval_fin ps)
+  | Forall_fin ps -> Fin_height.forall_fin (List.map eval_fin ps)
+  | Exists_nat f ->
+    Fin_height.sup_family ~limit:f.Formula.sup (fun n -> eval_fin (f.member n))
+  | Forall_nat (f, w) -> inf_family ~eval:eval_fin ~le:Fin_height.le f w
+
+(** [⊨ P] in each model. *)
+let valid_trans p = Height.valid (eval_trans p)
+
+let valid_fin p = Fin_height.valid (eval_fin p)
+
+(** Semantic entailment [P ⊨ Q] in each model. *)
+let entails_trans p q = Height.le (eval_trans p) (eval_trans q)
+
+let entails_fin p q = Fin_height.le (eval_fin p) (eval_fin q)

@@ -1,0 +1,21 @@
+(** Interpretation of formulas in both models: [eval_trans] is the
+    transfinite model of Transfinite Iris (§6.1), [eval_fin] the
+    standard ℕ model of Iris (§2.4).  Everything downstream — validity,
+    entailment, the existential property, the loss of the commuting
+    rules — is phrased in terms of these two functions. *)
+
+module Height = Tfiris_sprop.Height
+module Fin_height = Tfiris_sprop.Fin_height
+
+val eval_trans : Formula.t -> Height.t
+val eval_fin : Formula.t -> Fin_height.t
+
+val valid_trans : Formula.t -> bool
+(** [⊨ P] transfinitely. *)
+
+val valid_fin : Formula.t -> bool
+
+val entails_trans : Formula.t -> Formula.t -> bool
+(** Semantic entailment [P ⊨ Q]. *)
+
+val entails_fin : Formula.t -> Formula.t -> bool

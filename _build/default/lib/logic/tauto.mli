@@ -1,0 +1,18 @@
+(** A contraction-free intuitionistic prover (Dyckhoff's G4ip) emitting
+    {!Proof.t} derivations, re-checkable in either system — the prover
+    cannot be wrong, only incomplete.
+
+    Scope: the propositional, later-free fragment.  Note the truth-height
+    models are {e linear} Heyting algebras and validate Gödel–Dummett's
+    [(P⇒Q) ∨ (Q⇒P)], which is not intuitionistically provable: the
+    prover is sound for the models but deliberately not complete for
+    them (tested). *)
+
+val prove : Formula.t -> Proof.t option
+(** A checked derivation of [⊢ goal] (conclusion [True ⊢ goal]), or
+    [None]. *)
+
+val provable : Formula.t -> bool
+
+val entails : Formula.t -> Formula.t -> Proof.t option
+(** Search for a derivation of [p ⊢ q]. *)

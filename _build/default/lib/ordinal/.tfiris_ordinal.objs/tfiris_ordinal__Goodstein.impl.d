@@ -1,0 +1,1 @@
+lib/ordinal/goodstein.ml: List Option Ord

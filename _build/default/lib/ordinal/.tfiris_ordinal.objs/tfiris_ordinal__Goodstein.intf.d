@@ -1,0 +1,1 @@
+lib/ordinal/goodstein.mli: Ord

@@ -1,0 +1,1 @@
+lib/ordinal/ord.ml: Format List Stdlib

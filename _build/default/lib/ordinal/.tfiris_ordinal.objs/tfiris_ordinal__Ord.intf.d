@@ -1,0 +1,1 @@
+lib/ordinal/ord.mli: Format

@@ -1,0 +1,108 @@
+(** Goodstein sequences: the classical showcase of termination by
+    ordinal descent.
+
+    Write [n] in {e hereditary base-b} notation (exponents recursively
+    in base b too), bump every occurrence of [b] to [b+1], subtract one;
+    repeat with [b+1].  The numbers explode, yet the sequence always
+    reaches 0 — because the ordinal obtained by replacing the base with
+    [ω] strictly decreases at every step, and ordinal descent is
+    well-founded.  (Independence from Peano arithmetic is what made this
+    famous; here it serves as an end-to-end exercise of the ordinal
+    substrate: the map to ordinals is exactly the paper's idea of
+    proving termination by simulation into a well-founded source,
+    §2.6.) *)
+
+module O = Ord
+
+(** Hereditary base-[b] representation: a sum of terms [b^e · c] with
+    [e] itself represented hereditarily. *)
+type hereditary = Terms of (hereditary * int) list
+(* invariant: exponents strictly decreasing, coefficients in [1, b-1] *)
+
+let rec to_hereditary ~base (n : int) : hereditary =
+  if base < 2 then invalid_arg "Goodstein.to_hereditary: base < 2"
+  else if n < 0 then invalid_arg "Goodstein.to_hereditary: negative"
+  else if n = 0 then Terms []
+  else begin
+    (* find the largest power of [base] not exceeding [n] *)
+    let rec largest p e = if p > n / base then (p, e) else largest (p * base) (e + 1) in
+    let p, e = largest 1 0 in
+    let c = n / p in
+    let (Terms rest) = to_hereditary ~base (n - (c * p)) in
+    Terms ((to_hereditary ~base e, c) :: rest)
+  end
+
+(* Overflow-checked arithmetic: Goodstein values outgrow native integers
+   within a few dozen steps even for small seeds; we compute exactly as
+   far as [int] reaches and stop there ({!sequence} truncates). *)
+let add_c a b = if a > max_int - b then None else Some (a + b)
+
+let mul_c a b =
+  if a = 0 || b = 0 then Some 0
+  else if a > max_int / b then None
+  else Some (a * b)
+
+let rec ipow_c b k =
+  if k = 0 then Some 1
+  else match ipow_c b (k - 1) with None -> None | Some p -> mul_c b p
+
+let ( let* ) = Option.bind
+
+let rec of_hereditary_opt ~base (Terms h : hereditary) : int option =
+  List.fold_left
+    (fun acc (e, c) ->
+      let* acc = acc in
+      let* v = of_hereditary_opt ~base e in
+      let* p = ipow_c base v in
+      let* t = mul_c c p in
+      add_c acc t)
+    (Some 0) h
+
+let of_hereditary ~base h =
+  match of_hereditary_opt ~base h with
+  | Some n -> n
+  | None -> invalid_arg "Goodstein.of_hereditary: overflow"
+
+(** The ordinal shadow: replace the base by [ω]. *)
+let rec ordinal_of_hereditary (Terms h : hereditary) : O.t =
+  List.fold_left
+    (fun acc (e, c) ->
+      O.add acc (O.mul (O.omega_pow (ordinal_of_hereditary e)) (O.of_int c)))
+    O.zero h
+
+let ordinal_of ~base n = ordinal_of_hereditary (to_hereditary ~base n)
+
+type step_result =
+  | Zero  (** the sequence has reached 0 *)
+  | Next of int
+  | Overflow  (** the next value exceeds native integers *)
+
+(** One Goodstein step: rewrite hereditarily in [base], read back in
+    [base + 1], subtract one. *)
+let step ~base (n : int) : step_result =
+  if n = 0 then Zero
+  else
+    let h = to_hereditary ~base n in
+    match of_hereditary_opt ~base:(base + 1) h with
+    | Some v -> Next (v - 1)
+    | None -> Overflow
+
+(** The Goodstein sequence of [n] starting at base 2, with its bases;
+    truncated at [max_len] or at integer overflow (the full sequences
+    are astronomically long for n ≥ 4 even though they provably
+    terminate). *)
+let sequence ?(max_len = 64) (n : int) : (int * int) list =
+  let rec go base n acc k =
+    if k = 0 then List.rev acc
+    else
+      match step ~base n with
+      | Zero -> List.rev ((base, n) :: acc)
+      | Overflow -> List.rev ((base, n) :: acc)
+      | Next n' -> go (base + 1) n' ((base, n) :: acc) (k - 1)
+  in
+  go 2 n [] max_len
+
+(** The ordinal shadows along the (truncated) sequence — the strictly
+    decreasing certificate. *)
+let ordinal_trace ?max_len (n : int) : O.t list =
+  List.map (fun (base, k) -> ordinal_of ~base k) (sequence ?max_len n)

@@ -1,0 +1,39 @@
+(** Goodstein sequences: hereditary base-bump arithmetic whose
+    termination certificate is a strictly descending ordinal — the
+    classical exercise of the ordinal substrate (§2.6's idea of
+    termination by simulation into a well-founded source).
+
+    Arithmetic is overflow-checked: sequences are truncated where the
+    values outgrow native integers (they do so quickly — the sequences
+    are astronomically long even though they provably reach 0). *)
+
+type hereditary = Terms of (hereditary * int) list
+(** Hereditary base-[b] representation: [Σ b^eᵢ·cᵢ] with the exponents
+    themselves represented hereditarily; exponents strictly decreasing,
+    coefficients in [1, b-1]. *)
+
+val to_hereditary : base:int -> int -> hereditary
+val of_hereditary : base:int -> hereditary -> int
+(** Raises [Invalid_argument] on native-integer overflow. *)
+
+val of_hereditary_opt : base:int -> hereditary -> int option
+
+val ordinal_of_hereditary : hereditary -> Ord.t
+(** The ordinal shadow: replace the base by [ω]. *)
+
+val ordinal_of : base:int -> int -> Ord.t
+
+type step_result =
+  | Zero  (** the sequence has reached 0 *)
+  | Next of int
+  | Overflow  (** the next value exceeds native integers *)
+
+val step : base:int -> int -> step_result
+(** Rewrite hereditarily in [base], read back in [base+1], subtract 1. *)
+
+val sequence : ?max_len:int -> int -> (int * int) list
+(** The Goodstein sequence from base 2 as [(base, value)] pairs,
+    truncated at [max_len] or at overflow. *)
+
+val ordinal_trace : ?max_len:int -> int -> Ord.t list
+(** The strictly descending ordinal certificate along the sequence. *)

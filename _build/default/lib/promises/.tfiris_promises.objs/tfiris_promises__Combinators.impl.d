@@ -1,0 +1,1 @@
+lib/promises/combinators.ml: Syntax

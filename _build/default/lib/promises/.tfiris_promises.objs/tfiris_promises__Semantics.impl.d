@@ -1,0 +1,1 @@
+lib/promises/semantics.ml: List Option Syntax

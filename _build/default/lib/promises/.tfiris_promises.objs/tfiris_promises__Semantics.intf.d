@@ -1,0 +1,1 @@
+lib/promises/semantics.mli: Syntax

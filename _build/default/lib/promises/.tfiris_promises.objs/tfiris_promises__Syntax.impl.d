@@ -1,0 +1,1 @@
+lib/promises/syntax.ml: Format List

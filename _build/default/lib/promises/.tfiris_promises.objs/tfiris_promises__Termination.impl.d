@@ -1,0 +1,1 @@
+lib/promises/termination.ml: Format Option Semantics Syntax Tfiris_ordinal

@@ -1,0 +1,1 @@
+lib/promises/typing.ml: Format List Result Set String Syntax

@@ -1,0 +1,1 @@
+lib/promises/typing.mli: Format Set Syntax

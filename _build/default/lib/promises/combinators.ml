@@ -1,0 +1,80 @@
+(** Promise combinators: the monadic API of JavaScript promises, as
+    typed term builders for the linear channel language.
+
+    Linearity shapes the API: a combinator {e instance} is itself a
+    linear value (functions are [⊸]), so these are OCaml-level builders
+    producing a fresh term per use — which is exactly how a Coq
+    development would quote them.  Each builder documents its typing
+    rule; the test suite checks every instance against {!Typing} and
+    runs it under the termination harness. *)
+
+open Syntax
+
+(** [pure v : chan τ] — an already-determined promise.
+    [Γ ⊢ v : τ  ⟹  Γ ⊢ pure v : chan τ]. *)
+let pure (v : term) : term = Post v
+
+(** [map f c : chan τ₂] for [f : τ₁ ⊸ τ₂], [c : chan τ₁] — JavaScript's
+    [c.then(f)]: a task that waits for [c] and applies [f]. *)
+let map (f : term) (c : term) : term = Post (App (f, Wait c))
+
+(** [bind c f : chan τ₂] for [c : chan τ₁], [f : τ₁ ⊸ chan τ₂] — the
+    monadic bind: the inner promise produced by [f] is awaited by the
+    spawned task, so the result is flat. *)
+let bind (c : term) (f : term) : term = Post (Wait (App (f, Wait c)))
+
+(** [join cc : chan τ] for [cc : chan (chan τ)]. *)
+let join (cc : term) : term = Post (Wait (Wait cc))
+
+(** [both c₁ c₂ : chan (τ₁ ⊗ τ₂)] — JavaScript's [Promise.all] for two
+    promises. *)
+let both (c1 : term) (c2 : term) : term = Post (Pair (Wait c1, Wait c2))
+
+(** [race]?  There is deliberately none: racing discards one channel,
+    which linearity forbids — every promise must be awaited exactly
+    once.  (This is the type-system face of "no lost wake-ups".) *)
+
+(** {1 Example pipelines} *)
+
+(** [pipeline n]: start from [pure 1] and apply [map (+k)] for
+    [k = 1..n], then await. *)
+let pipeline (n : int) : term =
+  let rec build k acc =
+    if k > n then acc
+    else
+      build (k + 1)
+        (map (Lam ("x", T_int, Bin (Add, Var "x", Int k))) acc)
+  in
+  Wait (build 1 (pure (Int 1)))
+
+(** [tree_sum d]: a balanced fan-in of depth [d] using [both]:
+    [2^d] leaf promises combined pairwise. *)
+let tree_sum (d : int) : term =
+  let rec build d =
+    if d = 0 then pure (Int 1)
+    else
+      Let
+        ( "l",
+          build (d - 1),
+          Let
+            ( "r",
+              build (d - 1),
+              map
+                (Lam
+                   ( "p",
+                     T_prod (T_int, T_int),
+                     Let_pair ("a", "b", Var "p", Bin (Add, Var "a", Var "b"))
+                   ))
+                (both (Var "l") (Var "r")) ) )
+  in
+  Wait (build d)
+
+(** A bind chain: each stage spawns a fresh inner promise. *)
+let bind_chain (n : int) : term =
+  let rec build k acc =
+    if k > n then acc
+    else
+      build (k + 1)
+        (bind acc (Lam ("x", T_int, pure (Bin (Add, Var "x", Int 1)))))
+  in
+  Wait (build 1 (pure (Int 0)))

@@ -1,0 +1,193 @@
+(** The linear language with asynchronous channels (§5.2).
+
+    The final case study of the paper mechanizes the main result of
+    Spies, Krishnaswami and Dreyer [53]: termination of a linear
+    λ-calculus with asynchronous channels — "the core of promises in
+    JavaScript" — and then generalizes it with impredicative
+    polymorphism.  This module defines that calculus:
+
+    - [post e] spawns a task that evaluates [e] concurrently and
+      resolves a fresh channel with the result; it returns the channel
+      immediately (a {e promise});
+    - [wait e] suspends the current task until the channel is resolved
+      and returns the stored value (an {e await});
+    - the type system is {b linear} in channels: a channel is waited on
+      exactly once — and {b impredicatively polymorphic} ([∀α. τ] with
+      [α] instantiable by any type, the +350-lines extension of §5.2);
+    - there is {b no recursion}: termination of well-typed programs is
+      the theorem the transfinite logical relation establishes.
+
+    Values are terms in normal form (as in SHL); channels appear at
+    runtime as [Chan_v]. *)
+
+type ty =
+  | T_unit
+  | T_bool
+  | T_int
+  | T_prod of ty * ty
+  | T_fun of ty * ty  (** linear function [τ₁ ⊸ τ₂] *)
+  | T_chan of ty  (** promise of a [τ] *)
+  | T_var of string
+  | T_forall of string * ty
+
+type bin_op =
+  | Add
+  | Sub
+  | Mul
+  | Lt
+  | Eq_int
+
+type term =
+  | Var of string
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Lam of string * ty * term
+  | App of term * term
+  | Pair of term * term
+  | Let_pair of string * string * term * term
+  | Let of string * term * term
+  | If of term * term * term
+  | Bin of bin_op * term * term
+  | Post of term  (** spawn; returns the channel *)
+  | Wait of term  (** await a channel *)
+  | Ty_lam of string * term  (** type abstraction [Λα. e] *)
+  | Ty_app of term * ty  (** type application [e [τ]] *)
+  | Chan_v of int  (** runtime channel literal *)
+
+(** {1 Linearity}
+
+    A type is {e linear} when values of it must be consumed exactly
+    once: channels, and anything that may contain one.  Type variables
+    are conservatively linear (they may be instantiated by channels). *)
+let rec linear = function
+  | T_unit | T_bool | T_int -> false
+  | T_prod (a, b) -> linear a || linear b
+  | T_fun _ -> true (* ⊸: every function is used exactly once *)
+  | T_chan _ -> true
+  | T_var _ -> true
+  | T_forall (_, t) -> linear t
+
+(** {1 Type substitution} *)
+
+let rec free_ty_vars = function
+  | T_unit | T_bool | T_int -> []
+  | T_prod (a, b) | T_fun (a, b) -> free_ty_vars a @ free_ty_vars b
+  | T_chan t -> free_ty_vars t
+  | T_var a -> [ a ]
+  | T_forall (a, t) -> List.filter (fun b -> b <> a) (free_ty_vars t)
+
+let rec subst_ty (a : string) (s : ty) (t : ty) : ty =
+  match t with
+  | T_unit | T_bool | T_int -> t
+  | T_prod (t1, t2) -> T_prod (subst_ty a s t1, subst_ty a s t2)
+  | T_fun (t1, t2) -> T_fun (subst_ty a s t1, subst_ty a s t2)
+  | T_chan t1 -> T_chan (subst_ty a s t1)
+  | T_var b -> if a = b then s else t
+  | T_forall (b, t1) ->
+    if a = b then t
+    else if List.mem b (free_ty_vars s) then
+      (* capture: rename the binder *)
+      let b' = b ^ "'" in
+      T_forall (b', subst_ty a s (subst_ty b (T_var b') t1))
+    else T_forall (b, subst_ty a s t1)
+
+let rec ty_equal (t1 : ty) (t2 : ty) =
+  match t1, t2 with
+  | T_unit, T_unit | T_bool, T_bool | T_int, T_int -> true
+  | T_prod (a1, b1), T_prod (a2, b2) | T_fun (a1, b1), T_fun (a2, b2) ->
+    ty_equal a1 a2 && ty_equal b1 b2
+  | T_chan a, T_chan b -> ty_equal a b
+  | T_var a, T_var b -> a = b
+  | T_forall (a, t1), T_forall (b, t2) ->
+    ty_equal t1 (subst_ty b (T_var a) t2)
+  | (T_unit | T_bool | T_int | T_prod _ | T_fun _ | T_chan _ | T_var _
+    | T_forall _), _ ->
+    false
+
+(** {1 Term substitution} *)
+
+let rec subst (x : string) (v : term) (e : term) : term =
+  match e with
+  | Var y -> if x = y then v else e
+  | Unit | Bool _ | Int _ | Chan_v _ -> e
+  | Lam (y, t, b) -> if x = y then e else Lam (y, t, subst x v b)
+  | App (e1, e2) -> App (subst x v e1, subst x v e2)
+  | Pair (e1, e2) -> Pair (subst x v e1, subst x v e2)
+  | Let_pair (y, z, e1, e2) ->
+    Let_pair (y, z, subst x v e1, if x = y || x = z then e2 else subst x v e2)
+  | Let (y, e1, e2) -> Let (y, subst x v e1, if x = y then e2 else subst x v e2)
+  | If (c, e1, e2) -> If (subst x v c, subst x v e1, subst x v e2)
+  | Bin (op, e1, e2) -> Bin (op, subst x v e1, subst x v e2)
+  | Post e1 -> Post (subst x v e1)
+  | Wait e1 -> Wait (subst x v e1)
+  | Ty_lam (a, e1) -> Ty_lam (a, subst x v e1)
+  | Ty_app (e1, t) -> Ty_app (subst x v e1, t)
+
+let rec subst_ty_term (a : string) (s : ty) (e : term) : term =
+  match e with
+  | Var _ | Unit | Bool _ | Int _ | Chan_v _ -> e
+  | Lam (y, t, b) -> Lam (y, subst_ty a s t, subst_ty_term a s b)
+  | App (e1, e2) -> App (subst_ty_term a s e1, subst_ty_term a s e2)
+  | Pair (e1, e2) -> Pair (subst_ty_term a s e1, subst_ty_term a s e2)
+  | Let_pair (y, z, e1, e2) ->
+    Let_pair (y, z, subst_ty_term a s e1, subst_ty_term a s e2)
+  | Let (y, e1, e2) -> Let (y, subst_ty_term a s e1, subst_ty_term a s e2)
+  | If (c, e1, e2) ->
+    If (subst_ty_term a s c, subst_ty_term a s e1, subst_ty_term a s e2)
+  | Bin (op, e1, e2) -> Bin (op, subst_ty_term a s e1, subst_ty_term a s e2)
+  | Post e1 -> Post (subst_ty_term a s e1)
+  | Wait e1 -> Wait (subst_ty_term a s e1)
+  | Ty_lam (b, e1) -> if a = b then e else Ty_lam (b, subst_ty_term a s e1)
+  | Ty_app (e1, t) -> Ty_app (subst_ty_term a s e1, subst_ty a s t)
+
+let rec value (e : term) =
+  match e with
+  | Unit | Bool _ | Int _ | Lam _ | Chan_v _ | Ty_lam _ -> true
+  | Pair (a, b) -> value a && value b
+  | Var _ | App _ | Let_pair _ | Let _ | If _ | Bin _ | Post _ | Wait _
+  | Ty_app _ ->
+    false
+
+(** {1 Printing} *)
+
+let rec pp_ty ppf = function
+  | T_unit -> Format.pp_print_string ppf "unit"
+  | T_bool -> Format.pp_print_string ppf "bool"
+  | T_int -> Format.pp_print_string ppf "int"
+  | T_prod (a, b) -> Format.fprintf ppf "(%a \xe2\x8a\x97 %a)" pp_ty a pp_ty b
+  | T_fun (a, b) -> Format.fprintf ppf "(%a \xe2\x8a\xb8 %a)" pp_ty a pp_ty b
+  | T_chan t -> Format.fprintf ppf "chan %a" pp_ty t
+  | T_var a -> Format.pp_print_string ppf a
+  | T_forall (a, t) -> Format.fprintf ppf "(\xe2\x88\x80%s. %a)" a pp_ty t
+
+let rec pp ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Lam (x, t, b) ->
+    Format.fprintf ppf "(\xce\xbb%s:%a. %a)" x pp_ty t pp b
+  | App (e1, e2) -> Format.fprintf ppf "(%a %a)" pp e1 pp e2
+  | Pair (e1, e2) -> Format.fprintf ppf "(%a, %a)" pp e1 pp e2
+  | Let_pair (x, y, e1, e2) ->
+    Format.fprintf ppf "(let (%s, %s) = %a in %a)" x y pp e1 pp e2
+  | Let (x, e1, e2) -> Format.fprintf ppf "(let %s = %a in %a)" x pp e1 pp e2
+  | If (c, e1, e2) -> Format.fprintf ppf "(if %a then %a else %a)" pp c pp e1 pp e2
+  | Bin (op, e1, e2) ->
+    let s =
+      match op with
+      | Add -> "+"
+      | Sub -> "-"
+      | Mul -> "*"
+      | Lt -> "<"
+      | Eq_int -> "="
+    in
+    Format.fprintf ppf "(%a %s %a)" pp e1 s pp e2
+  | Post e -> Format.fprintf ppf "(post %a)" pp e
+  | Wait e -> Format.fprintf ppf "(wait %a)" pp e
+  | Ty_lam (a, e) -> Format.fprintf ppf "(\xce\x9b%s. %a)" a pp e
+  | Ty_app (e, t) -> Format.fprintf ppf "(%a [%a])" pp e pp_ty t
+  | Chan_v c -> Format.fprintf ppf "chan#%d" c
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,152 @@
+(** The linear type system of the async-channel language.
+
+    Linear typing is what makes the termination theorem of Spies et
+    al. [53] non-trivial to model — their transfinitely step-indexed
+    logical relation (up to [ω^ω]) interprets these types.  The checker
+    here is the syntactic side: each variable of linear type is consumed
+    {e exactly once}; unrestricted variables ([unit]/[bool]/[int]) are
+    free to duplicate or drop.  [If] branches must consume the same
+    linear variables.
+
+    There is no recursion in the language; well-typed programs
+    terminate (the theorem exercised by {!Termination}). *)
+
+open Syntax
+
+module Sset = Set.Make (String)
+
+type error = {
+  where : term;
+  reason : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s in %a" e.reason Syntax.pp e.where
+
+exception Type_error of error
+
+let fail where fmt =
+  Format.kasprintf (fun reason -> raise (Type_error { where; reason })) fmt
+
+type env = (string * ty) list
+
+(* Combine usage sets of independent subterms: linear variables must not
+   be shared. *)
+let split_use (where : term) (u1 : Sset.t) (u2 : Sset.t) : Sset.t =
+  let shared = Sset.inter u1 u2 in
+  if not (Sset.is_empty shared) then
+    fail where "linear variable %s used twice" (Sset.choose shared)
+  else Sset.union u1 u2
+
+(** [infer env tvs e]: the type of [e] and the set of linear variables it
+    consumes.  [tvs] is the set of bound type variables. *)
+let rec infer (env : env) (tvs : Sset.t) (e : term) : ty * Sset.t =
+  match e with
+  | Var x -> (
+    match List.assoc_opt x env with
+    | None -> fail e "unbound variable %s" x
+    | Some t -> (t, if linear t then Sset.singleton x else Sset.empty))
+  | Unit -> (T_unit, Sset.empty)
+  | Bool _ -> (T_bool, Sset.empty)
+  | Int _ -> (T_int, Sset.empty)
+  | Chan_v _ -> fail e "runtime channel literal in source program"
+  | Lam (x, t1, body) ->
+    check_ty_wf e tvs t1;
+    let t2, used = infer ((x, t1) :: env) tvs body in
+    if linear t1 && not (Sset.mem x used) then
+      fail e "linear argument %s unused" x
+    else (T_fun (t1, t2), Sset.remove x used)
+  | App (e1, e2) -> (
+    let t1, u1 = infer env tvs e1 in
+    let t2, u2 = infer env tvs e2 in
+    match t1 with
+    | T_fun (ta, tb) ->
+      if ty_equal ta t2 then (tb, split_use e u1 u2)
+      else
+        fail e "argument type %a does not match parameter %a" pp_ty t2 pp_ty ta
+    | T_unit | T_bool | T_int | T_prod _ | T_chan _ | T_var _ | T_forall _ ->
+      fail e "application of a non-function of type %a" pp_ty t1)
+  | Pair (e1, e2) ->
+    let t1, u1 = infer env tvs e1 in
+    let t2, u2 = infer env tvs e2 in
+    (T_prod (t1, t2), split_use e u1 u2)
+  | Let_pair (x, y, e1, e2) -> (
+    let t1, u1 = infer env tvs e1 in
+    match t1 with
+    | T_prod (ta, tb) ->
+      if x = y then fail e "pattern variables must differ"
+      else begin
+        let t2, u2 = infer ((x, ta) :: (y, tb) :: env) tvs e2 in
+        if linear ta && not (Sset.mem x u2) then fail e "linear %s unused" x
+        else if linear tb && not (Sset.mem y u2) then
+          fail e "linear %s unused" y
+        else (t2, split_use e u1 (Sset.remove x (Sset.remove y u2)))
+      end
+    | T_unit | T_bool | T_int | T_fun _ | T_chan _ | T_var _ | T_forall _ ->
+      fail e "let-pair on a non-pair of type %a" pp_ty t1)
+  | Let (x, e1, e2) ->
+    let t1, u1 = infer env tvs e1 in
+    let t2, u2 = infer ((x, t1) :: env) tvs e2 in
+    if linear t1 && not (Sset.mem x u2) then fail e "linear %s unused" x
+    else (t2, split_use e u1 (Sset.remove x u2))
+  | If (c, e1, e2) -> (
+    let tc, uc = infer env tvs c in
+    match tc with
+    | T_bool ->
+      let t1, u1 = infer env tvs e1 in
+      let t2, u2 = infer env tvs e2 in
+      if not (ty_equal t1 t2) then
+        fail e "branches have different types %a and %a" pp_ty t1 pp_ty t2
+      else if not (Sset.equal u1 u2) then
+        fail e "branches consume different linear variables"
+      else (t1, split_use e uc u1)
+    | T_unit | T_int | T_prod _ | T_fun _ | T_chan _ | T_var _ | T_forall _ ->
+      fail e "if condition of type %a" pp_ty tc)
+  | Bin (op, e1, e2) -> (
+    let t1, u1 = infer env tvs e1 in
+    let t2, u2 = infer env tvs e2 in
+    match t1, t2 with
+    | T_int, T_int ->
+      let t =
+        match op with Add | Sub | Mul -> T_int | Lt | Eq_int -> T_bool
+      in
+      (t, split_use e u1 u2)
+    | _, _ -> fail e "arithmetic on non-integers")
+  | Post e1 ->
+    let t1, u1 = infer env tvs e1 in
+    (T_chan t1, u1)
+  | Wait e1 -> (
+    let t1, u1 = infer env tvs e1 in
+    match t1 with
+    | T_chan t -> (t, u1)
+    | T_unit | T_bool | T_int | T_prod _ | T_fun _ | T_var _ | T_forall _ ->
+      fail e "wait on a non-channel of type %a" pp_ty t1)
+  | Ty_lam (a, e1) ->
+    let t1, u1 = infer env (Sset.add a tvs) e1 in
+    (T_forall (a, t1), u1)
+  | Ty_app (e1, t) -> (
+    check_ty_wf e tvs t;
+    let t1, u1 = infer env tvs e1 in
+    match t1 with
+    | T_forall (a, body) ->
+      (* impredicative: [t] may itself be polymorphic *)
+      (subst_ty a t body, u1)
+    | T_unit | T_bool | T_int | T_prod _ | T_fun _ | T_chan _ | T_var _ ->
+      fail e "type application of a non-polymorphic term of type %a" pp_ty t1)
+
+and check_ty_wf (where : term) (tvs : Sset.t) (t : ty) : unit =
+  List.iter
+    (fun a ->
+      if not (Sset.mem a tvs) then fail where "unbound type variable %s" a)
+    (free_ty_vars t)
+
+(** [typecheck e]: the type of the closed program [e], or an error. *)
+let typecheck (e : term) : (ty, error) result =
+  match infer [] Sset.empty e with
+  | t, used ->
+    if Sset.is_empty used then Ok t
+    else
+      Error { where = e; reason = "dangling linear usage (internal)" }
+  | exception Type_error err -> Error err
+
+let well_typed e = Result.is_ok (typecheck e)

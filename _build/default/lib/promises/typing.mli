@@ -1,0 +1,30 @@
+(** The linear type system of the async-channel language (§5.2).
+
+    Each variable of linear type (channels, functions, anything
+    containing them) is consumed exactly once; [unit]/[bool]/[int] are
+    unrestricted; [if] branches must consume the same linear variables.
+    The language has no recursion: well-typed programs terminate — the
+    theorem of Spies et al. [53] exercised by {!Termination}. *)
+
+type error = {
+  where : Syntax.term;
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Type_error of error
+
+type env = (string * Syntax.ty) list
+
+module Sset : Set.S with type elt = string
+
+val infer : env -> Sset.t -> Syntax.term -> Syntax.ty * Sset.t
+(** The type of a term and the linear variables it consumes; the second
+    argument is the set of bound type variables.  Raises
+    {!Type_error}. *)
+
+val typecheck : Syntax.term -> (Syntax.ty, error) result
+(** Closed programs. *)
+
+val well_typed : Syntax.term -> bool

@@ -1,0 +1,1 @@
+lib/refinement/adequacy.ml: Ast Driver Interp List Step Tfiris_shl

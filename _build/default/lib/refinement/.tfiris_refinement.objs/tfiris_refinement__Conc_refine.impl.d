@@ -1,0 +1,1 @@
+lib/refinement/conc_refine.ml: Ast Conc Format List Pretty Step Tfiris_ordinal Tfiris_shl

@@ -1,0 +1,1 @@
+lib/refinement/driver.ml: Ast Format Pretty Step Tfiris_ordinal Tfiris_shl

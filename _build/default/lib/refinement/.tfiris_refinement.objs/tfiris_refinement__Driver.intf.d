@@ -1,0 +1,1 @@
+lib/refinement/driver.mli: Ast Format Step Tfiris_ordinal Tfiris_shl

@@ -1,0 +1,1 @@
+lib/refinement/memo_spec.ml: Ast Driver Heap Interp Parser Printf Prog Step Strategy Tfiris_ordinal Tfiris_shl

@@ -1,0 +1,1 @@
+lib/refinement/queue_spec.ml: Ast Driver Format Interp List Memo_spec Printf Prog Queue Step Strategy Tfiris_ordinal Tfiris_shl

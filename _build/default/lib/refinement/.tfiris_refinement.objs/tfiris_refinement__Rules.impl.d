@@ -1,0 +1,1 @@
+lib/refinement/rules.ml: Ast Driver Format Heap List Option Pretty Step Tfiris_ordinal Tfiris_shl

@@ -1,0 +1,1 @@
+lib/refinement/strategy.ml: Array Driver Format Printf Step Tfiris_ordinal Tfiris_shl

@@ -1,0 +1,1 @@
+lib/refinement/strategy.mli: Driver Step Tfiris_ordinal Tfiris_shl

@@ -1,0 +1,70 @@
+(** Adequacy of the refinement game (Theorem 4.3), as a test harness.
+
+    Theorem 4.3 says: if [⊨ e_t ⪯G e_s] then [e_t] is a
+    termination-preserving refinement of [e_s].  The driver's accepted
+    runs carry the two clauses constructively:
+
+    + {b results}: an [Accepted (Terminated v)] verdict was produced by
+      actually executing the source to the very value [v] the target
+      produced — {!replay_result} re-runs the source independently and
+      confirms;
+    + {b divergence}: for a target that runs forever, accepted runs at
+      increasing fuel must drive the source through an unboundedly
+      growing number of steps ({!divergence_transfer}) — the coherent
+      infinite source execution whose existence is exactly what the
+      existential property provides in the paper's proof (§2.5).
+
+    The §4.1 Iris rules fail clause 2; the scripts in the test suite
+    demonstrate this with [e_loop ⪯ skip]. *)
+
+open Tfiris_shl
+
+(** Independent re-execution of the source, confirming the terminated
+    verdict. *)
+let replay_result ~(source : Step.config) (v : Ast.value) ~fuel =
+  let rec go cfg n =
+    match cfg.Step.expr with
+    | Ast.Val v' -> Ast.value_eq v v' = Some true
+    | _ -> (
+      if n = 0 then false
+      else
+        match Step.prim_step cfg with
+        | Ok (cfg', _) -> go cfg' (n - 1)
+        | Error (Step.Finished | Step.Stuck _) -> false)
+  in
+  go source fuel
+
+(** [divergence_transfer ~fuels ~target ~source strategy]: run the game
+    at each fuel; all runs must be accepted ([Fuel_exhausted]) and the
+    source step counts must be strictly increasing — the bounded
+    observation of "target diverges ⟹ source diverges". *)
+let divergence_transfer ~(fuels : int list) ~target ~source
+    (strategy : Driver.strategy) : bool =
+  let counts =
+    List.map
+      (fun fuel ->
+        match Driver.run ~fuel ~target ~source strategy with
+        | Driver.Accepted (Driver.Fuel_exhausted, st) -> Some st.source_steps
+        | Driver.Accepted (Driver.Terminated _, _) | Driver.Rejected _ -> None)
+      fuels
+  in
+  let rec strictly_increasing = function
+    | Some a :: (Some b :: _ as rest) -> a < b && strictly_increasing rest
+    | [ Some _ ] -> true
+    | [] | None :: _ | Some _ :: None :: _ -> false
+  in
+  strictly_increasing counts
+
+(** Full adequacy check of a driver verdict against independent
+    executions of both sides. *)
+let verdict_adequate ~target ~source ~fuel (v : Driver.verdict) : bool =
+  match v with
+  | Driver.Accepted (Driver.Terminated value, _) ->
+    (* target really evaluates to [value] and so does the source *)
+    let tgt_ok =
+      match Interp.exec ~fuel ~heap:target.Step.heap target.Step.expr with
+      | Interp.Value (v', _), _ -> Ast.value_eq value v' = Some true
+      | (Interp.Stuck _ | Interp.Out_of_fuel _), _ -> false
+    in
+    tgt_ok && replay_result ~source value ~fuel
+  | Driver.Accepted (Driver.Fuel_exhausted, _) | Driver.Rejected _ -> true

@@ -1,0 +1,176 @@
+(** Termination-preserving refinement for {e concurrent} programs —
+    the paper's declared future work (§3, §8), in the bounded executable
+    form this framework supports.
+
+    The paper leaves step-indexed liveness for concurrency open; what
+    {e can} be done with the present machinery is per-scheduler
+    reasoning: fixing a (deterministic) scheduler turns a concurrent
+    program into a deterministic transition system, to which the ordinal
+    stutter-budget discipline of {!Driver} applies verbatim.  A
+    certificate here proves: {e under this scheduler}, the concurrent
+    target is a termination-preserving refinement of the source.
+    Quantifying over schedulers (fair or demonic) is exactly the part
+    the paper defers — made tangible by {!certify_all_seeds}, which
+    replays the game under many schedulers and reports the set that
+    passes. *)
+
+module Ord = Tfiris_ordinal.Ord
+open Tfiris_shl
+
+type sched_config = {
+  cfg : Conc.cfg;
+  step_no : int;
+}
+
+(** One deterministic step under the scheduler. *)
+let sched_step (sched : Conc.scheduler) (sc : sched_config) :
+    (sched_config, [ `Done of Ast.value | `Stuck of Ast.expr ]) result =
+  match Conc.runnable sc.cfg with
+  | [] -> (
+    match sc.cfg.Conc.threads with
+    | Ast.Val v :: _ -> Error (`Done v)
+    | _ -> Error (`Stuck Ast.unit_))
+  | rs -> (
+    let i = sched ~step_no:sc.step_no ~runnable:rs sc.cfg in
+    match Conc.step_thread sc.cfg i with
+    | Conc.T_progress cfg' -> Ok { cfg = cfg'; step_no = sc.step_no + 1 }
+    | Conc.T_value -> Ok { sc with step_no = sc.step_no + 1 }
+    | Conc.T_stuck redex -> Error (`Stuck redex))
+
+type stats = {
+  target_steps : int;
+  source_steps : int;
+  stutters : int;
+}
+
+type verdict =
+  | Accepted of Ast.value * stats  (** both sides reached this ground value *)
+  | Still_running of stats  (** fuel exhausted with the game healthy *)
+  | Rejected of string * stats
+
+let pp_verdict ppf = function
+  | Accepted (v, st) ->
+    Format.fprintf ppf "accepted: both sides reach %a (tgt %d / src %d steps)"
+      Pretty.pp_value v st.target_steps st.source_steps
+  | Still_running st ->
+    Format.fprintf ppf "still running (tgt %d / src %d steps)" st.target_steps
+      st.source_steps
+  | Rejected (m, st) ->
+    Format.fprintf ppf "rejected after %d target steps: %s" st.target_steps m
+
+(** The refinement game between a concurrent target (under
+    [tgt_sched]) and a {e sequential} source, with the same ordinal
+    stutter-budget discipline as {!Driver}: advancing the target without
+    the source strictly spends the budget; a source step resets it.
+    The built-in strategy is oracle pacing, mirroring
+    {!Strategy.oracle}. *)
+let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
+    ~(target : Ast.expr) ~(source : Ast.expr) () : verdict =
+  (* pre-run both sides to pace the schedule *)
+  let count_target () =
+    let rec go sc n k =
+      if n = 0 then None
+      else
+        match sched_step tgt_sched sc with
+        | Error (`Done _) -> Some k
+        | Error (`Stuck _) -> None
+        | Ok sc' -> go sc' (n - 1) (k + 1)
+    in
+    go { cfg = Conc.init target; step_no = 0 } fuel 0
+  in
+  let count_source () =
+    let rec go cfg n k =
+      match Step.prim_step cfg with
+      | Error Step.Finished -> Some k
+      | Error (Step.Stuck _) -> None
+      | Ok (cfg', _) -> if n = 0 then None else go cfg' (n - 1) (k + 1)
+    in
+    go (Step.config source) fuel 0
+  in
+  match count_target (), count_source () with
+  | None, _ | _, None ->
+    Rejected
+      ("no oracle pacing (a side is stuck or non-terminating under this scheduler)",
+       { target_steps = 0; source_steps = 0; stutters = 0 })
+  | Some t_total, Some s_total ->
+    let scheduled i = if t_total = 0 then s_total else s_total * i / t_total in
+    let rec go tgt (src : Step.config) budget st n =
+      match Conc.runnable tgt.cfg with
+      | [] -> (
+        match tgt.cfg.Conc.threads with
+        | Ast.Val v :: _ -> (
+          (* drain the source *)
+          let rec drain cfg k extra =
+            match Step.prim_step cfg with
+            | Error Step.Finished -> (
+              match cfg.Step.expr with
+              | Ast.Val v' ->
+                if Ast.value_eq v v' = Some true then
+                  Accepted
+                    (v, { st with source_steps = st.source_steps + extra })
+                else Rejected ("value mismatch", st)
+              | _ -> Rejected ("source stuck", st))
+            | Error (Step.Stuck _) -> Rejected ("source stuck", st)
+            | Ok (cfg', _) ->
+              if k = 0 then Rejected ("source did not terminate", st)
+              else drain cfg' (k - 1) (extra + 1)
+          in
+          drain src fuel 0)
+        | _ -> Rejected ("non-value terminal state", st))
+      | _ -> (
+        if n = 0 then Still_running st
+        else
+          match sched_step tgt_sched tgt with
+          | Error (`Stuck _) -> Rejected ("target stuck", st)
+          | Error (`Done _) -> Still_running st
+          | Ok tgt' ->
+            let st = { st with target_steps = st.target_steps + 1 } in
+            let want = scheduled st.target_steps in
+            let had = scheduled (st.target_steps - 1) in
+            if want > had then (
+              (* advance the source [want-had] steps; budget resets *)
+              let rec adv cfg k =
+                if k = 0 then Some cfg
+                else
+                  match Step.prim_step cfg with
+                  | Ok (cfg', _) -> adv cfg' (k - 1)
+                  | Error _ -> None
+              in
+              match adv src (want - had) with
+              | Some src' ->
+                go tgt' src' (Ord.of_int t_total)
+                  {
+                    st with
+                    source_steps = st.source_steps + (want - had);
+                  }
+                  (n - 1)
+              | None -> Rejected ("source stuck mid-game", st))
+            else if Ord.is_zero budget then
+              Rejected ("stutter budget exhausted", st)
+            else
+              go tgt' src (Ord.descend budget)
+                { st with stutters = st.stutters + 1 }
+                (n - 1))
+    in
+    go
+      { cfg = Conc.init target; step_no = 0 }
+      (Step.config source)
+      (Ord.of_int (t_total + 1))
+      { target_steps = 0; source_steps = 0; stutters = 0 }
+      fuel
+
+(** Replay the certificate under many seeded schedulers: the bounded
+    face of "for all fair schedules".  Returns the seeds that passed
+    and failed. *)
+let certify_all_seeds ?fuel ?(seeds = 16) ~(target : Ast.expr)
+    ~(source : Ast.expr) () : (int list * int list) =
+  let rec go s ok bad =
+    if s >= seeds then (List.rev ok, List.rev bad)
+    else
+      match
+        certify ?fuel ~tgt_sched:(Conc.seeded (s * 37)) ~target ~source ()
+      with
+      | Accepted _ -> go (s + 1) (s :: ok) bad
+      | Still_running _ | Rejected _ -> go (s + 1) ok (s :: bad)
+  in
+  go 0 [] []

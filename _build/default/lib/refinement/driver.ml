@@ -1,0 +1,205 @@
+(** The certified simulation driver: RefinementSHL's semantics, executable.
+
+    A termination-preserving refinement proof in RefinementSHL is, at
+    bottom, a recipe for answering: "the target just took a step — what
+    does the source do?"  The logic's later-stripping discipline (§4.2)
+    guarantees the well-foundedness of the answer "nothing yet":
+    stripping a [⊲] needs both a target and a source step, and stuttering
+    is paid for by ordinal credits.
+
+    The driver makes that discipline operational.  A {e strategy} (the
+    run-time analogue of a proof) is consulted at every target step and
+    either {e advances} the source (≥ 1 steps, and may then reset its
+    stutter budget to any ordinal) or {e stutters} (source unchanged),
+    in which case it must hand back a {b strictly smaller} ordinal
+    budget.  Well-foundedness of ordinals forces every stutter run to be
+    finite, so an infinite target execution drives the source through
+    infinitely many steps — clause (2) of termination-preserving
+    refinement (Theorem 4.3).  Clause (1) is checked directly: when the
+    target reaches a value, the driver drains the source and compares
+    ground values.
+
+    The driver never trusts the strategy: every claimed source step is
+    executed with the real SHL semantics, every budget reset is checked
+    for strict descent while stuttering.  An [Accepted] verdict is
+    therefore a {e checked certificate} of (bounded-observation)
+    refinement, independent of how the strategy was produced. *)
+
+module Ord = Tfiris_ordinal.Ord
+open Tfiris_shl
+
+type decision =
+  | Stutter of Ord.t
+      (** keep the source where it is; the new budget must be strictly
+          below the current one *)
+  | Advance of {
+      src_steps : int;  (** ≥ 1 source steps to take *)
+      budget : Ord.t;  (** fresh stutter budget (any ordinal) *)
+    }
+
+type strategy = {
+  name : string;
+  decide :
+    step_no:int ->
+    target:Step.config ->
+    source:Step.config ->
+    budget:Ord.t ->
+    decision;
+}
+
+type stats = {
+  target_steps : int;
+  source_steps : int;
+  stutters : int;
+  budget_resets : int;
+}
+
+let zero_stats =
+  { target_steps = 0; source_steps = 0; stutters = 0; budget_resets = 0 }
+
+type reject_reason =
+  | Budget_not_decreasing of Ord.t * Ord.t  (** (old, claimed new) *)
+  | Advance_needs_progress  (** [Advance] with [src_steps < 1] *)
+  | Source_stuck of Step.config
+  | Source_finished_early of Ast.value
+      (** source reached a value while the target still runs and the
+          strategy asked for more source steps *)
+  | Target_stuck of Ast.expr
+  | Value_mismatch of Ast.value * Ast.value
+  | Result_not_ground of Ast.value
+      (** refinement [⪯G] is at ground type: closures are not results *)
+  | Source_did_not_terminate
+
+type outcome =
+  | Terminated of Ast.value  (** both sides reached this ground value *)
+  | Fuel_exhausted
+      (** the target is still running after [fuel] steps; [stats] then
+          reports how far the source was driven — the adequacy harness
+          checks this grows without bound for diverging targets *)
+
+type verdict =
+  | Accepted of outcome * stats
+  | Rejected of reject_reason * stats
+
+let pp_reject ppf = function
+  | Budget_not_decreasing (o, n) ->
+    Format.fprintf ppf "stutter budget must strictly decrease: %a -> %a" Ord.pp
+      o Ord.pp n
+  | Advance_needs_progress -> Format.pp_print_string ppf "advance with 0 steps"
+  | Source_stuck _ -> Format.pp_print_string ppf "source got stuck"
+  | Source_finished_early v ->
+    Format.fprintf ppf "source already finished with %a" Pretty.pp_value v
+  | Target_stuck _ -> Format.pp_print_string ppf "target got stuck"
+  | Value_mismatch (vt, vs) ->
+    Format.fprintf ppf "target value %a /= source value %a" Pretty.pp_value vt
+      Pretty.pp_value vs
+  | Result_not_ground v ->
+    Format.fprintf ppf "result %a is not of ground type" Pretty.pp_value v
+  | Source_did_not_terminate ->
+    Format.pp_print_string ppf "source did not reach a value after target did"
+
+let pp_verdict ppf = function
+  | Accepted (Terminated v, st) ->
+    Format.fprintf ppf "accepted: both sides evaluate to %a (tgt %d / src %d steps)"
+      Pretty.pp_value v st.target_steps st.source_steps
+  | Accepted (Fuel_exhausted, st) ->
+    Format.fprintf ppf
+      "accepted so far: target still running (tgt %d / src %d steps)"
+      st.target_steps st.source_steps
+  | Rejected (r, st) ->
+    Format.fprintf ppf "rejected after %d target steps: %a" st.target_steps
+      pp_reject r
+
+let rec is_ground (v : Ast.value) =
+  match v with
+  | Ast.Unit | Ast.Bool _ | Ast.Int _ | Ast.Loc _ -> true
+  | Ast.Pair (v1, v2) -> is_ground v1 && is_ground v2
+  | Ast.Inj_l v | Ast.Inj_r v -> is_ground v
+  | Ast.Rec_fun _ -> false
+
+(** Run the source for [k] steps. *)
+let src_advance (cfg : Step.config) k :
+    (Step.config, reject_reason) result =
+  let rec go cfg k =
+    if k = 0 then Ok cfg
+    else
+      match Step.prim_step cfg with
+      | Ok (cfg', _) -> go cfg' (k - 1)
+      | Error Step.Finished -> (
+        match cfg.Step.expr with
+        | Ast.Val v -> Error (Source_finished_early v)
+        | _ -> Error (Source_stuck cfg))
+      | Error (Step.Stuck _) -> Error (Source_stuck cfg)
+  in
+  go cfg k
+
+(** Drain the source to a value once the target has terminated. *)
+let src_drain ~fuel (cfg : Step.config) =
+  let rec go cfg n k =
+    match Step.prim_step cfg with
+    | Error Step.Finished -> (
+      match cfg.Step.expr with
+      | Ast.Val v -> Ok (v, k)
+      | _ -> Error (Source_stuck cfg))
+    | Error (Step.Stuck _) -> Error (Source_stuck cfg)
+    | Ok (cfg', _) ->
+      if n = 0 then Error Source_did_not_terminate else go cfg' (n - 1) (k + 1)
+  in
+  go cfg fuel 0
+
+(** [run ~fuel ~target ~source strategy]: execute the refinement game.
+
+    [fuel] bounds the number of target steps (and the source drain at
+    the end); the initial stutter budget is taken from the strategy's
+    first decision by starting from a maximal sentinel. *)
+let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
+    ~source (s : strategy) : verdict =
+  let rec go (t : Step.config) (src : Step.config) budget stats n =
+    match t.Step.expr with
+    | Ast.Val v ->
+      if not (is_ground v) then Rejected (Result_not_ground v, stats)
+      else (
+        match src_drain ~fuel src with
+        | Error r -> Rejected (r, stats)
+        | Ok (v', extra) -> (
+          let stats = { stats with source_steps = stats.source_steps + extra } in
+          match Ast.value_eq v v' with
+          | Some true -> Accepted (Terminated v, stats)
+          | Some false | None -> Rejected (Value_mismatch (v, v'), stats)))
+    | _ ->
+      if n = 0 then Accepted (Fuel_exhausted, stats)
+      else (
+        match Step.prim_step t with
+        | Error (Step.Stuck redex) -> Rejected (Target_stuck redex, stats)
+        | Error Step.Finished -> assert false
+        | Ok (t', _) -> (
+          let stats = { stats with target_steps = stats.target_steps + 1 } in
+          match
+            s.decide ~step_no:stats.target_steps ~target:t' ~source:src ~budget
+          with
+          | Stutter b' ->
+            if Ord.lt b' budget then
+              go t' src b'
+                { stats with stutters = stats.stutters + 1 }
+                (n - 1)
+            else Rejected (Budget_not_decreasing (budget, b'), stats)
+          | Advance { src_steps; budget = b' } ->
+            if src_steps < 1 then Rejected (Advance_needs_progress, stats)
+            else (
+              match src_advance src src_steps with
+              | Error r -> Rejected (r, stats)
+              | Ok src' ->
+                go t' src' b'
+                  {
+                    stats with
+                    source_steps = stats.source_steps + src_steps;
+                    budget_resets = stats.budget_resets + 1;
+                  }
+                  (n - 1))))
+  in
+  go target source init_budget zero_stats fuel
+
+(** Convenience wrapper on closed expressions with empty heaps. *)
+let refine ?fuel ?init_budget ~target ~source strategy =
+  run ?fuel ?init_budget ~target:(Step.config target)
+    ~source:(Step.config source) strategy

@@ -1,0 +1,1 @@
+lib/safety/assertion.ml: Ast Format Heap List Pretty Tfiris_shl

@@ -1,0 +1,1 @@
+lib/safety/assertion.mli: Ast Format Heap Tfiris_shl

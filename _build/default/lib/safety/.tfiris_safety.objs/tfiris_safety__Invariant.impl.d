@@ -1,0 +1,1 @@
+lib/safety/invariant.ml: Ast Heap Interp List Option Step Tfiris_shl

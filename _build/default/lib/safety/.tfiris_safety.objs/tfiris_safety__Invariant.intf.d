@@ -1,0 +1,1 @@
+lib/safety/invariant.mli: Ast Heap Interp Step Tfiris_shl

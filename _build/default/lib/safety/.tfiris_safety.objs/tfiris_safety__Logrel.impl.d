@@ -1,0 +1,1 @@
+lib/safety/logrel.ml: Ast Format Heap Interp List Option Parser Tfiris_shl Types

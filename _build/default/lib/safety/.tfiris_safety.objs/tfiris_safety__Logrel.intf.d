@@ -1,0 +1,1 @@
+lib/safety/logrel.mli: Ast Format Heap Tfiris_shl Types

@@ -1,0 +1,1 @@
+lib/safety/triple.ml: Assertion Ast Format Heap Interp List Parser Pretty Tfiris_shl

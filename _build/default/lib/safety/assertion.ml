@@ -1,0 +1,88 @@
+(** Separation-logic assertions over SHL heaps — the safety logic's
+    assertion language (Figure 1, "Safety" box).
+
+    The paper inherits Iris's safety program logic with only the
+    commuting-rule adjustments of §7; we implement the sequential
+    fragment executably.  Assertions here are {e precise enough to
+    enumerate}: {!models} computes the (finite) set of heap fragments
+    satisfying an assertion, which turns Hoare-triple checking into
+    running the program from every model under every test frame
+    ({!Triple}).  Quantifiers are bounded by explicit candidate lists,
+    the executable stand-in for their Coq counterparts. *)
+
+open Tfiris_shl
+
+type t =
+  | Emp
+  | Pure of bool  (** [⌜φ⌝] for an already-decided proposition *)
+  | Points_to of Ast.loc * Ast.value  (** [ℓ ↦ v] *)
+  | Star of t * t
+  | And of t * t
+  | Or of t * t
+  | Exists_in of Ast.value list * (Ast.value -> t)
+      (** bounded existential: some candidate satisfies the body *)
+  | Forall_in of Ast.value list * (Ast.value -> t)
+
+let rec pp ppf = function
+  | Emp -> Format.pp_print_string ppf "emp"
+  | Pure b -> Format.fprintf ppf "\xe2\x8c\x9c%b\xe2\x8c\x9d" b
+  | Points_to (l, v) ->
+    Format.fprintf ppf "#%d \xe2\x86\xa6 %a" l Pretty.pp_value v
+  | Star (p, q) -> Format.fprintf ppf "(%a \xe2\x88\x97 %a)" pp p pp q
+  | And (p, q) -> Format.fprintf ppf "(%a \xe2\x88\xa7 %a)" pp p pp q
+  | Or (p, q) -> Format.fprintf ppf "(%a \xe2\x88\xa8 %a)" pp p pp q
+  | Exists_in (vs, _) -> Format.fprintf ppf "\xe2\x88\x83[%d cands]. _" (List.length vs)
+  | Forall_in (vs, _) -> Format.fprintf ppf "\xe2\x88\x80[%d cands]. _" (List.length vs)
+
+(** Exact satisfaction: [sat p h] — the fragment [h] satisfies [p]
+    {e exactly} (ownership reading: [Points_to] describes a singleton,
+    [Star] splits the fragment). *)
+let rec sat (p : t) (h : Heap.t) : bool =
+  match p with
+  | Emp -> Heap.size h = 0
+  | Pure b -> b && Heap.size h = 0
+  | Points_to (l, v) ->
+    Heap.size h = 1 && Heap.lookup l h = Some v
+  | Star (p, q) ->
+    (* try all splits induced by p's models *)
+    List.exists
+      (fun hp ->
+        Heap.subheap hp h && sat p hp && sat q (Heap.diff h hp))
+      (models p)
+  | And (p, q) -> sat p h && sat q h
+  | Or (p, q) -> sat p h || sat q h
+  | Exists_in (vs, body) -> List.exists (fun v -> sat (body v) h) vs
+  | Forall_in (vs, body) -> List.for_all (fun v -> sat (body v) h) vs
+
+(** The finite set of heap fragments satisfying an assertion.  [And] is
+    computed by filtering; [Forall_in] by intersection. *)
+and models (p : t) : Heap.t list =
+  match p with
+  | Emp -> [ Heap.empty ]
+  | Pure b -> if b then [ Heap.empty ] else []
+  | Points_to (l, v) -> [ Heap.store l v Heap.empty ]
+  | Star (p, q) ->
+    List.concat_map
+      (fun hp ->
+        List.filter_map
+          (fun hq -> Heap.disjoint_union hp hq)
+          (models q))
+      (models p)
+  | And (p, q) -> List.filter (sat q) (models p)
+  | Or (p, q) -> models p @ models q
+  | Exists_in (vs, body) -> List.concat_map (fun v -> models (body v)) vs
+  | Forall_in (vs, body) -> (
+    match vs with
+    | [] -> [ Heap.empty ] (* vacuous: only emp — a convention *)
+    | v0 :: rest ->
+      List.filter
+        (fun h -> List.for_all (fun v -> sat (body v) h) rest)
+        (models (body v0)))
+
+(** Semantic entailment on the models. *)
+let entails (p : t) (q : t) : bool = List.for_all (sat q) (models p)
+
+(** Convenient constructors. *)
+let star_list = function [] -> Emp | a :: rest -> List.fold_left (fun x y -> Star (x, y)) a rest
+
+let points_to_int l n = Points_to (l, Ast.Int n)

@@ -1,0 +1,34 @@
+(** Separation-logic assertions over SHL heaps — the safety logic's
+    assertion language (Figure 1, "Safety").
+
+    Assertions are precise enough to {e enumerate}: {!models} computes
+    the finite set of heap fragments satisfying an assertion, which
+    turns Hoare-triple checking into exhaustive execution ({!Triple}).
+    Quantifiers are bounded by explicit candidate lists — the executable
+    stand-in for their Coq counterparts. *)
+
+open Tfiris_shl
+
+type t =
+  | Emp
+  | Pure of bool  (** [⌜φ⌝] for an already-decided proposition *)
+  | Points_to of Ast.loc * Ast.value  (** [ℓ ↦ v] *)
+  | Star of t * t
+  | And of t * t
+  | Or of t * t
+  | Exists_in of Ast.value list * (Ast.value -> t)
+  | Forall_in of Ast.value list * (Ast.value -> t)
+
+val pp : Format.formatter -> t -> unit
+
+val sat : t -> Heap.t -> bool
+(** Exact satisfaction (ownership reading: the fragment is fully
+    described — extra cells refute). *)
+
+val models : t -> Heap.t list
+(** All heap fragments satisfying the assertion. *)
+
+val entails : t -> t -> bool
+
+val star_list : t list -> t
+val points_to_int : Ast.loc -> int -> t

@@ -1,0 +1,75 @@
+(** Invariants as execution monitors.
+
+    Iris's impredicative invariants [⌜P⌝ᴺ] assert that [P] holds of the
+    shared state at every step.  In the sequential setting the
+    executable counterpart is a {e monitor}: a named pool of assertions
+    checked against the (relevant fragment of the) heap after every
+    primitive step of a run.
+
+    Impredicativity — an invariant's body may itself refer to other
+    invariants — is supported by the [Inv] assertion former below, whose
+    satisfaction consults the pool (knowledge of registration, the
+    standard "invariant token" reading).  This is the mechanism the
+    paper's §5.2 polymorphic extension leans on for [ref (τ)]:
+    {!Logrel} instantiates it with type interpretations. *)
+
+open Tfiris_shl
+
+type body =
+  | Assert of (Heap.t -> pool -> bool)
+      (** arbitrary monitored predicate over the full heap; receives the
+          pool so it can consult other invariants (impredicativity) *)
+
+and pool = (string * body) list
+
+(** [holds pool name h]: the named invariant holds of heap [h]. *)
+let holds (pool : pool) (name : string) (h : Heap.t) : bool =
+  match List.assoc_opt name pool with
+  | Some (Assert f) -> f h pool
+  | None -> false
+
+(** [cell_invariant l check]: the cell [l] exists and its content
+    satisfies [check] (given the heap and pool, for higher-order
+    contents). *)
+let cell_invariant (l : Ast.loc) (check : Ast.value -> Heap.t -> pool -> bool)
+    : body =
+  Assert
+    (fun h pool ->
+      match Heap.lookup l h with Some v -> check v h pool | None -> false)
+
+type violation = {
+  step : int;
+  name : string;
+}
+
+(** [monitor ~fuel ~pool cfg]: run the configuration, checking every
+    pool invariant after every step.  Returns the final outcome or the
+    first violation. *)
+let monitor ?(fuel = 1_000_000) ~(pool : pool) (cfg : Step.config) :
+    (Interp.outcome, violation) result =
+  let check_all step h =
+    List.find_opt (fun (name, _) -> not (holds pool name h)) pool
+    |> Option.map (fun (name, _) -> { step; name })
+  in
+  let rec go cfg n k =
+    match check_all k cfg.Step.heap with
+    | Some v -> Error v
+    | None -> (
+      if n = 0 then Ok (Interp.Out_of_fuel cfg)
+      else
+        match Step.prim_step cfg with
+        | Error Step.Finished -> (
+          match cfg.Step.expr with
+          | Ast.Val v -> Ok (Interp.Value (v, cfg.Step.heap))
+          | _ -> assert false)
+        | Error (Step.Stuck redex) -> Ok (Interp.Stuck (cfg, redex))
+        | Ok (cfg', _) -> go cfg' (n - 1) (k + 1))
+  in
+  go cfg fuel 0
+
+(** [preserved ~fuel ~pool cfg]: the run completes to a value with every
+    invariant holding throughout. *)
+let preserved ?fuel ~pool cfg =
+  match monitor ?fuel ~pool cfg with
+  | Ok (Interp.Value _) -> true
+  | Ok (Interp.Stuck _ | Interp.Out_of_fuel _) | Error _ -> false

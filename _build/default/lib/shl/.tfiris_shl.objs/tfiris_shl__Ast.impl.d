@@ -1,0 +1,1 @@
+lib/shl/ast.ml: List Set String

@@ -1,0 +1,1 @@
+lib/shl/conc.ml: Ast Ctx Hashtbl Heap List Option Parser Queue Step

@@ -1,0 +1,1 @@
+lib/shl/conc.mli: Ast Heap

@@ -1,0 +1,1 @@
+lib/shl/ctx.mli: Ast

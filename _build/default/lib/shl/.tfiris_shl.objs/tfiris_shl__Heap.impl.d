@@ -1,0 +1,1 @@
+lib/shl/heap.ml: Ast Int List Map

@@ -1,0 +1,1 @@
+lib/shl/heap.mli: Ast

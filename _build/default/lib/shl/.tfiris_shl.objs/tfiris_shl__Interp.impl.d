@@ -1,0 +1,1 @@
+lib/shl/interp.ml: Ast Heap List Step

@@ -1,0 +1,1 @@
+lib/shl/interp.mli: Ast Heap Step

@@ -1,0 +1,1 @@
+lib/shl/lexer.ml: Format List String

@@ -1,0 +1,1 @@
+lib/shl/lexer.mli: Format

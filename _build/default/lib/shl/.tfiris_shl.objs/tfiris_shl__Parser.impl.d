@@ -1,0 +1,1 @@
+lib/shl/parser.ml: Ast Format Lexer List Printf

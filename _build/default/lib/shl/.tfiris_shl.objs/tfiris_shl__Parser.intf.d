@@ -1,0 +1,1 @@
+lib/shl/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/shl/pretty.ml: Ast Format

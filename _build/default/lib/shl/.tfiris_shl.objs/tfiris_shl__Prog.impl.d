@@ -1,0 +1,1 @@
+lib/shl/prog.ml: Ast Char Hashtbl Heap List Option Parser String

@@ -1,0 +1,1 @@
+lib/shl/step.ml: Ast Ctx Format Heap Option

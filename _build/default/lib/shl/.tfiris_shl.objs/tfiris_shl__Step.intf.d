@@ -1,0 +1,1 @@
+lib/shl/step.mli: Ast Format Heap

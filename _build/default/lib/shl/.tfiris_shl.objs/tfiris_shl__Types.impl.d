@@ -1,0 +1,1 @@
+lib/shl/types.ml: Ast Format List Result

@@ -1,0 +1,1 @@
+lib/shl/types.mli: Ast Format

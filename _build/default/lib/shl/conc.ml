@@ -1,0 +1,243 @@
+(** Concurrent HeapLang: thread-pool semantics over SHL.
+
+    §3 of the paper notes that Transfinite Iris {e inherits} Iris's
+    support for safety reasoning about concurrent programs (only
+    step-indexed {e liveness} for concurrency is left to future work).
+    This module supplies the concurrent substrate: a configuration is a
+    pool of threads sharing one heap; a scheduler picks which thread
+    performs the next primitive step.  [fork e] spawns a thread; [cas]
+    is atomic (it is a single primitive step, like every head step
+    here — the granularity of Iris's HeapLang).
+
+    Safety is checked two ways:
+
+    - {!run}: execute under a specific scheduler (round-robin or a
+      seeded pseudo-random one);
+    - {!explore}: enumerate {b all} interleavings up to a step bound —
+      small-scope model checking, used to show e.g. that an unlocked
+      parallel counter loses updates on {e some} schedule while the
+      CAS-locked version is correct on {e all} of them. *)
+
+open Ast
+
+type cfg = {
+  threads : expr list;  (** thread 0 is the main thread *)
+  heap : Heap.t;
+}
+
+let init ?(heap = Heap.empty) (e : expr) : cfg = { threads = [ e ]; heap }
+
+type thread_step =
+  | T_progress of cfg
+  | T_value  (** the thread is already a value (no step taken) *)
+  | T_stuck of expr
+
+(** Step thread [i] once.  A [fork e'] redex spawns a new thread at the
+    end of the pool and fills the hole with [()]. *)
+let step_thread (c : cfg) (i : int) : thread_step =
+  match List.nth_opt c.threads i with
+  | None -> T_stuck (Val Unit)
+  | Some e -> (
+    if is_value e then T_value
+    else
+      match Ctx.decompose e with
+      | None -> T_value
+      | Some (k, Fork body) ->
+        let e' = Ctx.fill k unit_ in
+        T_progress
+          {
+            threads =
+              List.mapi (fun j t -> if j = i then e' else t) c.threads
+              @ [ body ];
+            heap = c.heap;
+          }
+      | Some (_, redex) -> (
+        match Step.head_step c.heap redex with
+        | Some (r', h', _) ->
+          let k, _ = Option.get (Ctx.decompose e) in
+          T_progress
+            {
+              threads =
+                List.mapi (fun j t -> if j = i then Ctx.fill k r' else t) c.threads;
+              heap = h';
+            }
+        | None -> T_stuck redex))
+
+(** Threads that can currently take a step. *)
+let runnable (c : cfg) : int list =
+  List.mapi (fun i e -> (i, e)) c.threads
+  |> List.filter_map (fun (i, e) -> if is_value e then None else Some i)
+
+type outcome =
+  | All_done of value * Heap.t  (** main thread's value; all threads finished *)
+  | Thread_stuck of int * expr
+  | Out_of_fuel of cfg
+
+type scheduler = step_no:int -> runnable:int list -> cfg -> int
+
+(** Round-robin over the runnable threads. *)
+let round_robin : scheduler =
+ fun ~step_no ~runnable _ -> List.nth runnable (step_no mod List.length runnable)
+
+(** A deterministic pseudo-random scheduler (linear congruential, so
+    runs are reproducible per seed). *)
+let seeded (seed : int) : scheduler =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun ~step_no:_ ~runnable _ ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    List.nth runnable (!state mod List.length runnable)
+
+(** Run under a scheduler. *)
+let run ?(fuel = 1_000_000) ~(sched : scheduler) (c : cfg) : outcome =
+  let rec go c n step_no =
+    match runnable c with
+    | [] -> (
+      match c.threads with
+      | Val v :: _ -> All_done (v, c.heap)
+      | _ -> assert false)
+    | rs -> (
+      if n = 0 then Out_of_fuel c
+      else
+        let i = sched ~step_no ~runnable:rs c in
+        match step_thread c i with
+        | T_progress c' -> go c' (n - 1) (step_no + 1)
+        | T_value -> go c (n - 1) (step_no + 1)
+        | T_stuck redex -> Thread_stuck (i, redex))
+  in
+  go c fuel 0
+
+(** Exhaustively explore {b all} interleavings by memoized reachability
+    over configurations (spin loops revisit states, so the state space
+    is finite for the programs here).  Returns the distinct terminal
+    outcomes; [capped] reports whether the state budget was exhausted
+    before the frontier emptied. *)
+type exploration = {
+  final_values : (value * Heap.t) list;  (** deduplicated *)
+  stuck : (int * expr) list;
+  capped : bool;
+  states : int;  (** distinct configurations visited *)
+}
+
+let explore ?(max_states = 200_000) (c : cfg) : exploration =
+  let visited : (cfg, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let finals = ref [] in
+  let stucks = ref [] in
+  let capped = ref false in
+  let add_final (v, h) =
+    if not (List.exists (fun (v', h') -> v = v' && Heap.equal h h') !finals)
+    then finals := (v, h) :: !finals
+  in
+  let queue = Queue.create () in
+  Queue.add c queue;
+  Hashtbl.replace visited c ();
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    match runnable c with
+    | [] -> (
+      match c.threads with
+      | Val v :: _ -> add_final (v, c.heap)
+      | _ -> ())
+    | rs ->
+      List.iter
+        (fun i ->
+          match step_thread c i with
+          | T_progress c' ->
+            if not (Hashtbl.mem visited c') then
+              if Hashtbl.length visited >= max_states then capped := true
+              else begin
+                Hashtbl.replace visited c' ();
+                Queue.add c' queue
+              end
+          | T_value -> ()
+          | T_stuck redex ->
+            if not (List.mem (i, redex) !stucks) then
+              stucks := (i, redex) :: !stucks)
+        rs
+  done;
+  {
+    final_values = !finals;
+    stuck = !stucks;
+    capped = !capped;
+    states = Hashtbl.length visited;
+  }
+
+(** {1 Classic concurrent programs} *)
+
+let p = Parser.parse_exn
+
+(** Two threads incrementing a shared counter {e without} a lock: the
+    non-atomic read-then-write races, and some schedule loses an
+    update.  The main thread joins on a done-flag so the lost update is
+    observable in the final value: exploration finds both 1 and 2. *)
+let racy_incr : expr =
+  p
+    {|
+let c = ref 0 in
+let done1 = ref 0 in
+fork (let x = !c in c := x + 1; done1 := 1);
+let y = !c in
+c := y + 1;
+(rec wait u. if !done1 = 1 then () else wait u) ();
+!c
+|}
+
+(** The same with a CAS retry loop: correct under every schedule. *)
+let locked_incr : expr =
+  p
+    {|
+let c = ref 0 in
+let incr =
+  rec retry u.
+    let cur = !c in
+    if cas c cur (cur + 1) then () else retry u
+in
+fork (incr ());
+incr ();
+(rec wait u. if !c = 2 then !c else wait u) ()
+|}
+
+(** A spin lock protecting a two-step critical section on two cells:
+    the invariant "both cells equal" holds whenever the lock is free,
+    and the final read happens under the lock — exploration confirms
+    (2, 2) is the only outcome.  (An earlier version of this example
+    read the pair outside the lock; {!explore} found the schedule where
+    the reader sees (2, 1) mid-critical-section — exactly the class of
+    bug the exhaustive checker exists to catch.) *)
+let spinlock_pair : expr =
+  p
+    {|
+let lock = ref 0 in
+let a = ref 0 in
+let b = ref 0 in
+let acquire = rec spin u. if cas lock 0 1 then () else spin u in
+let release = fun u -> lock := 0 in
+let bump = fun u ->
+  acquire (); a := !a + 1; b := !b + 1; release ()
+in
+fork (bump ());
+bump ();
+(rec wait u. if !a = 2 then () else wait u) ();
+acquire ();
+let r = (!a, !b) in
+release ();
+r
+|}
+
+(** The broken variant kept for the negative test: reads the pair
+    without taking the lock. *)
+let spinlock_pair_racy_read : expr =
+  p
+    {|
+let lock = ref 0 in
+let a = ref 0 in
+let b = ref 0 in
+let acquire = rec spin u. if cas lock 0 1 then () else spin u in
+let release = fun u -> lock := 0 in
+let bump = fun u ->
+  acquire (); a := !a + 1; b := !b + 1; release ()
+in
+fork (bump ());
+bump ();
+(rec wait u. if !a = 2 then () else wait u) ();
+(!a, !b)
+|}

@@ -1,0 +1,66 @@
+(** Concurrent HeapLang: thread-pool semantics over SHL (§3 — the
+    concurrency support Transfinite Iris inherits for safety).
+
+    A configuration is a pool of threads sharing one heap; a scheduler
+    picks which thread performs the next primitive step.  [fork e]
+    spawns a thread, [cas] is atomic.  {!explore} enumerates all
+    interleavings by memoized reachability; {!run} executes one
+    scheduler. *)
+
+open Ast
+
+type cfg = {
+  threads : expr list;  (** thread 0 is the main thread *)
+  heap : Heap.t;
+}
+
+val init : ?heap:Heap.t -> expr -> cfg
+
+type thread_step =
+  | T_progress of cfg
+  | T_value  (** the thread is already a value *)
+  | T_stuck of expr
+
+val step_thread : cfg -> int -> thread_step
+val runnable : cfg -> int list
+
+type outcome =
+  | All_done of value * Heap.t  (** all threads finished; main's value *)
+  | Thread_stuck of int * expr
+  | Out_of_fuel of cfg
+
+type scheduler = step_no:int -> runnable:int list -> cfg -> int
+
+val round_robin : scheduler
+
+val seeded : int -> scheduler
+(** Deterministic pseudo-random scheduler: reproducible per seed. *)
+
+val run : ?fuel:int -> sched:scheduler -> cfg -> outcome
+
+type exploration = {
+  final_values : (value * Heap.t) list;  (** deduplicated terminals *)
+  stuck : (int * expr) list;
+  capped : bool;  (** state budget exhausted before the frontier emptied *)
+  states : int;  (** distinct configurations visited *)
+}
+
+val explore : ?max_states:int -> cfg -> exploration
+(** All interleavings, by memoized reachability over configurations
+    (finite for the spin-loop programs here). *)
+
+(** {1 Classic concurrent programs} *)
+
+val racy_incr : expr
+(** Two unlocked writers: exploration finds the lost update ({1, 2}). *)
+
+val locked_incr : expr
+(** CAS retry loops: {2} on every schedule. *)
+
+val spinlock_pair : expr
+(** Spin lock around a two-cell critical section, final read under the
+    lock: (2, 2) only. *)
+
+val spinlock_pair_racy_read : expr
+(** The broken variant (read outside the lock): exploration exhibits a
+    mid-critical-section observation (2, 1). *)

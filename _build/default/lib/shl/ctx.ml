@@ -1,0 +1,120 @@
+(** Evaluation contexts for SHL (the [K] of Figure 2).
+
+    A context is a list of frames, innermost first.  [decompose] finds
+    the unique head redex of a non-value expression; [fill] plugs an
+    expression back in.  These are the contexts the refinement logic's
+    [src(K[e])] resource and Bind rule quantify over (§4.1). *)
+
+open Ast
+
+type frame =
+  | App_l of expr  (** [☐ e] *)
+  | App_r of value  (** [v ☐] *)
+  | Un_op_f of un_op
+  | Bin_op_l of bin_op * expr
+  | Bin_op_r of bin_op * value
+  | If_f of expr * expr
+  | Pair_l of expr
+  | Pair_r of value
+  | Fst_f
+  | Snd_f
+  | Inj_l_f
+  | Inj_r_f
+  | Case_f of (string * expr) * (string * expr)
+  | Ref_f
+  | Load_f
+  | Store_l of expr
+  | Store_r of value
+  | Let_f of string * expr
+  | Seq_f of expr
+  | Cas_1 of expr * expr  (** [cas ☐ e2 e3] *)
+  | Cas_2 of value * expr  (** [cas v1 ☐ e3] *)
+  | Cas_3 of value * value  (** [cas v1 v2 ☐] *)
+
+type t = frame list
+
+let empty : t = []
+
+let fill_frame (f : frame) (e : expr) : expr =
+  match f with
+  | App_l e2 -> App (e, e2)
+  | App_r v -> App (Val v, e)
+  | Un_op_f op -> Un_op (op, e)
+  | Bin_op_l (op, e2) -> Bin_op (op, e, e2)
+  | Bin_op_r (op, v) -> Bin_op (op, Val v, e)
+  | If_f (e2, e3) -> If (e, e2, e3)
+  | Pair_l e2 -> Pair_e (e, e2)
+  | Pair_r v -> Pair_e (Val v, e)
+  | Fst_f -> Fst e
+  | Snd_f -> Snd e
+  | Inj_l_f -> Inj_l_e e
+  | Inj_r_f -> Inj_r_e e
+  | Case_f (b1, b2) -> Case (e, b1, b2)
+  | Ref_f -> Ref e
+  | Load_f -> Load e
+  | Store_l e2 -> Store (e, e2)
+  | Store_r v -> Store (Val v, e)
+  | Let_f (x, e2) -> Let (x, e, e2)
+  | Seq_f e2 -> Seq (e, e2)
+  | Cas_1 (e2, e3) -> Cas (e, e2, e3)
+  | Cas_2 (v1, e3) -> Cas (Val v1, e, e3)
+  | Cas_3 (v1, v2) -> Cas (Val v1, Val v2, e)
+
+(** [fill k e]: plug [e] into the hole of [k] (innermost frame first). *)
+let fill (k : t) (e : expr) : expr = List.fold_left (fun e f -> fill_frame f e) e k
+
+(** [decompose e]: the unique decomposition [e = K[e']] where [e'] is a
+    head redex (an expression that can step — or is stuck — at the top
+    level).  Returns [None] when [e] is a value. *)
+let decompose (e : expr) : (t * expr) option =
+  (* Frames are pushed as we descend, so the head of [acc] is always the
+     innermost frame — already the representation of [t]. *)
+  let rec go acc e =
+    let into f e = go (f :: acc) e in
+    let redex () = Some (acc, e) in
+    match e with
+    | Val _ -> None
+    | Var _ | Rec _ -> redex ()
+    | App (Val _, Val _) -> redex ()
+    | App (Val v1, e2) -> into (App_r v1) e2
+    | App (e1, e2) -> into (App_l e2) e1
+    | Un_op (_, Val _) -> redex ()
+    | Un_op (op, e1) -> into (Un_op_f op) e1
+    | Bin_op (_, Val _, Val _) -> redex ()
+    | Bin_op (op, Val v1, e2) -> into (Bin_op_r (op, v1)) e2
+    | Bin_op (op, e1, e2) -> into (Bin_op_l (op, e2)) e1
+    | If (Val _, _, _) -> redex ()
+    | If (e1, e2, e3) -> into (If_f (e2, e3)) e1
+    | Pair_e (Val _, Val _) -> redex ()
+    | Pair_e (Val v1, e2) -> into (Pair_r v1) e2
+    | Pair_e (e1, e2) -> into (Pair_l e2) e1
+    | Fst (Val _) -> redex ()
+    | Fst e1 -> into Fst_f e1
+    | Snd (Val _) -> redex ()
+    | Snd e1 -> into Snd_f e1
+    | Inj_l_e (Val _) -> redex ()
+    | Inj_l_e e1 -> into Inj_l_f e1
+    | Inj_r_e (Val _) -> redex ()
+    | Inj_r_e e1 -> into Inj_r_f e1
+    | Case (Val _, _, _) -> redex ()
+    | Case (e1, b1, b2) -> into (Case_f (b1, b2)) e1
+    | Ref (Val _) -> redex ()
+    | Ref e1 -> into Ref_f e1
+    | Load (Val _) -> redex ()
+    | Load e1 -> into Load_f e1
+    | Store (Val _, Val _) -> redex ()
+    | Store (Val v1, e2) -> into (Store_r v1) e2
+    | Store (e1, e2) -> into (Store_l e2) e1
+    | Let (_, Val _, _) -> redex ()
+    | Let (x, e1, e2) -> into (Let_f (x, e2)) e1
+    | Seq (e1, _) when is_value e1 -> redex ()
+    | Seq (e1, e2) -> into (Seq_f e2) e1
+    | Fork _ -> redex ()
+    | Cas (Val _, Val _, Val _) -> redex ()
+    | Cas (Val v1, Val v2, e3) -> into (Cas_3 (v1, v2)) e3
+    | Cas (Val v1, e2, e3) -> into (Cas_2 (v1, e3)) e2
+    | Cas (e1, e2, e3) -> into (Cas_1 (e2, e3)) e1
+  in
+  go [] e
+
+let depth (k : t) = List.length k

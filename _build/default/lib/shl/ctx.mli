@@ -1,0 +1,44 @@
+(** Evaluation contexts for SHL (the [K] of Figure 2).
+
+    A context is a list of frames, innermost first.  These are the
+    contexts the refinement logic's [src(K[e])] resource and Bind rule
+    quantify over (§4.1). *)
+
+type frame =
+  | App_l of Ast.expr  (** [☐ e] *)
+  | App_r of Ast.value  (** [v ☐] *)
+  | Un_op_f of Ast.un_op
+  | Bin_op_l of Ast.bin_op * Ast.expr
+  | Bin_op_r of Ast.bin_op * Ast.value
+  | If_f of Ast.expr * Ast.expr
+  | Pair_l of Ast.expr
+  | Pair_r of Ast.value
+  | Fst_f
+  | Snd_f
+  | Inj_l_f
+  | Inj_r_f
+  | Case_f of (string * Ast.expr) * (string * Ast.expr)
+  | Ref_f
+  | Load_f
+  | Store_l of Ast.expr
+  | Store_r of Ast.value
+  | Let_f of string * Ast.expr
+  | Seq_f of Ast.expr
+  | Cas_1 of Ast.expr * Ast.expr  (** [cas ☐ e2 e3] *)
+  | Cas_2 of Ast.value * Ast.expr  (** [cas v1 ☐ e3] *)
+  | Cas_3 of Ast.value * Ast.value  (** [cas v1 v2 ☐] *)
+
+type t = frame list
+
+val empty : t
+val fill_frame : frame -> Ast.expr -> Ast.expr
+
+val fill : t -> Ast.expr -> Ast.expr
+(** Plug an expression into the hole (innermost frame first). *)
+
+val decompose : Ast.expr -> (t * Ast.expr) option
+(** The unique decomposition [e = K[e']] with [e'] a head redex;
+    [None] when [e] is a value.  [fill] is its left inverse
+    (property-tested). *)
+
+val depth : t -> int

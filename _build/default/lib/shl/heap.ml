@@ -1,0 +1,66 @@
+(** Heaps: finite maps from locations to values, with fresh allocation.
+
+    Allocation is deterministic (next unused location) so that whole
+    executions are reproducible and source/target runs can be compared
+    step by step. *)
+
+module M = Map.Make (Int)
+
+type t = Ast.value M.t
+
+let empty : t = M.empty
+let lookup l (h : t) = M.find_opt l h
+let store l v (h : t) : t = M.add l v h
+let mem l (h : t) = M.mem l h
+let size (h : t) = M.cardinal h
+let bindings (h : t) = M.bindings h
+
+let fresh (h : t) =
+  match M.max_binding_opt h with None -> 0 | Some (l, _) -> l + 1
+
+(** [alloc v h] returns the fresh location and the extended heap. *)
+let alloc v (h : t) =
+  let l = fresh h in
+  (l, M.add l v h)
+
+(** [alloc_block vs h] lays out the values [vs] at consecutive
+    locations, returning the first one — used to build the
+    null-terminated strings of the Levenshtein case study. *)
+let alloc_block vs (h : t) =
+  let l0 = fresh h in
+  let h =
+    List.fold_left
+      (fun (h, l) v -> (M.add l v h, l + 1))
+      (h, l0) vs
+    |> fst
+  in
+  (l0, h)
+
+let equal (a : t) (b : t) =
+  M.equal (fun v1 v2 -> Ast.value_eq v1 v2 = Some true) a b
+
+(** [disjoint_union a b]: the union of two heaps with disjoint domains,
+    or [None] on overlap — heap composition in the separation-logic
+    sense. *)
+let disjoint_union (a : t) (b : t) : t option =
+  let clash = ref false in
+  let merged =
+    M.union
+      (fun _ _ _ ->
+        clash := true;
+        None)
+      a b
+  in
+  if !clash then None else Some merged
+
+(** [subheap a b]: every binding of [a] occurs in [b]. *)
+let subheap (a : t) (b : t) : bool =
+  M.for_all
+    (fun l v ->
+      match M.find_opt l b with
+      | Some v' -> Ast.value_eq v v' = Some true || v = v'
+      | None -> false)
+    a
+
+(** [diff b a]: remove [a]'s domain from [b]. *)
+let diff (b : t) (a : t) : t = M.filter (fun l _ -> not (M.mem l a)) b

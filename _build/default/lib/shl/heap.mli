@@ -1,0 +1,37 @@
+(** Heaps: finite maps from locations to values.
+
+    Allocation is deterministic (next unused location), so whole
+    executions are reproducible and target/source runs can be compared
+    step by step.  The separation-logic structure (disjoint union,
+    sub-heap, difference) is used by the safety logic's assertions and
+    by the frame checks of {!Triple}. *)
+
+type t
+
+val empty : t
+val lookup : Ast.loc -> t -> Ast.value option
+val store : Ast.loc -> Ast.value -> t -> t
+val mem : Ast.loc -> t -> bool
+val size : t -> int
+val bindings : t -> (Ast.loc * Ast.value) list
+
+val fresh : t -> Ast.loc
+(** The next unused location (max + 1). *)
+
+val alloc : Ast.value -> t -> Ast.loc * t
+
+val alloc_block : Ast.value list -> t -> Ast.loc * t
+(** Lay out the values at consecutive locations, returning the first —
+    used for the null-terminated strings of the Levenshtein study. *)
+
+val equal : t -> t -> bool
+
+val disjoint_union : t -> t -> t option
+(** Heap composition in the separation-logic sense; [None] on domain
+    overlap. *)
+
+val subheap : t -> t -> bool
+(** [subheap a b]: every binding of [a] occurs in [b]. *)
+
+val diff : t -> t -> t
+(** [diff b a]: remove [a]'s domain from [b]. *)

@@ -1,0 +1,76 @@
+(** Executing SHL programs: a fueled driver over {!Step.prim_step} with
+    step accounting and optional tracing.  This is the "run the target"
+    half of every experiment harness. *)
+
+open Ast
+
+type outcome =
+  | Value of value * Heap.t
+  | Stuck of Step.config * expr  (** configuration and its stuck redex *)
+  | Out_of_fuel of Step.config
+
+type stats = {
+  steps : int;  (** total primitive steps *)
+  pure_steps : int;
+  heap_steps : int;
+}
+
+let no_stats = { steps = 0; pure_steps = 0; heap_steps = 0 }
+
+let bump stats kind =
+  {
+    steps = stats.steps + 1;
+    pure_steps = (stats.pure_steps + if Step.kind_is_pure kind then 1 else 0);
+    heap_steps = (stats.heap_steps + if Step.kind_is_pure kind then 0 else 1);
+  }
+
+(** [exec ?fuel ?heap e]: run [e] to completion (or until the fuel runs
+    out), returning the outcome and step statistics. *)
+let exec ?(fuel = 1_000_000) ?(heap = Heap.empty) (e : expr) :
+    outcome * stats =
+  let rec go (cfg : Step.config) stats n =
+    if n = 0 then (Out_of_fuel cfg, stats)
+    else
+      match Step.prim_step cfg with
+      | Error Step.Finished -> (
+        match cfg.expr with
+        | Val v -> (Value (v, cfg.heap), stats)
+        | _ -> assert false)
+      | Error (Step.Stuck redex) -> (Stuck (cfg, redex), stats)
+      | Ok (cfg', kind) -> go cfg' (bump stats kind) (n - 1)
+  in
+  go { expr = e; heap } no_stats fuel
+
+(** [eval e]: the result value, or [None] on stuck/diverging (within
+    fuel) executions. *)
+let eval ?fuel ?heap e =
+  match exec ?fuel ?heap e with
+  | Value (v, _), _ -> Some v
+  | (Stuck _ | Out_of_fuel _), _ -> None
+
+(** [steps_to_value e]: number of steps to reach a value, if reached. *)
+let steps_to_value ?fuel ?heap e =
+  match exec ?fuel ?heap e with
+  | Value _, stats -> Some stats.steps
+  | (Stuck _ | Out_of_fuel _), _ -> None
+
+(** The finite prefix of the execution trace of [e]: the successive
+    configurations, including the initial one. *)
+let trace ?(fuel = 1000) ?(heap = Heap.empty) (e : expr) : Step.config list =
+  let rec go cfg acc n =
+    if n = 0 then List.rev (cfg :: acc)
+    else
+      match Step.prim_step cfg with
+      | Error (Step.Finished | Step.Stuck _) -> List.rev (cfg :: acc)
+      | Ok (cfg', _) -> go cfg' (cfg :: acc) (n - 1)
+  in
+  go { Step.expr = e; heap } [] fuel
+
+(** [diverges_beyond n e]: [e] runs for at least [n] steps without
+    finishing — the bounded, executable face of "e diverges".  (True
+    divergence is Π⁰₁; every harness that "checks divergence" checks
+    this for a caller-chosen [n], and says so.) *)
+let diverges_beyond n e =
+  match exec ~fuel:n e with
+  | Out_of_fuel _, _ -> true
+  | (Value _ | Stuck _), _ -> false

@@ -1,0 +1,33 @@
+(** Executing SHL programs: a fueled driver over {!Step.prim_step} with
+    step accounting and tracing — the "run the target" half of every
+    experiment harness. *)
+
+type outcome =
+  | Value of Ast.value * Heap.t
+  | Stuck of Step.config * Ast.expr  (** configuration and stuck redex *)
+  | Out_of_fuel of Step.config
+
+type stats = {
+  steps : int;
+  pure_steps : int;
+  heap_steps : int;
+}
+
+val no_stats : stats
+
+val exec : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> outcome * stats
+(** Run to completion or until the fuel runs out (default 10⁶ steps). *)
+
+val eval : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> Ast.value option
+(** The result value; [None] on stuck or fuel-exhausted runs. *)
+
+val steps_to_value : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> int option
+
+val trace : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> Step.config list
+(** The finite prefix of the execution trace, initial configuration
+    included. *)
+
+val diverges_beyond : int -> Ast.expr -> bool
+(** [diverges_beyond n e]: [e] runs for at least [n] steps without
+    finishing — the bounded, executable face of "e diverges" (true
+    divergence is Π⁰₁; callers choose the observation depth). *)

@@ -1,0 +1,140 @@
+(** Lexer for the SHL concrete syntax.
+
+    Tokens carry their source offset for error reporting.  Comments are
+    OCaml-style [(* ... *)] and nest. *)
+
+type token =
+  | Int of int
+  | Ident of string
+  | Kw of string  (** keywords: let in rec fun if then else match with end … *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Bang
+  | Hash
+  | Assign  (** [:=] *)
+  | Arrow  (** [->] *)
+  | Dot
+  | Bar
+  | Op of string  (** [+ - * < <= = +l && ||] and friends *)
+  | Eof
+
+type located = {
+  tok : token;
+  pos : int;
+}
+
+let keywords =
+  [
+    "let"; "in"; "rec"; "fun"; "if"; "then"; "else"; "match"; "with"; "end";
+    "ref"; "fst"; "snd"; "inl"; "inr"; "not"; "true"; "false"; "quot"; "rem";
+    "fork"; "cas";
+  ]
+
+exception Error of string * int
+
+let error pos fmt = Format.kasprintf (fun m -> raise (Error (m, pos))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c || c = '\''
+
+let tokenize (s : string) : located list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit pos tok = toks := { tok; pos } :: !toks in
+  let rec skip_comment i depth =
+    if i >= n then error i "unterminated comment"
+    else if i + 1 < n && s.[i] = '(' && s.[i + 1] = '*' then
+      skip_comment (i + 2) (depth + 1)
+    else if i + 1 < n && s.[i] = '*' && s.[i + 1] = ')' then
+      if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1)
+    else skip_comment (i + 1) depth
+  in
+  let rec go i =
+    if i >= n then emit i Eof
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if i + 1 < n && c = '(' && s.[i + 1] = '*' then
+        go (skip_comment i 0)
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do
+          incr j
+        done;
+        emit i (Int (int_of_string (String.sub s i (!j - i))));
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        let word = String.sub s i (!j - i) in
+        emit i (if List.mem word keywords then Kw word else Ident word);
+        go !j
+      end
+      else
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | ":=" ->
+          emit i Assign;
+          go (i + 2)
+        | "->" ->
+          emit i Arrow;
+          go (i + 2)
+        | "<=" | "&&" | "||" | "+l" ->
+          emit i (Op two);
+          go (i + 2)
+        | _ -> (
+          match c with
+          | '(' ->
+            emit i Lparen;
+            go (i + 1)
+          | ')' ->
+            emit i Rparen;
+            go (i + 1)
+          | ',' ->
+            emit i Comma;
+            go (i + 1)
+          | ';' ->
+            emit i Semi;
+            go (i + 1)
+          | '!' ->
+            emit i Bang;
+            go (i + 1)
+          | '#' ->
+            emit i Hash;
+            go (i + 1)
+          | '.' ->
+            emit i Dot;
+            go (i + 1)
+          | '|' ->
+            emit i Bar;
+            go (i + 1)
+          | '+' | '-' | '*' | '<' | '=' ->
+            emit i (Op (String.make 1 c));
+            go (i + 1)
+          | _ -> error i "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !toks
+
+let pp_token ppf = function
+  | Int n -> Format.fprintf ppf "integer %d" n
+  | Ident x -> Format.fprintf ppf "identifier %s" x
+  | Kw k -> Format.fprintf ppf "keyword %s" k
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Semi -> Format.pp_print_string ppf ";"
+  | Bang -> Format.pp_print_string ppf "!"
+  | Hash -> Format.pp_print_string ppf "#"
+  | Assign -> Format.pp_print_string ppf ":="
+  | Arrow -> Format.pp_print_string ppf "->"
+  | Dot -> Format.pp_print_string ppf "."
+  | Bar -> Format.pp_print_string ppf "|"
+  | Op o -> Format.fprintf ppf "operator %s" o
+  | Eof -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,322 @@
+(** Recursive-descent parser for SHL.
+
+    Grammar (loosest binding first):
+
+    {v
+    expr   ::= stmt (";" expr)?
+    stmt   ::= "let" x "=" expr "in" expr
+             | "rec" f x+ "." expr         | "fun" x+ "->" expr
+             | "if" expr "then" expr "else" expr
+             | "match" expr "with" "|"? "inl" x "->" expr
+                                   "|" "inr" y "->" expr "end"
+             | store
+    store  ::= disj (":=" store)?
+    disj   ::= conj ("||" disj)?           (sugar: if c then true else d)
+    conj   ::= cmp ("&&" conj)?            (sugar: if c then d else false)
+    cmp    ::= add (("<" | "<=" | "=") add)?
+    add    ::= mul (("+" | "-" | "+l") mul)*
+    mul    ::= unary (("*" | "quot" | "rem") unary)*
+    unary  ::= "-" unary | "not" unary | app
+    app    ::= ("ref"|"fst"|"snd"|"inl"|"inr") atom | atom atom*
+    atom   ::= int | "-" int | "true" | "false" | "()" | ident
+             | "!" atom | "#" int | "(" expr ("," expr)? ")"
+    v}
+
+    [&&]/[||] are sugar for [if]; [not] is the primitive boolean
+    negation. *)
+
+open Ast
+
+type state = {
+  mutable toks : Lexer.located list;
+  src : string;
+}
+
+exception Error of string
+
+let fail st fmt =
+  let pos = match st.toks with { pos; _ } :: _ -> pos | [] -> 0 in
+  Format.kasprintf
+    (fun m -> raise (Error (Printf.sprintf "parse error at offset %d: %s" pos m)))
+    fmt
+
+let peek st = match st.toks with { tok; _ } :: _ -> tok | [] -> Lexer.Eof
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail st "expected %a, found %a" Lexer.pp_token tok Lexer.pp_token (peek st)
+
+let eat_kw st kw = eat st (Lexer.Kw kw)
+
+let ident st =
+  match peek st with
+  | Lexer.Ident x ->
+    advance st;
+    x
+  | t -> fail st "expected identifier, found %a" Lexer.pp_token t
+
+let rec expr st : expr =
+  let e1 = stmt st in
+  match peek st with
+  | Lexer.Semi ->
+    advance st;
+    Seq (e1, expr st)
+  | _ -> e1
+
+and stmt st : expr =
+  match peek st with
+  | Lexer.Kw "let" ->
+    advance st;
+    let x = ident st in
+    eat st (Lexer.Op "=");
+    let e1 = expr st in
+    eat_kw st "in";
+    let e2 = expr st in
+    Let (x, e1, e2)
+  | Lexer.Kw "rec" ->
+    advance st;
+    let f = ident st in
+    let args = ident_list st in
+    eat st Lexer.Dot;
+    let body = expr st in
+    (match args with
+    | [] -> fail st "rec needs at least one argument"
+    | x :: rest -> Rec (Some f, x, List.fold_right lam rest body))
+  | Lexer.Kw "fun" ->
+    advance st;
+    let args = ident_list st in
+    eat st Lexer.Arrow;
+    let body = expr st in
+    (match args with
+    | [] -> fail st "fun needs at least one argument"
+    | x :: rest -> Rec (None, x, List.fold_right lam rest body))
+  | Lexer.Kw "if" ->
+    advance st;
+    let c = expr st in
+    eat_kw st "then";
+    let e1 = stmt st in
+    eat_kw st "else";
+    let e2 = stmt st in
+    If (c, e1, e2)
+  | Lexer.Kw "match" ->
+    advance st;
+    let e0 = expr st in
+    eat_kw st "with";
+    if peek st = Lexer.Bar then advance st;
+    eat_kw st "inl";
+    let x = ident st in
+    eat st Lexer.Arrow;
+    let e1 = expr st in
+    eat st Lexer.Bar;
+    eat_kw st "inr";
+    let y = ident st in
+    eat st Lexer.Arrow;
+    let e2 = expr st in
+    eat_kw st "end";
+    Case (e0, (x, e1), (y, e2))
+  | _ -> store st
+
+and ident_list st =
+  match peek st with
+  | Lexer.Ident _ ->
+    let x = ident st in
+    x :: ident_list st
+  | _ -> []
+
+and store st : expr =
+  let e1 = disj st in
+  match peek st with
+  | Lexer.Assign ->
+    advance st;
+    Store (e1, store st)
+  | _ -> e1
+
+and disj st : expr =
+  let e1 = conj st in
+  match peek st with
+  | Lexer.Op "||" ->
+    advance st;
+    If (e1, Val (Bool true), disj st)
+  | _ -> e1
+
+and conj st : expr =
+  let e1 = cmp st in
+  match peek st with
+  | Lexer.Op "&&" ->
+    advance st;
+    If (e1, conj st, Val (Bool false))
+  | _ -> e1
+
+and cmp st : expr =
+  let e1 = add st in
+  match peek st with
+  | Lexer.Op "<" ->
+    advance st;
+    Bin_op (Lt, e1, add st)
+  | Lexer.Op "<=" ->
+    advance st;
+    Bin_op (Le, e1, add st)
+  | Lexer.Op "=" ->
+    advance st;
+    Bin_op (Eq, e1, add st)
+  | _ -> e1
+
+and add st : expr =
+  let rec loop e1 =
+    match peek st with
+    | Lexer.Op "+" ->
+      advance st;
+      loop (Bin_op (Add, e1, mul st))
+    | Lexer.Op "-" ->
+      advance st;
+      loop (Bin_op (Sub, e1, mul st))
+    | Lexer.Op "+l" ->
+      advance st;
+      loop (Bin_op (Ptr_add, e1, mul st))
+    | _ -> e1
+  in
+  loop (mul st)
+
+and mul st : expr =
+  let rec loop e1 =
+    match peek st with
+    | Lexer.Op "*" ->
+      advance st;
+      loop (Bin_op (Mul, e1, unary st))
+    | Lexer.Kw "quot" ->
+      advance st;
+      loop (Bin_op (Quot, e1, unary st))
+    | Lexer.Kw "rem" ->
+      advance st;
+      loop (Bin_op (Rem, e1, unary st))
+    | _ -> e1
+  in
+  loop (unary st)
+
+and unary st : expr =
+  match peek st with
+  | Lexer.Op "-" -> (
+    advance st;
+    match peek st with
+    | Lexer.Int n ->
+      advance st;
+      Val (Int (-n))
+    | _ -> Un_op (Minus, unary st))
+  | Lexer.Kw "not" ->
+    advance st;
+    Un_op (Neg, unary st)
+  | _ -> app st
+
+and app st : expr =
+  let head =
+    match peek st with
+    | Lexer.Kw "ref" ->
+      advance st;
+      Ref (atom st)
+    | Lexer.Kw "fst" ->
+      advance st;
+      Fst (atom st)
+    | Lexer.Kw "snd" ->
+      advance st;
+      Snd (atom st)
+    | Lexer.Kw "inl" ->
+      advance st;
+      Inj_l_e (atom st)
+    | Lexer.Kw "inr" ->
+      advance st;
+      Inj_r_e (atom st)
+    | Lexer.Kw "fork" ->
+      advance st;
+      Fork (atom st)
+    | Lexer.Kw "cas" ->
+      advance st;
+      let e1 = atom st in
+      let e2 = atom st in
+      let e3 = atom st in
+      Cas (e1, e2, e3)
+    | _ -> atom st
+  in
+  let rec loop e1 =
+    if starts_atom (peek st) then loop (App (e1, atom st)) else e1
+  in
+  loop head
+
+and starts_atom = function
+  | Lexer.Int _ | Lexer.Ident _ | Lexer.Lparen | Lexer.Bang | Lexer.Hash
+  | Lexer.Kw ("true" | "false") ->
+    true
+  | Lexer.Kw _ | Lexer.Rparen | Lexer.Comma | Lexer.Semi | Lexer.Assign
+  | Lexer.Arrow | Lexer.Dot | Lexer.Bar | Lexer.Op _ | Lexer.Eof ->
+    false
+
+and atom st : expr =
+  match peek st with
+  | Lexer.Int n ->
+    advance st;
+    Val (Int n)
+  | Lexer.Kw "true" ->
+    advance st;
+    Val (Bool true)
+  | Lexer.Kw "false" ->
+    advance st;
+    Val (Bool false)
+  | Lexer.Ident x ->
+    advance st;
+    Var x
+  | Lexer.Bang ->
+    advance st;
+    Load (atom st)
+  | Lexer.Hash -> (
+    advance st;
+    match peek st with
+    | Lexer.Int l ->
+      advance st;
+      Val (Loc l)
+    | t -> fail st "expected location number after #, found %a" Lexer.pp_token t)
+  | Lexer.Lparen -> (
+    advance st;
+    match peek st with
+    | Lexer.Rparen ->
+      advance st;
+      Val Unit
+    | _ -> (
+      let e1 = expr st in
+      match peek st with
+      | Lexer.Comma ->
+        advance st;
+        let e2 = expr st in
+        eat st Lexer.Rparen;
+        pair_expr e1 e2
+      | _ ->
+        eat st Lexer.Rparen;
+        e1))
+  | t -> fail st "expected an atom, found %a" Lexer.pp_token t
+
+(* A pair of two literal values is a value literal, matching the
+   pretty-printer which prints [Val (Pair (v1, v2))] as [(v1, v2)]. *)
+and pair_expr e1 e2 =
+  match e1, e2 with
+  | Val v1, Val v2 -> Val (Pair (v1, v2))
+  | _ -> Pair_e (e1, e2)
+
+let parse (src : string) : (expr, string) result =
+  match Lexer.tokenize src with
+  | exception Lexer.Error (m, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos m)
+  | toks -> (
+    let st = { toks; src } in
+    match expr st with
+    | e ->
+      if peek st = Lexer.Eof then Ok e
+      else
+        Error
+          (Format.asprintf "parse error: trailing %a" Lexer.pp_token (peek st))
+    | exception Error m -> Error m)
+
+(** [parse_exn src]: like {!parse} but raising [Failure]; convenient in
+    examples and tests. *)
+let parse_exn src =
+  match parse src with Ok e -> e | Error m -> failwith m

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the SHL concrete syntax.
+
+    The grammar (see the implementation header for the full BNF) is an
+    OCaml-like surface syntax: [let x = e in e], [rec f x. e],
+    [fun x -> e], [if]/[then]/[else], [match e with inl x -> e | inr y
+    -> e end], [ref e], [!e], [e := e], pairs, [fst]/[snd], [inl]/[inr],
+    arithmetic and comparisons, [&&]/[||] (sugar for [if]), and nested
+    [(* … *)] comments.  {!Pretty.pp_expr} prints into this syntax;
+    round-tripping is property-tested. *)
+
+val parse : string -> (Ast.expr, string) result
+(** [parse src] parses a complete expression; the error message carries
+    a byte offset. *)
+
+val parse_exn : string -> Ast.expr
+(** Like {!parse}, raising [Failure] — convenient in examples, tests and
+    program tables. *)

@@ -1,0 +1,8 @@
+(** Pretty-printing SHL terms in the concrete syntax accepted by
+    {!Parser} (round-trip property-tested, including the
+    non-associativity of comparisons). *)
+
+val pp_value : Format.formatter -> Ast.value -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val expr_to_string : Ast.expr -> string
+val value_to_string : Ast.value -> string

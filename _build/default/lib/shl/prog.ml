@@ -1,0 +1,348 @@
+(** The paper's example programs, written in SHL concrete syntax.
+
+    Everything from the paper appears here verbatim-modulo-syntax:
+    the mutable lookup table ([map]/[get]/[set]) and [memo_rec] (§4.3),
+    the recursive templates of Figure 4 ([Fib], [Slen], [Lev]), the
+    [loop] combinator of Lemma 4.1, the stack and reentrant event loop
+    of §5.2, and the time-credit examples of §5.1.
+
+    Options are encoded as [None = inl ()], [Some v = inr v]; lists as
+    [nil = inl ()], [cons x l = inr (x, l)]; strings as null-terminated
+    blocks of integer character codes on the heap (as in the paper's
+    Levenshtein case study). *)
+
+open Ast
+
+let p = Parser.parse_exn
+
+(** {1 The mutable lookup table (§4.3)} *)
+
+(** [map () : table] — an empty association-list table. *)
+let map_fn = p "fun u -> ref (inl ())"
+
+(** [get tbl k : option] *)
+let get_fn =
+  p
+    {|
+fun tbl k ->
+  (rec go l.
+     match l with
+     | inl u -> inl ()
+     | inr c -> if fst (fst c) = k then inr (snd (fst c)) else go (snd c)
+     end)
+  !tbl
+|}
+
+(** [set tbl k v : ()] *)
+let set_fn = p "fun tbl k v -> tbl := inr ((k, v), !tbl)"
+
+(** {1 memo_rec (§1 and §4.3)}
+
+    [memo_rec t]: memoize the recursive function with template [t]. *)
+let memo_rec =
+  Let
+    ( "map",
+      map_fn,
+      Let
+        ( "get",
+          get_fn,
+          Let
+            ( "set",
+              set_fn,
+              p
+                {|
+fun t ->
+  let tbl = map () in
+  rec g x.
+    match get tbl x with
+    | inl u -> let y = t g x in set tbl x y; y
+    | inr y -> y
+    end
+|}
+            ) ) )
+
+(** [rec_of t = rec g n. t g n] — the standard recursive closure of a
+    template (the [r_t] of §4.3). *)
+let rec_of (t : expr) : expr = Let ("t", t, p "rec g n. t g n")
+
+(** [memo_of t = memo_rec t] — the memoized closure ([m_t]). *)
+let memo_of (t : expr) : expr = App (memo_rec, t)
+
+(** {1 The templates of Figure 4} *)
+
+(** [Fib]: [fib n = if n < 2 then n else fib (n-1) + fib (n-2)]. *)
+let fib_template = p "fun g n -> if n < 2 then n else g (n - 1) + g (n - 2)"
+
+(** [Slen]: string length by pointer walk over a null-terminated block. *)
+let slen_template = p "fun g s -> if !s = 0 then 0 else g (s +l 1) + 1"
+
+(** [Lev slen]: Levenshtein edit distance between two null-terminated
+    strings, parameterized by the string-length function used for the
+    base cases — so that [slen] itself can be (nestedly) memoized. *)
+let lev_template =
+  p
+    {|
+fun slen ->
+  let min = fun a b -> if a < b then a else b in
+  fun g q ->
+    let s = fst q in
+    let t = snd q in
+    if !s = 0 then slen t else
+    if !t = 0 then slen s else
+    if !s = !t then g (s +l 1, t +l 1) else
+    1 + min (g (s, t +l 1)) (min (g (s +l 1, t)) (g (s +l 1, t +l 1)))
+|}
+
+(** [mlev]: the nested memoization of §4.3 —
+    [let mslen = memo_rec Slen in memo_rec (Lev mslen)]. *)
+let mlev =
+  Let
+    ( "mslen",
+      memo_of slen_template,
+      App (memo_rec, App (lev_template, Var "mslen")) )
+
+(** The plain recursive Levenshtein, with plain recursive [slen]. *)
+let rlev =
+  Let ("rslen", rec_of slen_template, App (lev_template, Var "rslen") |> rec_of)
+
+(** {1 The loop combinator (Lemma 4.1)} *)
+
+(** [loop f x = if f () then loop f x else ()]. *)
+let loop = p "rec loop f x. if f () then loop f x else ()"
+
+(** [e_loop = loop (λ_. true) ()]: the always-diverging target of the
+    §4.1 counterexample. *)
+let e_loop = App (App (loop, p "fun u -> true"), unit_)
+
+(** [skip]: a single pure step to [()]. *)
+let skip = Seq (unit_, unit_)
+
+(** {1 Stack and reentrant event loop (§5.2)} *)
+
+let stack_fn = p "fun u -> ref (inl ())"
+let push_fn = p "fun q f -> q := inr (f, !q)"
+
+let pop_fn =
+  p
+    {|
+fun q ->
+  match !q with
+  | inl u -> inl ()
+  | inr c -> q := snd c; inr (fst c)
+  end
+|}
+
+(** [mkloop () / addtask q f / run q] — the reentrant event loop.  [run]
+    pops and executes tasks until the stack is empty; tasks may
+    themselves call [addtask]. *)
+let event_loop_ctx (body : expr) : expr =
+  lets
+    [
+      ("mkloop", stack_fn);
+      ("addtask", push_fn);
+      ("pop", pop_fn);
+      ( "run",
+        p
+          {|
+rec run q.
+  match pop q with
+  | inl u -> ()
+  | inr f -> f (); run q
+  end
+|}
+      );
+    ]
+    body
+
+(** {1 Time-credit examples (§5.1)} *)
+
+(** [e_two f = f () + f ()]. *)
+let e_two (f : expr) : expr = Let ("f", f, p "f () + f ()")
+
+(** The dynamic-bound example: [let k = u () in let a = ref 0 in
+    for i in 0..k-1 do a := !a + f () done; !a].  The number of steps
+    depends on the value returned by [u], which is why finite time
+    credits cannot verify it compositionally. *)
+let dynamic_loop ~(u : expr) ~(f : expr) : expr =
+  lets
+    [ ("u", u); ("f", f) ]
+    (p
+       {|
+let k = u () in
+let a = ref 0 in
+(rec go i. if i < k then (a := !a + f (); go (i + 1)) else ()) 0;
+!a
+|})
+
+(** {1 Strings on the heap} *)
+
+(** [alloc_string s h]: lay out [s] as a null-terminated block of
+    character codes; returns the base location. *)
+let alloc_string (s : string) (h : Heap.t) : loc * Heap.t =
+  let cells = List.init (String.length s) (fun i -> Int (Char.code s.[i])) in
+  Heap.alloc_block (cells @ [ Int 0 ]) h
+
+(** {1 OCaml reference implementations (test oracles)} *)
+
+let rec fib_spec n = if n < 2 then n else fib_spec (n - 1) + fib_spec (n - 2)
+
+let lev_spec (a : string) (b : string) : int =
+  let la = String.length a and lb = String.length b in
+  let memo = Hashtbl.create 64 in
+  let rec go i j =
+    match Hashtbl.find_opt memo (i, j) with
+    | Some r -> r
+    | None ->
+      let r =
+        if i >= la then lb - j
+        else if j >= lb then la - i
+        else if a.[i] = b.[j] then go (i + 1) (j + 1)
+        else 1 + min (go i (j + 1)) (min (go (i + 1) j) (go (i + 1) (j + 1)))
+      in
+      Hashtbl.add memo (i, j) r;
+      r
+  in
+  go 0 0
+
+(** {1 Ackermann}
+
+    The classical fast-growing function.  Its termination argument is
+    lexicographic on [(m, n)] — exactly the shape transfinite credits
+    capture (measure below [ω^ω]); no finite budget computable from the
+    input size covers it uniformly. *)
+let ack =
+  p
+    {|
+rec a m.
+  fun n ->
+    if m = 0 then n + 1 else
+    if n = 0 then a (m - 1) 1 else
+    a (m - 1) (a m (n - 1))
+|}
+
+let ack_spec =
+  let rec go m n =
+    if m = 0 then n + 1 else if n = 0 then go (m - 1) 1 else go (m - 1) (go m (n - 1))
+  in
+  go
+
+(** {1 Queues}
+
+    Two queue implementations used for a refinement case study in the
+    spirit of §4: the {e batched} (two-stack, amortized O(1)) queue
+    refines the {e naive} (single list, O(n) push) queue.  The batched
+    queue's occasional reversal burst is exactly the kind of
+    internally-chatty implementation that needs stuttering on the
+    target side of a refinement. *)
+
+(** Binds [mkq], [push], [pop] around [body]: the batched queue. *)
+let batched_queue_ctx (body : expr) : expr =
+  lets
+    [
+      ("mkq", p "fun u -> (ref (inl ()), ref (inl ()))");
+      ("push", p "fun q x -> snd q := inr (x, !(snd q))");
+      ( "rev_onto",
+        p
+          {|
+rec rev l.
+  fun acc ->
+    match l with
+    | inl u -> acc
+    | inr c -> rev (snd c) (inr (fst c, acc))
+    end
+|}
+      );
+      ( "pop",
+        p
+          {|
+fun q ->
+  match !(fst q) with
+  | inl u ->
+    (match rev_onto !(snd q) (inl ()) with
+     | inl v -> inl ()
+     | inr c -> snd q := inl (); fst q := snd c; inr (fst c)
+     end)
+  | inr c -> fst q := snd c; inr (fst c)
+  end
+|}
+      );
+    ]
+    body
+
+(** Binds [mkq], [push], [pop] around [body]: the naive list queue. *)
+let naive_queue_ctx (body : expr) : expr =
+  lets
+    [
+      ("mkq", p "fun u -> ref (inl ())");
+      ( "snoc",
+        p
+          {|
+rec app l.
+  fun x ->
+    match l with
+    | inl u -> inr (x, inl ())
+    | inr c -> inr (fst c, app (snd c) x)
+    end
+|}
+      );
+      ("push", p "fun q x -> q := snoc !q x");
+      ( "pop",
+        p
+          {|
+fun q ->
+  match !q with
+  | inl u -> inl ()
+  | inr c -> q := snd c; inr (fst c)
+  end
+|}
+      );
+    ]
+    body
+
+(** {1 List library and sorting}
+
+    Functional lists (nil = [inl ()], cons = [inr (x, l)]) with an
+    insertion sort — exercise material for the type system, the safety
+    logical relation, and termination credits. *)
+
+let list_of_ints (ns : int list) : expr =
+  List.fold_right (fun n acc -> Inj_r_e (Pair_e (int_ n, acc))) ns none_
+
+(** [insertion_sort : list int -> list int]. *)
+let insertion_sort =
+  p
+    {|
+let insert =
+  rec ins x.
+    fun l ->
+      match l with
+      | inl u -> inr (x, inl ())
+      | inr c -> if x <= fst c then inr (x, l) else inr (fst c, ins x (snd c))
+      end
+in
+rec sort l.
+  match l with
+  | inl u -> inl ()
+  | inr c -> insert (fst c) (sort (snd c))
+  end
+|}
+
+(** Decode an SHL integer list value back to OCaml. *)
+let rec decode_int_list (v : value) : int list option =
+  match v with
+  | Inj_l Unit -> Some []
+  | Inj_r (Pair (Int n, rest)) ->
+    Option.map (fun tl -> n :: tl) (decode_int_list rest)
+  | Unit | Bool _ | Int _ | Loc _ | Pair _ | Inj_l _ | Inj_r _ | Rec_fun _ ->
+    None
+
+(** [sum_list : list int -> int]. *)
+let sum_list =
+  p
+    {|
+rec sum l.
+  match l with
+  | inl u -> 0
+  | inr c -> fst c + sum (snd c)
+  end
+|}

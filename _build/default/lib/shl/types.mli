@@ -1,0 +1,33 @@
+(** Simple types for SHL, with unification-based inference.
+
+    The typed fragment is the monomorphic ML core: unit/bool/int,
+    products, sums, functions and ML-style references.  [let] is not
+    generalized; location literals and pointer arithmetic are
+    untypeable (deliberately: they escape the type system the way the
+    paper's Levenshtein example does, with correctness argued in the
+    logic instead).  The checker exists to state the {e fundamental
+    theorem} of the safety logical relation executably: if
+    [infer e = Ok τ] then [e] is semantically safe at [τ]
+    (property-tested; see {!Logrel.fundamental}). *)
+
+type ty =
+  | T_unit
+  | T_bool
+  | T_int
+  | T_prod of ty * ty
+  | T_sum of ty * ty
+  | T_fun of ty * ty
+  | T_ref of ty
+  | T_var of int  (** unification variable; absent from inferred types *)
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+
+type error = string
+
+val infer : Ast.expr -> (ty, error) result
+(** The principal type of a closed expression, with unconstrained
+    variables defaulted to [unit] (sound for closed terms by
+    parametricity). *)
+
+val well_typed : Ast.expr -> bool

@@ -1,0 +1,1 @@
+lib/sprop/cut.ml: Format Index List

@@ -1,0 +1,1 @@
+lib/sprop/fin_height.ml: Cut Height Index Printf Tfiris_ordinal

@@ -1,0 +1,1 @@
+lib/sprop/fin_height.mli: Cut Tfiris_ordinal

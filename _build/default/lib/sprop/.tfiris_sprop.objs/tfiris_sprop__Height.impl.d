@@ -1,0 +1,1 @@
+lib/sprop/height.ml: Cut Format Index Tfiris_ordinal

@@ -1,0 +1,1 @@
+lib/sprop/height.mli: Cut Tfiris_ordinal

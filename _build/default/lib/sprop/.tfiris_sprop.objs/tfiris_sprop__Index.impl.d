@@ -1,0 +1,1 @@
+lib/sprop/index.ml: Format Int Stdlib Tfiris_ordinal

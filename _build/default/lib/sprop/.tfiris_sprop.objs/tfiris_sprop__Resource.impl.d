@@ -1,0 +1,1 @@
+lib/sprop/resource.ml: Format List Map Tfiris_ordinal

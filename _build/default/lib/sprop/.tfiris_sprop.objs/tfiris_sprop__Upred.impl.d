@@ -1,0 +1,1 @@
+lib/sprop/upred.ml: Hashtbl Height List Resource Tfiris_ordinal

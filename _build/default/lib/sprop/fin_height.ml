@@ -1,0 +1,38 @@
+(** The finite model: step-indexed propositions over natural-number
+    indices — the standard model of Iris (§2.4), kept as the baseline
+    against which the transfinite model is compared. *)
+
+module Ord = Tfiris_ordinal.Ord
+include Cut.Make (Index.Nat)
+
+let of_int n = of_index n
+
+(** [sup_family ~limit f] is [∃n:ℕ. f n] in the finite model.  The
+    declared [limit] is the family's supremum {e as an ordinal} (shared
+    with {!Height.sup_family} so the same formula can be interpreted in
+    both models).  If the declared supremum is infinite, the family's
+    finite heights are unbounded in ℕ, and an unbounded union of cuts of
+    ℕ is {e everything}: the supremum collapses to [Top].  This collapse
+    is precisely why the finite model proves [∃n. ▷ⁿ False] (§2.7). *)
+let sup_family ?(samples = 24) ~limit f =
+  match Ord.to_int_opt limit with
+  | None ->
+    (* Transfinite declared supremum: unbounded below, so ⊤ here. *)
+    ignore samples;
+    Top
+  | Some k ->
+    let rec go n top =
+      if n >= samples then top
+      else
+        match f n with
+        | Top -> true
+        | H a ->
+          if a <= k then go (n + 1) top
+          else
+            raise
+              (Height.Bad_family
+                 (Printf.sprintf
+                    "sup_family: member %d has height %d > declared limit %d" n
+                    a k))
+    in
+    if go 0 false then Top else H k

@@ -1,0 +1,18 @@
+(** The finite model: step-indexed propositions over natural-number
+    indices — the standard model of Iris (§2.4), the baseline the
+    transfinite model is compared against. *)
+
+include Cut.S with type index = int
+
+val of_int : int -> t
+
+val sup_family :
+  ?samples:int -> limit:Tfiris_ordinal.Ord.t -> (int -> t) -> t
+(** [sup_family ~limit f] is [∃n:ℕ. f n] in the finite model.  [limit]
+    is the family's supremum {e as an ordinal} (shared with
+    {!Height.sup_family} so one formula can be read in both models).  A
+    transfinite declared supremum means the finite heights are unbounded
+    in ℕ, and an unbounded union of cuts of ℕ is everything: the result
+    collapses to [Top] — exactly why the finite model proves
+    [∃n. ▷ⁿ False] (§2.7).  Raises {!Height.Bad_family} on members
+    exceeding a finite declared limit. *)

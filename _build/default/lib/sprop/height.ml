@@ -1,0 +1,38 @@
+(** The transfinite model: step-indexed propositions over ordinal indices.
+
+    This is [SProp] of §6.1.  On top of the generic cut construction it
+    adds suprema of ℕ-indexed families — the operation whose availability
+    distinguishes the transfinite from the finite model and powers the
+    existential property (Theorem 6.2). *)
+
+module Ord = Tfiris_ordinal.Ord
+include Cut.Make (Index.Ordinal)
+
+let of_ord a = of_index a
+
+exception Bad_family of string
+
+(** [sup_family ~limit f] is [∃n:ℕ. f n]: the supremum of the heights
+    [f 0, f 1, …].  The true supremum of an arbitrary computable family is
+    not decidable, so the caller declares it ([limit]) — the executable
+    analogue of the side condition one would discharge in Coq.  The
+    declaration is validated on [samples] members of the family:
+    every sampled height must be bounded by [limit]
+    (raises {!Bad_family} otherwise).  If any member is [Top] the
+    supremum is [Top] regardless of the declaration. *)
+let sup_family ?(samples = 24) ~limit f =
+  let rec go n top =
+    if n >= samples then top
+    else
+      match f n with
+      | Top -> true
+      | H a ->
+        if Ord.le a limit then go (n + 1) top
+        else
+          raise
+            (Bad_family
+               (Format.asprintf
+                  "sup_family: member %d has height %a > declared limit %a" n
+                  Ord.pp a Ord.pp limit))
+  in
+  if go 0 false then Top else H limit

@@ -1,0 +1,20 @@
+(** The transfinite model: step-indexed propositions over ordinal
+    indices ([SProp] of §6.1), plus suprema of ℕ-indexed families — the
+    operation whose availability powers the existential property
+    (Theorem 6.2). *)
+
+include Cut.S with type index = Tfiris_ordinal.Ord.t
+
+val of_ord : Tfiris_ordinal.Ord.t -> t
+
+exception Bad_family of string
+
+val sup_family :
+  ?samples:int -> limit:Tfiris_ordinal.Ord.t -> (int -> t) -> t
+(** [sup_family ~limit f] is [∃n:ℕ. f n], the supremum of the heights
+    [f 0, f 1, …].  The supremum of an arbitrary computable family is
+    undecidable, so the caller declares it ([limit]) — the executable
+    analogue of a side condition discharged in Coq.  The declaration is
+    validated on [samples] members (raises {!Bad_family} on a member
+    exceeding [limit]); a [Top] member makes the supremum [Top]
+    regardless. *)

@@ -1,0 +1,42 @@
+(** Step-index domains.
+
+    A step-indexed logic is parameterized by a well-ordered collection of
+    step-indices.  Iris uses the natural numbers; Transfinite Iris uses
+    ordinals.  Everything in {!Cut} is generic over this choice, so the
+    finite and transfinite models are literally the same construction
+    instantiated twice — which is how the paper presents them (§2.4
+    vs. §6.1). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val succ : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  val has_limits : bool
+  (** Whether this index domain contains limit points. This is the
+      semantic switch the whole paper turns on: suprema of unbounded
+      ℕ-families exist inside the domain iff [has_limits]. *)
+end
+
+(** Finite step-indices: the model of standard Iris (§2.4). *)
+module Nat : S with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let succ n = n + 1
+  let compare = Stdlib.compare
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+  let has_limits = false
+end
+
+(** Transfinite step-indices: ordinals below ε₀ (§6.1). *)
+module Ordinal : S with type t = Tfiris_ordinal.Ord.t = struct
+  include Tfiris_ordinal.Ord
+
+  let has_limits = true
+end

@@ -1,0 +1,315 @@
+(** Resource algebras (partial commutative monoids).
+
+    Separation logic propositions in (Transfinite) Iris are predicates
+    over resources drawn from a resource algebra.  We implement the
+    discrete fragment — enough for the program logics of §4 and §5:
+    heap fragments, exclusive tokens (the [src(e)] resource), and ordinal
+    time credits.  Each algebra must enumerate the decompositions of a
+    resource so that separating conjunction is computable. *)
+
+module Ord = Tfiris_ordinal.Ord
+
+module type S = sig
+  type t
+
+  val unit : t
+  val equal : t -> t -> bool
+
+  val compose : t -> t -> t option
+  (** Partial, commutative, associative composition; [None] means the
+      combination is invalid (e.g. two exclusive tokens). *)
+
+  val splits : t -> (t * t) list
+  (** All pairs [(a, b)] with [compose a b = Some r].  Finite by
+      construction for every algebra here. *)
+
+  val core : t -> t
+  (** The duplicable part of a resource: [core r ⋅ r = r] and
+      [core (core r) = core r].  Exclusive resources have unit core;
+      agreement is its own core.  Interprets the persistence modality
+      [□] in {!Upred}. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The exclusive resource algebra over a value type: at most one party
+    can own the token.  Models [src(e)] ownership. *)
+module Excl (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val token : V.t -> t
+end = struct
+  type t = V.t option
+
+  let unit = None
+  let token v = Some v
+
+  let equal a b =
+    match a, b with
+    | None, None -> true
+    | Some x, Some y -> V.equal x y
+    | None, Some _ | Some _, None -> false
+
+  let compose a b =
+    match a, b with
+    | None, x | x, None -> Some x
+    | Some _, Some _ -> None
+
+  let splits = function
+    | None -> [ (None, None) ]
+    | Some v -> [ (Some v, None); (None, Some v) ]
+
+  let core _ = None
+
+  let pp ppf = function
+    | None -> Format.pp_print_string ppf "\xce\xb5"
+    | Some v -> Format.fprintf ppf "ex(%a)" V.pp v
+end
+
+(** Ordinal time credits with Hessenberg composition — the resource [$α]
+    of §5.1.  Commutativity of [⊕] is exactly what makes this a
+    legitimate resource algebra ([TSplit]: [$(α ⊕ β) ⇔ $α ∗ $β]). *)
+module Credits : sig
+  include S with type t = Ord.t
+
+  val of_ord : Ord.t -> t
+end = struct
+  type t = Ord.t
+
+  let unit = Ord.zero
+  let equal = Ord.equal
+  let of_ord a = a
+  let compose a b = Some (Ord.hsum a b)
+
+  (* All Hessenberg decompositions: split each CNF coefficient. *)
+  let splits a =
+    let term_options (e, c) =
+      List.init (c + 1) (fun i -> ((e, i), (e, c - i)))
+    in
+    let rebuild parts =
+      Ord.hsum_list
+        (List.filter_map
+           (fun (e, c) ->
+             if c = 0 then None else Some (Ord.hprod (Ord.omega_pow e) (Ord.of_int c)))
+           parts)
+    in
+    let rec go = function
+      | [] -> [ ([], []) ]
+      | t :: rest ->
+        let tails = go rest in
+        List.concat_map
+          (fun (l, r) ->
+            List.map (fun (tl, tr) -> (l :: tl, r :: tr)) tails)
+          (term_options t)
+    in
+    List.map (fun (l, r) -> (rebuild l, rebuild r)) (go (Ord.terms a))
+
+  let core _ = Ord.zero
+  let pp ppf a = Format.fprintf ppf "$%a" Ord.pp a
+end
+
+(** Product of two resource algebras. *)
+module Prod (A : S) (B : S) : sig
+  include S with type t = A.t * B.t
+end = struct
+  type t = A.t * B.t
+
+  let unit = (A.unit, B.unit)
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+
+  let compose (a1, b1) (a2, b2) =
+    match A.compose a1 a2, B.compose b1 b2 with
+    | Some a, Some b -> Some (a, b)
+    | None, _ | _, None -> None
+
+  let splits (a, b) =
+    List.concat_map
+      (fun (a1, a2) ->
+        List.map (fun (b1, b2) -> ((a1, b1), (a2, b2))) (B.splits b))
+      (A.splits a)
+
+  let core (a, b) = (A.core a, B.core b)
+  let pp ppf (a, b) = Format.fprintf ppf "(%a, %a)" A.pp a B.pp b
+end
+
+(** Finite partial maps with disjoint union — heap fragments.  Keys and
+    values are abstract; every binding is exclusive (the [ℓ ↦ v]
+    points-to assertion). *)
+module Heap (K : sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end) (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val singleton : K.t -> V.t -> t
+  val of_list : (K.t * V.t) list -> t
+  val bindings : t -> (K.t * V.t) list
+  val lookup : K.t -> t -> V.t option
+end = struct
+  module M = Map.Make (K)
+
+  type t = V.t M.t
+
+  let unit = M.empty
+  let singleton k v = M.singleton k v
+  let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+  let bindings = M.bindings
+  let lookup k m = M.find_opt k m
+  let equal = M.equal V.equal
+
+  let compose a b =
+    let clash = ref false in
+    let merged =
+      M.union
+        (fun _ _ _ ->
+          clash := true;
+          None)
+        a b
+    in
+    if !clash then None else Some merged
+
+  let splits m =
+    List.fold_left
+      (fun acc (k, v) ->
+        List.concat_map
+          (fun (l, r) -> [ (M.add k v l, r); (l, M.add k v r) ])
+          acc)
+      [ (M.empty, M.empty) ]
+      (M.bindings m)
+
+  let core _ = M.empty
+
+  let pp ppf m =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (k, v) -> Format.fprintf ppf "%a \xe2\x86\xa6 %a" K.pp k V.pp v))
+      (M.bindings m)
+end
+
+(** The agreement resource algebra: all owners must agree on the value.
+    [Agree(V)] is how Iris models knowledge that can be shared but not
+    changed — e.g. the interpretation of an invariant name. *)
+module Agree (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val of_value : V.t -> t
+  val value : t -> V.t option
+end = struct
+  type t =
+    | Empty
+    | Ag of V.t
+
+  let unit = Empty
+  let of_value v = Ag v
+  let value = function Ag v -> Some v | Empty -> None
+
+  let equal a b =
+    match a, b with
+    | Empty, Empty -> true
+    | Ag x, Ag y -> V.equal x y
+    | (Empty | Ag _), _ -> false
+
+  let compose a b =
+    match a, b with
+    | Empty, x | x, Empty -> Some x
+    | Ag x, Ag y -> if V.equal x y then Some (Ag x) else None
+
+  let splits = function
+    | Empty -> [ (Empty, Empty) ]
+    | Ag v -> [ (Empty, Ag v); (Ag v, Empty); (Ag v, Ag v) ]
+
+  let core a = a (* agreement is freely duplicable *)
+
+  let pp ppf = function
+    | Empty -> Format.pp_print_string ppf "\xce\xb5"
+    | Ag v -> Format.fprintf ppf "ag(%a)" V.pp v
+end
+
+(** Fractional permissions: a rational share in (0, 1] of a value.
+    Shares of the same value add; exceeding 1 is invalid.  The classic
+    fractional points-to [ℓ ↦{q} v]. *)
+module Frac (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val share : num:int -> den:int -> V.t -> t
+  val whole : V.t -> t
+  val is_whole : t -> bool
+end = struct
+  (* a fraction num/den in lowest terms, with 0 < num/den ≤ 1 *)
+  type t =
+    | None_
+    | Share of int * int * V.t
+
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+  let norm num den v =
+    if num <= 0 || den <= 0 then invalid_arg "Frac.share: non-positive"
+    else if num > den then invalid_arg "Frac.share: share exceeds 1"
+    else
+      let g = gcd num den in
+      Share (num / g, den / g, v)
+
+  let unit = None_
+  let share ~num ~den v = norm num den v
+  let whole v = Share (1, 1, v)
+  let is_whole = function Share (1, 1, _) -> true | Share _ | None_ -> false
+
+  let equal a b =
+    match a, b with
+    | None_, None_ -> true
+    | Share (n1, d1, v1), Share (n2, d2, v2) ->
+      n1 = n2 && d1 = d2 && V.equal v1 v2
+    | (None_ | Share _), _ -> false
+
+  let compose a b =
+    match a, b with
+    | None_, x | x, None_ -> Some x
+    | Share (n1, d1, v1), Share (n2, d2, v2) ->
+      if not (V.equal v1 v2) then None
+      else
+        let num = (n1 * d2) + (n2 * d1) in
+        let den = d1 * d2 in
+        if num > den then None else Some (norm num den v1)
+
+  (* [splits] cannot be complete here (a fraction splits in infinitely
+     many ways); we enumerate the trivial splits plus the halving —
+     enough for ownership checking, and making [sep] an
+     under-approximation for this algebra (a documented deviation from
+     the [S] contract). *)
+  let splits = function
+    | None_ -> [ (None_, None_) ]
+    | Share (n, d, v) as s ->
+      [ (s, None_); (None_, s) ]
+      @ (match norm n (2 * d) v with
+        | half -> [ (half, half) ]
+        | exception Invalid_argument _ -> [])
+
+  let core _ = None_
+
+  let pp ppf = function
+    | None_ -> Format.pp_print_string ppf "\xce\xb5"
+    | Share (n, d, v) -> Format.fprintf ppf "{%d/%d}%a" n d V.pp v
+end

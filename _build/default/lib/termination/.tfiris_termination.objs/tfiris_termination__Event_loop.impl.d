@@ -1,0 +1,1 @@
+lib/termination/event_loop.ml: Ast Parser Printf Prog Step Tfiris_ordinal Tfiris_shl Wp

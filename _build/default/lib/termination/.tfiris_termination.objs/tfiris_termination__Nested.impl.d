@@ -1,0 +1,1 @@
+lib/termination/nested.ml: Ast Heap Parser Step Tfiris_ordinal Tfiris_shl Wp

@@ -1,0 +1,1 @@
+lib/termination/triple.ml: Ast Ctx Format List Printf Prog Step Tfiris_ordinal Tfiris_shl Wp

@@ -1,0 +1,1 @@
+lib/termination/wp.ml: Array Ast Format Option Pretty Printf Step Tfiris_ordinal Tfiris_shl

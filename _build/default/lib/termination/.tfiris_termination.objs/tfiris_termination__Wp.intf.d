@@ -1,0 +1,1 @@
+lib/termination/wp.mli: Ast Format Step Tfiris_ordinal Tfiris_shl

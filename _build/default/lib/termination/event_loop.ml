@@ -1,0 +1,69 @@
+(** The reentrant event loop case study (§5.2).
+
+    [run q] pops and executes tasks; tasks may call [addtask] and grow
+    the queue while it is being drained, so the queue length is not a
+    termination measure.  The paper's argument: every [addtask] deposits
+    a constant [c] of credits with the loop, so the total work is
+    bounded by the (ordinal) credit supplied by the client — "even
+    though extra jobs may be added while run executes, only a bounded
+    number can ultimately be added because the total number of credits
+    available is an ordinal".
+
+    We express clients as SHL programs against the event-loop API and
+    verify their termination with transfinite credits; the adversarial
+    client chooses {e dynamically} (from a computed value) how many
+    reentrant tasks to spawn, which is exactly the situation where a
+    fixed finite budget cannot be chosen compositionally. *)
+
+module Ord = Tfiris_ordinal.Ord
+open Tfiris_shl
+
+(** A client that adds [n] top-level tasks, each of which re-adds [m]
+    leaf tasks when executed (reentrancy), then runs the loop. *)
+let reentrant_client ~(n : int) ~(m : int) : Ast.expr =
+  let src =
+    Printf.sprintf
+      {|
+let q = mkloop () in
+let leaf = fun u -> () in
+let spawner = fun u ->
+  (rec go i. if i < %d then (addtask q leaf; go (i + 1)) else ()) 0
+in
+(rec go i. if i < %d then (addtask q spawner; go (i + 1)) else ()) 0;
+run q
+|}
+      m n
+  in
+  Prog.event_loop_ctx (Parser.parse_exn src)
+
+(** A client whose reentrancy degree is computed at run time: first
+    evaluates [u ()] to get [k], then spawns one task that re-adds [k]
+    leaves.  No finite credit chosen from the client's code alone covers
+    all behaviours of [u]. *)
+let dynamic_client ~(u : Ast.expr) : Ast.expr =
+  Prog.event_loop_ctx
+    (Ast.Let
+       ( "u",
+         u,
+         Parser.parse_exn
+           {|
+let q = mkloop () in
+let k = u () in
+let leaf = fun v -> () in
+addtask q (fun v ->
+  (rec go i. if i < k then (addtask q leaf; go (i + 1)) else ()) 0);
+run q
+|}
+       ))
+
+(** Verify termination of a client with credit [ω·2]: one [ω] pot for
+    the (dynamically discovered) volume of queued work, one for the
+    driver glue; the adaptive strategy instantiates each limit at the
+    moment the remaining work becomes determined. *)
+let verify_client ?(credit = Ord.mul Ord.omega Ord.two) (client : Ast.expr) :
+    Wp.verdict =
+  Wp.run ~credits:credit (Wp.adaptive ()) (Step.config client)
+
+(** The finite-credit attempt: a fixed budget countdown. *)
+let verify_client_finite ~budget (client : Ast.expr) : Wp.verdict =
+  Wp.run ~credits:(Ord.of_int budget) Wp.countdown (Step.config client)

@@ -1,0 +1,67 @@
+(** A lexicographic termination certificate, fully online: doubly
+    dynamic nested loops under [ω³] credits.
+
+    §5.1's example needs [$(ω ⊕ n_u)] because one loop bound is
+    dynamic.  Here {e both} bounds are dynamic — the outer count comes
+    from [u ()], and each inner count is recomputed by [f ()] per outer
+    iteration — so no single limit instantiation suffices; the
+    certificate must descend lexicographically, learning a new inner
+    bound at the start of every outer round.
+
+    The program keeps both counters in {e one} reference holding a pair,
+    so each loop transition updates the lexicographic state atomically
+    (one store), and the ordinal measure
+
+    {v   μ = ω²·i ⊕ ω·j   v}
+
+    read off the heap strictly drops at every store: the outer
+    transition [(i, 0) ↦ (i-1, f ())] trades an [ω²] for finitely many
+    [ω]s.  {!Wp.measured} turns this measure into a checked credit
+    strategy with no oracle and no pre-running: [ω³] credits cover every
+    behaviour of [u] and [f]. *)
+
+module Ord = Tfiris_ordinal.Ord
+open Tfiris_shl
+
+(** The nested loop.  [u] computes the outer bound, [f] the (per-round)
+    inner bound; the counter pair lives in the first allocation. *)
+let program ~(u : Ast.expr) ~(f : Ast.expr) : Ast.expr =
+  Ast.lets
+    [ ("u", u); ("f", f) ]
+    (Parser.parse_exn
+       {|
+let r = ref (u (), 0) in
+(rec outer w.
+   let c = !r in
+   if fst c = 0 then () else (
+     r := (fst c - 1, f ());
+     (rec inner v.
+        let c2 = !r in
+        if snd c2 = 0 then () else (r := (fst c2, snd c2 - 1); inner v))
+       ();
+     outer w))
+  ()
+|})
+
+(** The counter reference is the first allocation of the program
+    (locations are deterministic); before it exists the measure is the
+    static cap [ω³]. *)
+let measure (cfg : Step.config) : Ord.t option =
+  match Heap.lookup 0 cfg.Step.heap with
+  | Some (Ast.Pair (Ast.Int i, Ast.Int j)) when i >= 0 && j >= 0 ->
+    Some
+      (Ord.hsum
+         (Ord.hprod (Ord.omega_pow Ord.two) (Ord.of_int i))
+         (Ord.hprod Ord.omega (Ord.of_int j)))
+  | Some _ -> None
+  | None -> Some (Ord.omega_pow (Ord.of_int 3))
+
+(** Verify the nested loop with the measured (lexicographic) strategy.
+    [pad] must cover the pure steps between consecutive stores; the
+    default is ample. *)
+let verify ?(pad = 64) ~u ~f () : Wp.verdict =
+  Wp.run_measured ~measure ~pad (Step.config (program ~u ~f))
+
+(** The finite-credit baseline for comparison. *)
+let verify_finite ~budget ~u ~f () : Wp.verdict =
+  Wp.run ~credits:(Ord.of_int budget) Wp.countdown (Step.config (program ~u ~f))

@@ -1,0 +1,203 @@
+(** TerminationSHL: proving termination with transfinite time credits.
+
+    §5 instantiates the liveness logic with ordinals as the source:
+    the resource [$α] holds [α] time credits, each target step spends
+    credit by the rule [TSource] — replace the current credit [α] by a
+    {e strictly smaller} [β].  Theorem 5.1: [⊨ ∃α. {$α} e {True}]
+    implies [e] terminates.
+
+    The executable counterpart: a {e credit strategy} (the certificate)
+    is asked, at every step of the program, for a strictly smaller
+    ordinal; the driver validates the descent.  The punchline is that
+    {!run} needs {b no fuel}: an accepted run {e cannot} be infinite,
+    because an infinite run would be an infinite strictly-descending
+    chain of ordinals.  Well-foundedness of [Ord] is the termination
+    argument, exactly as in the paper.
+
+    Finite credits ([{!countdown}] with a natural-number credit) are the
+    classical time credits of Mével et al. [47] — they prove {e bounded}
+    termination and need the bound up front.  Transfinite credits
+    ({!adaptive}) start at a limit ordinal and instantiate it {e during}
+    execution, when the dynamic information (the paper's [k = u ()])
+    becomes available. *)
+
+module Ord = Tfiris_ordinal.Ord
+open Tfiris_shl
+
+type strategy = {
+  name : string;
+  spend :
+    step_no:int ->
+    config:Step.config ->
+    kind:Step.kind ->
+    credit:Ord.t ->
+    Ord.t option;
+      (** the new credit after this step; must be strictly smaller.
+          [None] aborts the proof attempt. *)
+}
+
+type stats = {
+  steps : int;
+  limit_refinements : int;
+      (** steps at which the credit jumped below a limit ordinal — the
+          paper's "learning dynamic information" moments *)
+}
+
+type reason =
+  | Not_decreasing of Ord.t * Ord.t
+  | Gave_up
+  | Stuck of Ast.expr
+
+type verdict =
+  | Terminated of Ast.value * Ord.t * stats
+      (** final value and unspent credit *)
+  | Rejected of reason * stats
+
+let pp_verdict ppf = function
+  | Terminated (v, left, st) ->
+    Format.fprintf ppf "terminated with %a in %d steps (credit left: %a)"
+      Pretty.pp_value v st.steps Ord.pp left
+  | Rejected (Not_decreasing (o, n), st) ->
+    Format.fprintf ppf "rejected at step %d: %a not < %a" st.steps Ord.pp n
+      Ord.pp o
+  | Rejected (Gave_up, st) ->
+    Format.fprintf ppf "strategy gave up at step %d" st.steps
+  | Rejected (Stuck _, st) ->
+    Format.fprintf ppf "program stuck at step %d" st.steps
+
+(** [run ~credits strategy e]: execute [e], spending credit at every
+    step.  Terminates unconditionally: each iteration strictly
+    decreases an ordinal (validated), and ordinal descent is
+    well-founded. *)
+let run ~credits (s : strategy) (cfg : Step.config) : verdict =
+  let rec go cfg credit stats =
+    match cfg.Step.expr with
+    | Ast.Val v -> Terminated (v, credit, stats)
+    | _ -> (
+      match Step.prim_step cfg with
+      | Error (Step.Stuck redex) -> Rejected (Stuck redex, stats)
+      | Error Step.Finished -> assert false
+      | Ok (cfg', kind) -> (
+        let step_no = stats.steps + 1 in
+        match s.spend ~step_no ~config:cfg' ~kind ~credit with
+        | None -> Rejected (Gave_up, { stats with steps = step_no })
+        | Some credit' ->
+          if Ord.lt credit' credit then
+            (* A descent that skips past the predecessor means a limit
+               component was instantiated with dynamic information. *)
+            let was_limit_jump = Ord.lt (Ord.succ credit') credit in
+            go cfg' credit'
+              {
+                steps = step_no;
+                limit_refinements =
+                  (stats.limit_refinements + if was_limit_jump then 1 else 0);
+              }
+          else
+            Rejected
+              (Not_decreasing (credit, credit'), { stats with steps = step_no })))
+  in
+  go cfg credits { steps = 0; limit_refinements = 0 }
+
+let terminates ~credits s e =
+  match run ~credits s (Step.config e) with
+  | Terminated _ -> true
+  | Rejected _ -> false
+
+(** {1 Strategies} *)
+
+(** Classical finite time credits: decrement.  Fails (gives up) on limit
+    ordinals — by design: this {e is} the bounded-termination baseline,
+    it can only count down. *)
+let countdown : strategy =
+  {
+    name = "countdown";
+    spend =
+      (fun ~step_no:_ ~config:_ ~kind:_ ~credit -> Ord.pred credit);
+  }
+
+(** Count the steps a configuration needs to terminate, within fuel. *)
+let remaining_steps ?(fuel = 10_000_000) (cfg : Step.config) : int option =
+  let rec go cfg n k =
+    match Step.prim_step cfg with
+    | Error Step.Finished -> Some k
+    | Error (Step.Stuck _) -> None
+    | Ok (cfg', _) -> if n = 0 then None else go cfg' (n - 1) (k + 1)
+  in
+  go cfg fuel 0
+
+(** Transfinite credits with dynamic instantiation: spend successor
+    credit by decrementing; when the finite part is exhausted and a
+    limit remains, instantiate the limit with the {e now-known} bound on
+    the rest of the execution (the executable face of [TSource]'s
+    "decrease ω to k·n_f + 1 once k is learned", §5.1). *)
+let adaptive ?fuel () : strategy =
+  {
+    name = "adaptive";
+    spend =
+      (fun ~step_no:_ ~config ~kind:_ ~credit ->
+        match Ord.pred credit with
+        | Some c -> Some c
+        | None ->
+          if Ord.is_zero credit then None
+          else
+            (* limit ordinal: learn the remaining bound dynamically *)
+            Option.map Ord.of_int (remaining_steps ?fuel config));
+  }
+
+(** A strategy from an explicit ordinal descent (for tests). *)
+let scripted (descents : Ord.t list) : strategy =
+  let arr = Array.of_list descents in
+  {
+    name = "scripted";
+    spend =
+      (fun ~step_no ~config:_ ~kind:_ ~credit:_ ->
+        if step_no - 1 < Array.length arr then Some arr.(step_no - 1) else None);
+  }
+
+(** {1 Measured strategies}
+
+    A fully online certificate: the caller supplies an ordinal
+    {e measure} of configurations (typically read off the heap) whose
+    value is [0] or a limit ordinal and which never increases along
+    execution.  The strategy keeps the credit at [μ(config) ⊕ pad]:
+
+    - when the measure strictly drops, the pad is reset — the new credit
+      is below the old one because [μ' < μ] with [μ] a limit implies
+      [μ' ⊕ k < μ] for every finite [k];
+    - while the measure is flat, the pad pays for the (boundedly many)
+      steps until the next drop;
+    - a measure increase aborts the proof.
+
+    No oracle, no pre-running: this is the executable shape of a
+    lexicographic termination argument, with the dynamic information
+    (loop bounds read at run time) entering exactly at the drops. *)
+
+let measured ~(measure : Step.config -> Ord.t option) ~(pad : int) () :
+    strategy =
+  {
+    name = Printf.sprintf "measured(pad=%d)" pad;
+    spend =
+      (fun ~step_no:_ ~config ~kind:_ ~credit ->
+        match measure config with
+        | None -> None
+        | Some mu ->
+          if not (Ord.is_zero mu || Ord.is_limit mu) then None
+          else
+            let credit' = Ord.hsum mu (Ord.of_int pad) in
+            if Ord.lt credit' credit then Some credit'
+            else
+              (* measure flat (or pad freshly reset): count the pad down *)
+              Ord.pred credit);
+  }
+
+(** [run_measured ~measure ~pad cfg]: run under the measured strategy,
+    with the initial credit derived from the initial measure. *)
+let run_measured ~measure ~pad (cfg : Step.config) : verdict =
+  match measure cfg with
+  | None ->
+    Rejected (Gave_up, { steps = 0; limit_refinements = 0 })
+  | Some mu0 ->
+    run
+      ~credits:(Ord.hsum mu0 (Ord.of_int (pad + 1)))
+      (measured ~measure ~pad ())
+      cfg

@@ -1,0 +1,70 @@
+(** TerminationSHL: proving termination with transfinite time credits
+    (§5 / Theorem 5.1).
+
+    A {e credit strategy} is asked, at every step, for a strictly
+    smaller ordinal ([TSource]); the driver validates the descent, so
+    {!run} needs {b no fuel}: an accepted run cannot be infinite —
+    well-foundedness of ordinals {e is} the termination argument.
+
+    {!countdown} is the classical finite-credits baseline (bounded
+    termination, Mével et al.); {!adaptive} instantiates limit credits
+    with dynamically learned bounds; {!measured} is a fully online
+    lexicographic certificate driven by a configuration measure. *)
+
+module Ord = Tfiris_ordinal.Ord
+open Tfiris_shl
+
+type strategy = {
+  name : string;
+  spend :
+    step_no:int ->
+    config:Step.config ->
+    kind:Step.kind ->
+    credit:Ord.t ->
+    Ord.t option;
+      (** the new credit; must be strictly smaller.  [None] aborts. *)
+}
+
+type stats = {
+  steps : int;
+  limit_refinements : int;
+      (** descents that skipped past the predecessor — the paper's
+          "learning dynamic information" moments *)
+}
+
+type reason =
+  | Not_decreasing of Ord.t * Ord.t
+  | Gave_up
+  | Stuck of Ast.expr
+
+type verdict =
+  | Terminated of Ast.value * Ord.t * stats  (** value and unspent credit *)
+  | Rejected of reason * stats
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val run : credits:Ord.t -> strategy -> Step.config -> verdict
+val terminates : credits:Ord.t -> strategy -> Ast.expr -> bool
+
+val countdown : strategy
+(** Finite time credits: decrement; gives up at limit ordinals (it
+    {e is} the bounded-termination baseline). *)
+
+val remaining_steps : ?fuel:int -> Step.config -> int option
+
+val adaptive : ?fuel:int -> unit -> strategy
+(** Decrement successor credit; instantiate a limit with the now-known
+    bound on the rest of the run ([TSource]'s "decrease ω to k·n_f + 1
+    once k is learned", §5.1). *)
+
+val scripted : Ord.t list -> strategy
+
+val measured :
+  measure:(Step.config -> Ord.t option) -> pad:int -> unit -> strategy
+(** Fully online lexicographic certificate: keep the credit at
+    [μ(config) ⊕ pad]; drops of the (limit-valued, non-increasing)
+    measure reset the pad; flat stretches spend it.  No oracle, no
+    pre-running. *)
+
+val run_measured :
+  measure:(Step.config -> Ord.t option) -> pad:int -> Step.config -> verdict

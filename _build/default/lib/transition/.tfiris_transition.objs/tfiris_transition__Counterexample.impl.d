@@ -1,0 +1,1 @@
+lib/transition/counterexample.ml: List

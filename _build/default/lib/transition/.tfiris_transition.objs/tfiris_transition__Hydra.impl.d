@@ -1,0 +1,1 @@
+lib/transition/hydra.ml: Format List Measure Tfiris_ordinal

@@ -1,0 +1,1 @@
+lib/transition/hydra.mli: Format Measure Tfiris_ordinal

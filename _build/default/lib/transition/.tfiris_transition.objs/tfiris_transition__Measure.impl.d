@@ -1,0 +1,1 @@
+lib/transition/measure.ml: Format List Tfiris_ordinal

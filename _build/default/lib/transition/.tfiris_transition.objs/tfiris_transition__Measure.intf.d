@@ -1,0 +1,1 @@
+lib/transition/measure.mli: Format Tfiris_ordinal

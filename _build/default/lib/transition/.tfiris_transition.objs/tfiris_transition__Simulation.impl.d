@@ -1,0 +1,1 @@
+lib/transition/simulation.ml: Array Bool List Tfiris_ordinal Ts

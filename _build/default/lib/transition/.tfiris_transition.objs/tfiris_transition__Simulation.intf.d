@@ -1,0 +1,1 @@
+lib/transition/simulation.mli: Tfiris_ordinal Ts

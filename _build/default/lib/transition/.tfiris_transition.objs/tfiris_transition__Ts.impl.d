@@ -1,0 +1,1 @@
+lib/transition/ts.ml: Array List

@@ -1,0 +1,40 @@
+(** The Kirby–Paris Hydra game, as a measured transition system.
+
+    Chopping a head strictly decreases the ordinal measure
+    [μ(node ts) = ⊕ ω^(μ t)], so the hydra dies under every strategy of
+    Hercules and every regrowth factor — Lemma 2.3 in its most vivid
+    form.  Careful with deep hydras: [line 3] has measure [ω^ω^ω] and a
+    correspondingly astronomical (but finite!) game length. *)
+
+module Ord = Tfiris_ordinal.Ord
+
+type tree = Node of tree list
+
+val leaf : tree
+val size : tree -> int
+val heads : tree -> int
+val measure : tree -> Ord.t
+val pp : Format.formatter -> tree -> unit
+
+val chops : regrow:int -> tree -> tree list
+(** All hydras reachable by chopping one head, with [regrow] copies of
+    the maimed limb grown at the grandparent (standard rules: root-level
+    heads regrow nothing). *)
+
+val system : regrow:int -> tree Measure.t
+
+val line : int -> tree
+(** A path of the given length under the root. *)
+
+val bush : width:int -> depth:int -> tree
+
+val choose_first : tree list -> tree
+val choose_fattest : tree list -> tree
+(** Adversarial Hercules: keep the hydra as big as possible. *)
+
+val play :
+  ?regrow:int ->
+  choose:(tree list -> tree) ->
+  tree ->
+  (int, tree Measure.violation) result
+(** Play to the death; [Ok n] is the number of chops. *)

@@ -1,0 +1,98 @@
+(** Simulation relations between finite transition systems (§2.2–§2.3).
+
+    Three characters from the paper:
+
+    - the {e coinductive} lock-step simulation [⪯] of §2.2, computed on
+      finite systems as the greatest fixpoint of the simulation functor;
+    - its {e step-indexed approximations} [⪯ᵢ] of §2.3, computed as
+      [Fⁱ(⊤)];
+    - the {e ordinal-indexed} approximations [⪯_α]: on finite systems
+      the approximation chain stabilizes at a finite stage, so every
+      transfinite index is the stable value — which is exactly why the
+      existential dilemma only bites for infinitely-branching sources
+      (see {!Counterexample}).
+
+    Adequacy (Lemmas 2.1 and 2.2 specialized to finite systems) is then
+    a testable statement: [gfp] at the initial states implies
+    (termination-preserving) refinement, verified against the
+    brute-force checkers of {!Ts}. *)
+
+module Ord = Tfiris_ordinal.Ord
+
+type rel = bool array array
+(** [r.(t).(s)] — target state [t] is related to source state [s]. *)
+
+let full ~(target : Ts.t) ~(source : Ts.t) : rel =
+  Array.make_matrix target.num_states source.num_states true
+
+(** One unfolding of the simulation functor (the body of the
+    coinductive definition in §2.2):
+
+    [F(R)(t,s) = (∃b. t = s = b) ∨
+                 ((∃t'. t → t') ∧ ∀t' ∈ step t. ∃s' ∈ step s. R(t',s'))] *)
+let unfold ~(target : Ts.t) ~(source : Ts.t) (r : rel) : rel =
+  Array.init target.num_states (fun t ->
+      Array.init source.num_states (fun s ->
+          let same_result =
+            match target.result t, source.result s with
+            | Some bt, Some bs -> bt = bs
+            | (Some _ | None), _ -> false
+          in
+          same_result
+          || target.step t <> []
+             && List.for_all
+                  (fun t' -> List.exists (fun s' -> r.(t').(s')) (source.step s))
+                  (target.step t)))
+
+let rel_equal (a : rel) (b : rel) =
+  Array.for_all2 (fun ra rb -> Array.for_all2 Bool.equal ra rb) a b
+
+(** [approx ~target ~source i]: the step-indexed approximation [⪯ᵢ]. *)
+let approx ~target ~source i =
+  let rec go r n = if n = 0 then r else go (unfold ~target ~source r) (n - 1) in
+  go (full ~target ~source) i
+
+(** [gfp ~target ~source]: the coinductive simulation [⪯], with the
+    (finite) stage at which the chain stabilized. *)
+let gfp ~target ~source =
+  let rec go r n =
+    let r' = unfold ~target ~source r in
+    if rel_equal r r' then (r, n) else go r' (n + 1)
+  in
+  go (full ~target ~source) 0
+
+(** [approx_ord ~target ~source α]: the ordinal-indexed approximation
+    [⪯_α].  Finite indices iterate; at and beyond [ω] the chain over a
+    finite state space has stabilized, so the value is the gfp. *)
+let approx_ord ~target ~source (alpha : Ord.t) =
+  match Ord.to_int_opt alpha with
+  | Some n -> approx ~target ~source n
+  | None -> fst (gfp ~target ~source)
+
+(** [holds r target source]: the relation relates the initial states. *)
+let holds (r : rel) (target : Ts.t) (source : Ts.t) =
+  r.(target.initial).(source.initial)
+
+(** [simulates ~target ~source]: [target ⪯ source] coinductively. *)
+let simulates ~target ~source = holds (fst (gfp ~target ~source)) target source
+
+(** Extract a source run replaying a given finite target run, following
+    the gfp — the constructive content of the adequacy proofs (the
+    existential property is what hoists these choices to the meta level,
+    §2.5).  Returns the source states visited. *)
+let replay ~target ~source (trun : int list) : int list option =
+  let r = fst (gfp ~target ~source) in
+  let rec go trun s acc =
+    match trun with
+    | [] -> Some (List.rev acc)
+    | t' :: rest -> (
+      match List.find_opt (fun s' -> r.(t').(s')) (source.Ts.step s) with
+      | Some s' -> go rest s' (s' :: acc)
+      | None -> None)
+  in
+  match trun with
+  | [] -> Some []
+  | t0 :: rest ->
+    if r.(t0).(source.Ts.initial) then
+      go rest source.Ts.initial [ source.Ts.initial ]
+    else None

@@ -1,0 +1,35 @@
+(** Simulation relations between finite transition systems (§2.2–§2.3):
+    the coinductive lock-step simulation [⪯] (greatest fixpoint), its
+    step-indexed approximations [⪯ᵢ], and the ordinal-indexed [⪯_α]
+    (which stabilizes at the gfp on finite systems — the dilemma needs
+    infinite branching, see {!Counterexample}). *)
+
+type rel = bool array array
+(** [r.(t).(s)]: target state [t] is related to source state [s]. *)
+
+val full : target:Ts.t -> source:Ts.t -> rel
+(** [⪯₀]: everything related. *)
+
+val unfold : target:Ts.t -> source:Ts.t -> rel -> rel
+(** One unfolding of the simulation functor (the body of §2.2's
+    coinductive definition). *)
+
+val rel_equal : rel -> rel -> bool
+
+val approx : target:Ts.t -> source:Ts.t -> int -> rel
+(** The step-indexed approximation [⪯ᵢ = Fⁱ(⊤)]. *)
+
+val gfp : target:Ts.t -> source:Ts.t -> rel * int
+(** The coinductive simulation with the stage at which the chain
+    stabilized. *)
+
+val approx_ord : target:Ts.t -> source:Ts.t -> Tfiris_ordinal.Ord.t -> rel
+(** [⪯_α]: finite indices iterate; at and beyond [ω] the chain over a
+    finite state space has stabilized. *)
+
+val holds : rel -> Ts.t -> Ts.t -> bool
+val simulates : target:Ts.t -> source:Ts.t -> bool
+
+val replay : target:Ts.t -> source:Ts.t -> int list -> int list option
+(** Extract a source run replaying a finite target run along the gfp —
+    the constructive content of the adequacy proofs (§2.5). *)

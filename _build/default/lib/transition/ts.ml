@@ -1,0 +1,97 @@
+(** Finite transition systems — the abstract setting of §2.
+
+    The paper develops its key idea on abstract "programs": small-step
+    transition systems whose only values are Booleans.  We implement
+    finite ones explicitly (states are [0 .. num_states-1]) so that
+    refinements and simulations can be decided by exhaustive model
+    checking; the library's simulation checkers are then validated
+    against this ground truth by property tests. *)
+
+type t = {
+  num_states : int;
+  initial : int;
+  step : int -> int list;  (** successor states (may be empty) *)
+  result : int -> bool option;
+      (** [Some b] iff the state is the Boolean value [b]; result states
+          must have no successors. *)
+}
+
+let make ~num_states ~initial ~edges ~results =
+  let succ = Array.make num_states [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= num_states || b < 0 || b >= num_states then
+        invalid_arg "Ts.make: edge out of range";
+      succ.(a) <- b :: succ.(a))
+    edges;
+  let res = Array.make num_states None in
+  List.iter
+    (fun (s, b) ->
+      if s < 0 || s >= num_states then invalid_arg "Ts.make: result out of range";
+      res.(s) <- Some b)
+    results;
+  Array.iteri
+    (fun s r ->
+      if r <> None && succ.(s) <> [] then
+        invalid_arg "Ts.make: result state with successors")
+    res;
+  {
+    num_states;
+    initial;
+    step = (fun s -> succ.(s));
+    result = (fun s -> res.(s));
+  }
+
+(** States reachable from [s]. *)
+let reachable ts s =
+  let seen = Array.make ts.num_states false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter go (ts.step s)
+    end
+  in
+  go s;
+  seen
+
+(** [evaluates_to ts b]: some execution from the initial state ends in
+    the Boolean value [b]. *)
+let evaluates_to ts b =
+  let seen = reachable ts ts.initial in
+  let found = ref false in
+  Array.iteri (fun s r -> if r && ts.result s = Some b then found := true) seen;
+  !found
+
+(** [diverges ts]: some execution from the initial state is infinite.
+    In a finite system this is equivalent to reaching a cycle, decided
+    by DFS. *)
+let diverges ts =
+  let color = Array.make ts.num_states 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let rec go s =
+    if color.(s) = 1 then true
+    else if color.(s) = 2 then false
+    else begin
+      color.(s) <- 1;
+      (* Reaching a state that is on the DFS stack closes a cycle. *)
+      let r = List.exists go (ts.step s) in
+      color.(s) <- 2;
+      r
+    end
+  in
+  go ts.initial
+
+(** {1 Refinements (§2.1)} *)
+
+(** Result refinement: every Boolean the target can evaluate to, the
+    source can evaluate to as well. *)
+let result_refinement ~target ~source =
+  List.for_all
+    (fun b -> (not (evaluates_to target b)) || evaluates_to source b)
+    [ true; false ]
+
+(** Termination-preserving refinement: result refinement, and if the
+    target diverges then the source diverges. *)
+let tp_refinement ~target ~source =
+  result_refinement ~target ~source
+  && ((not (diverges target)) || diverges source)

@@ -1,0 +1,35 @@
+(** Finite transition systems — the abstract setting of §2.
+
+    States are [0 .. num_states-1]; result states carry a Boolean and
+    must have no successors.  Refinements are decided by exhaustive
+    model checking, providing ground truth against which the simulation
+    checkers are property-tested. *)
+
+type t = {
+  num_states : int;
+  initial : int;
+  step : int -> int list;  (** successor states (may be empty) *)
+  result : int -> bool option;  (** [Some b] iff the state is the value [b] *)
+}
+
+val make :
+  num_states:int ->
+  initial:int ->
+  edges:(int * int) list ->
+  results:(int * bool) list ->
+  t
+(** Raises [Invalid_argument] on out-of-range states or result states
+    with successors. *)
+
+val reachable : t -> int -> bool array
+val evaluates_to : t -> bool -> bool
+(** Some execution from the initial state ends in this Boolean. *)
+
+val diverges : t -> bool
+(** Some execution is infinite (a reachable cycle). *)
+
+val result_refinement : target:t -> source:t -> bool
+(** §2.1's result refinement, by brute force. *)
+
+val tp_refinement : target:t -> source:t -> bool
+(** §2.1's termination-preserving refinement, by brute force. *)

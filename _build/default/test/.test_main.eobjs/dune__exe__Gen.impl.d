@@ -1,0 +1,1 @@
+test/gen.ml: Buffer Fin_height Format Formula Fun Height List Option Ord Printf Promises QCheck2 Refinement Shl Stdlib String Tfiris Ts

@@ -1,0 +1,1 @@
+test/test_conc.ml: Alcotest List Printf QCheck2 QCheck_alcotest Tfiris Tfiris_refinement Tfiris_shl

@@ -1,0 +1,1 @@
+test/test_cut.ml: Alcotest Bool Fin_height Gen Height List Ord Printf QCheck2 QCheck_alcotest Tfiris

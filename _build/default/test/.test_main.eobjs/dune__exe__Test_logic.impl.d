@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Derived Dilemma Existential Format Formula List Logic_semantics Ord Printf Proof QCheck2 QCheck_alcotest String Tfiris Tfiris_sprop

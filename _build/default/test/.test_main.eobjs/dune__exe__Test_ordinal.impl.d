@@ -1,0 +1,1 @@
+test/test_ordinal.ml: Alcotest Gen Goodstein List Ord Printf QCheck2 QCheck_alcotest String Tfiris

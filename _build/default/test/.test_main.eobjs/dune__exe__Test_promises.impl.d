@@ -1,0 +1,1 @@
+test/test_promises.ml: Alcotest Combinators Format Gen List Promises QCheck2 QCheck_alcotest Semantics Syntax Termination Tfiris Typing

@@ -1,0 +1,1 @@
+test/test_refinement.ml: Adequacy Alcotest Driver Gen List Memo_spec Ord QCheck2 QCheck_alcotest Queue_spec Refinement Rules Strategy Tfiris

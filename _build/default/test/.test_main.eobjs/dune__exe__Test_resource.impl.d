@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Format Gen Height Int List Ord QCheck2 QCheck_alcotest Resource Stdlib Tfiris Upred

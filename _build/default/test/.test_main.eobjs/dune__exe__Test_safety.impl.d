@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Assertion Gen Invariant List Logrel Printf QCheck2 QCheck_alcotest Tfiris Triple

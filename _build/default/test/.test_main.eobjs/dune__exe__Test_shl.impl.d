@@ -1,0 +1,1 @@
+test/test_shl.ml: Alcotest Ast Ctx Gen Heap Interp List Option Parser Pretty Printf Prog QCheck2 QCheck_alcotest Shl Step String Tfiris

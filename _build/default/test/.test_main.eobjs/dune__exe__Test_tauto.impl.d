@@ -1,0 +1,1 @@
+test/test_tauto.ml: Alcotest Bool Formula Gen List Logic_semantics Ord Proof QCheck2 QCheck_alcotest Tauto Tfiris

@@ -1,0 +1,1 @@
+test/test_termination.ml: Alcotest Event_loop Gen List Option Ord Printf QCheck2 QCheck_alcotest Termination Tfiris Tfiris_termination Triple Wp

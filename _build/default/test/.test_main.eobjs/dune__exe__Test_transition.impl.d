@@ -1,0 +1,1 @@
+test/test_transition.ml: Alcotest Array Counterexample Format Fun Gen Hydra List Measure Ord Printf QCheck2 QCheck_alcotest Simulation Tfiris Ts

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Gen QCheck2 QCheck_alcotest Tfiris

@@ -1,0 +1,321 @@
+(* QCheck generators shared by the property-test suites. *)
+
+open Tfiris
+module Q = QCheck2.Gen
+
+(* ---------- ordinals ---------- *)
+
+(* Random CNF ordinal of bounded tower depth: a sum of ω^e·c with
+   exponents generated recursively. *)
+let rec ord_sized (depth : int) : Ord.t Q.t =
+  let open Q in
+  if depth = 0 then map Ord.of_int (int_bound 9)
+  else
+    let* nterms = int_bound 3 in
+    let* terms =
+      list_repeat nterms
+        (let* e = ord_sized (depth - 1) in
+         let* c = int_range 1 5 in
+         return (Ord.hprod (Ord.omega_pow e) (Ord.of_int c)))
+    in
+    let* fin = int_bound 9 in
+    return (Ord.hsum_list (Ord.of_int fin :: terms))
+
+let ord : Ord.t Q.t = ord_sized 2
+let small_ord : Ord.t Q.t = ord_sized 1
+
+let print_ord = Ord.to_string
+
+(* ---------- heights ---------- *)
+
+let height : Height.t Q.t =
+  Q.bind (Q.int_bound 10) (fun k ->
+      if k = 0 then Q.return Height.Top
+      else Q.map (fun a -> Height.H a) ord)
+
+let print_height = Height.to_string
+
+let fin_height : Fin_height.t Q.t =
+  Q.bind (Q.int_bound 10) (fun k ->
+      if k = 0 then Q.return Fin_height.Top
+      else Q.map (fun n -> Fin_height.H n) (Q.int_bound 30))
+
+(* ---------- formulas ---------- *)
+
+let rec formula_sized (depth : int) : Formula.t Q.t =
+  let open Q in
+  if depth = 0 then
+    oneof
+      [
+        return Formula.True;
+        return Formula.False;
+        map (fun a -> Formula.Index_lt a) small_ord;
+      ]
+  else
+    let sub = formula_sized (depth - 1) in
+    oneof
+      [
+        map2 (fun a b -> Formula.And (a, b)) sub sub;
+        map2 (fun a b -> Formula.Or (a, b)) sub sub;
+        map2 (fun a b -> Formula.Impl (a, b)) sub sub;
+        map (fun a -> Formula.Later a) sub;
+        map (fun l -> Formula.Exists_fin l) (list_size (int_range 0 3) sub);
+        map (fun l -> Formula.Forall_fin l) (list_size (int_range 0 3) sub);
+      ]
+
+let formula : Formula.t Q.t = formula_sized 3
+let print_formula = Formula.to_string
+
+(* ---------- finite transition systems ---------- *)
+
+(* A random finite TS: some terminal boolean states, random edges from
+   the non-terminal states (possibly none: stuck states exist). *)
+let finite_ts : Ts.t Q.t =
+  let open Q in
+  let* n = int_range 1 6 in
+  let* results =
+    list_repeat n
+      (oneof [ return None; return (Some true); return (Some false) ])
+  in
+  let results = List.mapi (fun i r -> (i, r)) results in
+  let terminal = List.filter_map (fun (i, r) -> Option.map (fun b -> (i, b)) r) results in
+  let nonterminal = List.filter_map (fun (i, r) -> if r = None then Some i else None) results in
+  let* edges =
+    flatten_l
+      (List.map
+         (fun s ->
+           let* k = int_bound 2 in
+           list_repeat k (map (fun t -> (s, t)) (int_bound (n - 1))))
+         nonterminal)
+  in
+  let* initial = int_bound (n - 1) in
+  return (Ts.make ~num_states:n ~initial ~edges:(List.concat edges) ~results:terminal)
+
+let print_ts (ts : Ts.t) =
+  let b = Buffer.create 64 in
+  Printf.bprintf b "TS(n=%d, init=%d;" ts.Ts.num_states ts.Ts.initial;
+  for s = 0 to ts.Ts.num_states - 1 do
+    Printf.bprintf b " %d->[%s]%s" s
+      (String.concat "," (List.map string_of_int (ts.Ts.step s)))
+      (match ts.Ts.result s with
+      | Some true -> "=T"
+      | Some false -> "=F"
+      | None -> "")
+  done;
+  Buffer.add_char b ')';
+  Buffer.contents b
+
+(* ---------- SHL expressions ---------- *)
+
+(* Closed, well-scoped expressions over a variable environment; built to
+   exercise the parser/printer roundtrip and the interpreter's
+   determinism rather than to always terminate. *)
+let shl_expr : Shl.Ast.expr Q.t =
+  let open Q in
+  let open Shl.Ast in
+  let var_name = oneofl [ "x"; "y"; "z"; "f"; "g" ] in
+  let rec go env depth =
+    let atom =
+      let consts =
+        [ return unit_; map bool_ bool; map int_ (int_bound 20) ]
+      in
+      let vars =
+        if env = [] then [] else [ map var (oneofl env) ]
+      in
+      oneof (consts @ vars)
+    in
+    if depth = 0 then atom
+    else
+      let sub = go env (depth - 1) in
+      let bind1 k =
+        let* x = var_name in
+        let* e1 = sub in
+        let* e2 = go (x :: env) (depth - 1) in
+        return (k x e1 e2)
+      in
+      oneof
+        [
+          atom;
+          map2 (fun a b -> App (a, b)) sub sub;
+          map2 (fun a b -> Bin_op (Add, a, b)) sub sub;
+          map2 (fun a b -> Bin_op (Lt, a, b)) sub sub;
+          map2 (fun a b -> Bin_op (Eq, a, b)) sub sub;
+          map3 (fun a b c -> If (a, b, c)) sub sub sub;
+          map2 (fun a b -> Pair_e (a, b)) sub sub;
+          map (fun a -> Fst a) sub;
+          map (fun a -> Snd a) sub;
+          map (fun a -> Inj_l_e a) sub;
+          map (fun a -> Inj_r_e a) sub;
+          map (fun a -> Ref a) sub;
+          map (fun a -> Load a) sub;
+          map2 (fun a b -> Store (a, b)) sub sub;
+          map2 (fun a b -> Seq (a, b)) sub sub;
+          bind1 (fun x e1 e2 -> Let (x, e1, e2));
+          (let* x = var_name in
+           let* body = go (x :: env) (depth - 1) in
+           return (lam x body));
+          (let* c = sub in
+           let* x = var_name in
+           let* e1 = go (x :: env) (depth - 1) in
+           let* y = var_name in
+           let* e2 = go (y :: env) (depth - 1) in
+           return (Case (c, (x, e1), (y, e2))));
+        ]
+  in
+  Q.sized_size (Q.int_bound 4) (fun d -> go [] (Stdlib.min d 4))
+
+let print_shl e = Shl.Pretty.expr_to_string e
+
+(* ---------- well-typed SHL expressions (int-typed, by construction) ---------- *)
+
+(* Mirrors the typing rules, so every generated term must pass
+   Types.infer (tested) and, by the fundamental theorem, run safely. *)
+let typed_shl_int : Shl.Ast.expr Q.t =
+  let open Q in
+  let open Shl.Ast in
+  let fresh =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      Printf.sprintf "t%d" !c
+  in
+  (* int_env: variables of type int; ref_env: variables of type ref int *)
+  let rec int_term depth int_env ref_env =
+    let leaves =
+      [ map int_ (int_bound 9) ]
+      @ (if int_env = [] then [] else [ map var (oneofl int_env) ])
+      @
+      if ref_env = [] then []
+      else [ map (fun r -> Load (Var r)) (oneofl ref_env) ]
+    in
+    if depth = 0 then oneof leaves
+    else
+      let sub = int_term (depth - 1) int_env ref_env in
+      oneof
+        (leaves
+        @ [
+            map2 (fun a b -> Bin_op (Add, a, b)) sub sub;
+            map2 (fun a b -> Bin_op (Mul, a, b)) sub sub;
+            map3
+              (fun a b c -> If (Bin_op (Lt, a, int_ 5), b, c))
+              sub sub sub;
+            (* let-bound int *)
+            (let* e1 = sub in
+             let x = fresh () in
+             let* e2 = int_term (depth - 1) (x :: int_env) ref_env in
+             return (Let (x, e1, e2)));
+            (* let-bound ref, used via loads/stores *)
+            (let* e1 = sub in
+             let r = fresh () in
+             let* e2 = int_term (depth - 1) int_env (r :: ref_env) in
+             return (Let (r, Ref e1, e2)));
+            (* store then continue *)
+            (if ref_env = [] then map Fun.id sub
+             else
+               let* r = oneofl ref_env in
+               let* e1 = sub in
+               let* e2 = sub in
+               return (Seq (Store (Var r, e1), e2)));
+            (* beta redex at int -> int *)
+            (let* a = sub in
+             let x = fresh () in
+             let* body = int_term (depth - 1) (x :: int_env) ref_env in
+             return (App (lam x body, a)));
+            (* case on an int sum *)
+            (let* scrut = sub in
+             let* inl_side = bool in
+             let x = fresh () and y = fresh () in
+             let* e1 = int_term (depth - 1) (x :: int_env) ref_env in
+             let* e2 = int_term (depth - 1) (y :: int_env) ref_env in
+             return
+               (Case
+                  ( (if inl_side then Inj_l_e scrut else Inj_r_e scrut),
+                    (x, e1),
+                    (y, e2) )));
+          ])
+  in
+  Q.sized_size (Q.int_bound 4) (fun d -> int_term (Stdlib.min d 4) [] [])
+
+(* ---------- queue operation scripts ---------- *)
+
+let queue_ops : Refinement.Queue_spec.op list Q.t =
+  let open Q in
+  list_size (int_range 0 14)
+    (oneof
+       [
+         map (fun n -> Refinement.Queue_spec.Push n) (int_bound 99);
+         return Refinement.Queue_spec.Pop;
+       ])
+
+let print_queue_ops ops =
+  Format.asprintf "[%a]" Refinement.Queue_spec.pp_script ops
+
+(* ---------- well-typed promise-language terms ---------- *)
+
+(* Generate a well-typed term of a requested type; the generator mirrors
+   the typing rules, so generated terms must typecheck (tested) and —
+   the paper's theorem — must terminate. Linear variables are threaded
+   so that each is used exactly once. *)
+let promise_term : Promises.Syntax.term Q.t =
+  let open Q in
+  let open Promises.Syntax in
+  (* int-typed terms over an environment of available int vars (shared
+     freely) and linear channel-of-int vars (each to be consumed exactly
+     once by the subterm that receives it). *)
+  let fresh =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      Printf.sprintf "v%d" !c
+  in
+  let rec int_term depth (chans : string list) : term Q.t =
+    (* every channel handed to us must be consumed *)
+    match chans with
+    | c :: rest ->
+      (* consume the first channel in one of a few ways *)
+      let* body = int_term depth rest in
+      oneof
+        [
+          return (Bin (Add, Wait (Var c), body));
+          return (Let ("w", Wait (Var c), Bin (Add, Var "w", body)));
+        ]
+    | [] ->
+      if depth = 0 then map (fun n -> Int n) (int_bound 9)
+      else
+        let sub = int_term (depth - 1) [] in
+        oneof
+          [
+            map (fun n -> Int n) (int_bound 9);
+            map2 (fun a b -> Bin (Add, a, b)) sub sub;
+            map2 (fun a b -> Bin (Mul, a, b)) sub sub;
+            (let* a = sub in
+             let* b = sub in
+             let* c = sub in
+             return (If (Bin (Lt, a, Int 5), b, c)));
+            (* β-redex *)
+            (let* a = sub in
+             let* b = sub in
+             let x = fresh () in
+             return (App (Lam (x, T_int, Bin (Add, Var x, a)), b)));
+            (* spawn a task and wait for it *)
+            (let* a = int_term (depth - 1) [] in
+             let* k = int_term (depth - 1) [] in
+             let c = fresh () in
+             return (Let (c, Post a, Bin (Add, Wait (Var c), k))));
+            (* spawn, pass the channel into a deeper consumer *)
+            (let* a = int_term (depth - 1) [] in
+             let c = fresh () in
+             let* body = int_term (depth - 1) [ c ] in
+             return (Let (c, Post a, body)));
+            (* polymorphic identity applied at int *)
+            (let* a = sub in
+             return
+               (App
+                  ( Ty_app
+                      (Ty_lam ("t", Lam ("x", T_var "t", Var "x")), T_int),
+                    a )));
+          ]
+  in
+  Q.sized_size (Q.int_bound 3) (fun d -> int_term (Stdlib.min d 3) [])
+
+let print_promise t = Promises.Syntax.to_string t

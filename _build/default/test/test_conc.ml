@@ -1,0 +1,176 @@
+(* Concurrent HeapLang: the thread-pool semantics, schedulers, and the
+   exhaustive interleaving explorer (the substrate for the concurrent
+   safety reasoning Transfinite Iris inherits, §3). *)
+
+module Q = QCheck2
+module Shl = Tfiris.Shl
+module Conc = Tfiris_shl.Conc
+
+let parse = Shl.Parser.parse_exn
+
+let final_ints (r : Conc.exploration) =
+  List.filter_map
+    (fun (v, _) -> match v with Shl.Ast.Int n -> Some n | _ -> None)
+    r.Conc.final_values
+  |> List.sort compare
+
+let test_racy_counter () =
+  let r = Conc.explore (Conc.init Conc.racy_incr) in
+  Alcotest.(check (list int)) "both outcomes reachable" [ 1; 2 ] (final_ints r);
+  Alcotest.(check int) "no stuck thread" 0 (List.length r.Conc.stuck);
+  Alcotest.(check bool) "exploration complete" false r.Conc.capped
+
+let test_locked_counter () =
+  let r = Conc.explore (Conc.init Conc.locked_incr) in
+  Alcotest.(check (list int)) "CAS loop: only 2" [ 2 ] (final_ints r);
+  Alcotest.(check bool) "complete" false r.Conc.capped
+
+let test_spinlock () =
+  let r = Conc.explore (Conc.init Conc.spinlock_pair) in
+  Alcotest.(check int) "single outcome" 1 (List.length r.Conc.final_values);
+  (match r.Conc.final_values with
+  | [ (Shl.Ast.Pair (Shl.Ast.Int 2, Shl.Ast.Int 2), _) ] -> ()
+  | _ -> Alcotest.fail "expected (2, 2)");
+  (* the racy-read variant observes a mid-critical-section state *)
+  let r' = Conc.explore (Conc.init Conc.spinlock_pair_racy_read) in
+  Alcotest.(check bool) "racy read sees (2,1) on some schedule" true
+    (List.exists
+       (fun (v, _) -> v = Shl.Ast.Pair (Shl.Ast.Int 2, Shl.Ast.Int 1))
+       r'.Conc.final_values)
+
+let test_schedulers_agree_with_exploration () =
+  let r = Conc.explore (Conc.init Conc.racy_incr) in
+  let observed = final_ints r in
+  List.iter
+    (fun sched ->
+      match Conc.run ~fuel:100_000 ~sched (Conc.init Conc.racy_incr) with
+      | Conc.All_done (Shl.Ast.Int n, _) ->
+        Alcotest.(check bool) "scheduled outcome was explored" true
+          (List.mem n observed)
+      | _ -> Alcotest.fail "scheduler run did not finish")
+    [ Conc.round_robin; Conc.seeded 1; Conc.seeded 7; Conc.seeded 99 ]
+
+let test_fork_semantics () =
+  (* fork returns unit immediately; the child's effect lands later *)
+  let e = parse "let r = ref 0 in fork (r := 1); !r" in
+  let rr = Conc.explore (Conc.init e) in
+  Alcotest.(check (list int)) "0 or 1" [ 0; 1 ] (final_ints rr);
+  (* sequentially, fork is stuck *)
+  match Shl.Interp.exec e with
+  | Shl.Interp.Stuck _, _ -> ()
+  | _ -> Alcotest.fail "fork should be stuck sequentially"
+
+let test_cas_sequential () =
+  (* cas works (and is typed) in the sequential fragment *)
+  (match Shl.Interp.eval (parse "let r = ref 5 in (cas r 5 9, !r)") with
+  | Some (Shl.Ast.Pair (Shl.Ast.Bool true, Shl.Ast.Int 9)) -> ()
+  | _ -> Alcotest.fail "successful cas");
+  (match Shl.Interp.eval (parse "let r = ref 5 in (cas r 4 9, !r)") with
+  | Some (Shl.Ast.Pair (Shl.Ast.Bool false, Shl.Ast.Int 5)) -> ()
+  | _ -> Alcotest.fail "failed cas");
+  match Shl.Types.infer (parse "fun r -> cas r 0 1") with
+  | Ok t ->
+    Alcotest.(check string) "cas type" "(ref int -> bool)"
+      (Shl.Types.ty_to_string t)
+  | Error m -> Alcotest.failf "cas untyped: %s" m
+
+let test_fork_untyped () =
+  match Shl.Types.infer (parse "fork ()") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fork must be outside the typed fragment"
+
+let test_stuck_thread_reported () =
+  let e = parse "fork (1 + true); 0" in
+  let r = Conc.explore (Conc.init e) in
+  Alcotest.(check bool) "stuck child reported" true (List.length r.Conc.stuck > 0)
+
+let test_roundtrip_conc_syntax () =
+  List.iter
+    (fun src ->
+      let e = parse src in
+      let printed = Shl.Pretty.expr_to_string e in
+      Alcotest.(check bool) (src ^ " roundtrips") true (parse printed = e))
+    [ "fork (x := 1)"; "cas r 0 1"; "if cas l 0 1 then () else ()" ]
+
+let locked_always_two_prop =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:60 ~name:"CAS counter: every seeded schedule gives 2"
+       ~print:string_of_int (Q.Gen.int_bound 10_000)
+       (fun seed ->
+         match
+           Conc.run ~fuel:200_000 ~sched:(Conc.seeded seed)
+             (Conc.init Conc.locked_incr)
+         with
+         | Conc.All_done (Shl.Ast.Int 2, _) -> true
+         | _ -> false))
+
+(* ---------- concurrent TP-refinement (the paper's future work,
+   bounded to per-scheduler certificates) ---------- *)
+
+module CR = Tfiris_refinement.Conc_refine
+
+let test_conc_refinement_locked () =
+  (* the CAS counter refines the sequential "2" under every schedule *)
+  let ok, bad =
+    CR.certify_all_seeds ~seeds:10 ~target:Conc.locked_incr
+      ~source:(parse "1 + 1") ()
+  in
+  Alcotest.(check int) "all seeds pass" 10 (List.length ok);
+  Alcotest.(check int) "none fail" 0 (List.length bad)
+
+let test_conc_refinement_racy () =
+  (* under each schedule the racy counter deterministically yields 1 or
+     2; it refines exactly one of the two sequential constants *)
+  List.iter
+    (fun seed ->
+      let sched = Conc.seeded (seed * 37) in
+      let against src =
+        match
+          CR.certify ~tgt_sched:sched ~target:Conc.racy_incr
+            ~source:(parse src) ()
+        with
+        | CR.Accepted _ -> true
+        | CR.Still_running _ | CR.Rejected _ -> false
+      in
+      let one = against "0 + 1" and two = against "1 + 1" in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d refines exactly one constant" seed)
+        true
+        (one <> two))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_conc_refinement_divergence_rejected () =
+  (* a diverging concurrent target can never be certified against a
+     terminating source *)
+  let spin = parse "let r = ref 0 in fork (r := 1); (rec w u. w u) ()" in
+  match
+    CR.certify ~fuel:50_000 ~tgt_sched:Conc.round_robin ~target:spin
+      ~source:(parse "1 + 1") ()
+  with
+  | CR.Accepted _ -> Alcotest.fail "diverging target certified!"
+  | CR.Still_running _ | CR.Rejected _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "racy counter loses updates" `Quick test_racy_counter;
+    Alcotest.test_case "CAS counter is correct on all schedules" `Quick
+      test_locked_counter;
+    Alcotest.test_case "spin lock protects its invariant" `Slow test_spinlock;
+    Alcotest.test_case "schedulers ⊆ exploration" `Quick
+      test_schedulers_agree_with_exploration;
+    Alcotest.test_case "fork semantics" `Quick test_fork_semantics;
+    Alcotest.test_case "cas sequentially (and typed)" `Quick
+      test_cas_sequential;
+    Alcotest.test_case "fork is untyped" `Quick test_fork_untyped;
+    Alcotest.test_case "stuck threads reported" `Quick
+      test_stuck_thread_reported;
+    Alcotest.test_case "concurrent syntax roundtrips" `Quick
+      test_roundtrip_conc_syntax;
+    locked_always_two_prop;
+    Alcotest.test_case "conc TP-refinement: CAS counter ⪯ 2" `Quick
+      test_conc_refinement_locked;
+    Alcotest.test_case "conc TP-refinement: racy counter per-schedule" `Quick
+      test_conc_refinement_racy;
+    Alcotest.test_case "conc TP-refinement: divergence rejected" `Quick
+      test_conc_refinement_divergence_rejected;
+  ]

@@ -1,0 +1,136 @@
+(* The truth-height model of SProp: lattice/modal laws in both the
+   transfinite and the finite instantiation, the OFE structure, and
+   Banach fixed points (Theorem 6.3). *)
+
+open Tfiris
+module Q = QCheck2
+module H = Height
+module FH = Fin_height
+
+let w = Ord.omega
+
+let test_basics () =
+  Alcotest.(check bool) "⊨ ⊤" true (H.valid H.tt);
+  Alcotest.(check bool) "⊭ ⊥" false (H.valid H.ff);
+  Alcotest.(check bool) "⊥ holds nowhere" false (H.holds_at H.ff Ord.zero);
+  Alcotest.(check bool) "H ω holds at 3" true (H.holds_at (H.of_ord w) (Ord.of_int 3));
+  Alcotest.(check bool) "H ω fails at ω" false (H.holds_at (H.of_ord w) w);
+  Alcotest.(check bool) "⊥ ⊨ P" true (H.entails H.ff (H.of_ord w));
+  Alcotest.(check bool) "P ⊨ ⊤" true (H.entails (H.of_ord w) H.tt)
+
+let test_later () =
+  (* h(▷P) = h(P)+1; ▷ is sound: ⊨ ▷P implies ⊨ P (on cuts: ▷P = ⊤ only
+     if P = ⊤). *)
+  Alcotest.(check string) "▷(H ω) = H (ω+1)"
+    (H.to_string (H.of_ord (Ord.succ w)))
+    (H.to_string (H.later (H.of_ord w)));
+  Alcotest.(check bool) "▷⊤ = ⊤" true (H.valid (H.later H.tt));
+  Alcotest.(check bool) "▷ⁿ⊥ never valid" false
+    (H.valid (H.later_n 40 H.ff));
+  (* ▷ⁿ⊥ has height exactly n *)
+  Alcotest.(check string) "h(▷³⊥) = 3"
+    (H.to_string (H.of_ord (Ord.of_int 3)))
+    (H.to_string (H.later_n 3 H.ff))
+
+let test_sup_family () =
+  (* the §2.7 counterexample at the model level *)
+  let fam n = H.later_n n H.ff in
+  let trans = H.sup_family ~limit:w fam in
+  Alcotest.(check bool) "trans: ∃n.▷ⁿ⊥ invalid" false (H.valid trans);
+  Alcotest.(check string) "trans: height ω" (H.to_string (H.of_ord w))
+    (H.to_string trans);
+  let fin = FH.sup_family ~limit:w (fun n -> FH.later_n n FH.ff) in
+  Alcotest.(check bool) "finite: ∃n.▷ⁿ⊥ VALID" true (FH.valid fin);
+  (* a bounded family stays bounded in both models *)
+  let bounded _ = H.of_ord (Ord.of_int 5) in
+  Alcotest.(check bool) "bounded family not Top" false
+    (H.valid (H.sup_family ~limit:(Ord.of_int 5) bounded));
+  (* over-declared limit raises *)
+  Alcotest.(check bool) "bad declaration rejected" true
+    (match H.sup_family ~limit:(Ord.of_int 2) fam with
+    | exception H.Bad_family _ -> true
+    | _ -> false)
+
+let test_fixpoint () =
+  (* f P = Q ∧ ▷P has the fixpoint H hQ (or ⊤ for Q = ⊤) *)
+  let q = H.of_ord w in
+  let f p = H.conj q (H.later p) in
+  (match H.fixpoint f with
+  | Some r ->
+    Alcotest.(check string) "fixpoint of Q ∧ ▷·" (H.to_string q) (H.to_string r);
+    Alcotest.(check bool) "is a fixed point" true (H.equal (f r) r)
+  | None -> Alcotest.fail "no fixpoint found");
+  (match H.fixpoint (fun p -> H.later p) with
+  | Some r -> Alcotest.(check bool) "fixpoint of ▷ is ⊤" true (H.valid r)
+  | None -> Alcotest.fail "no fixpoint for ▷");
+  (* finite iteration from ⊥ does NOT reach the limit fixpoint: the
+     iterates of Q ∧ ▷· from ⊥ are the finite cuts 0,1,2,… *)
+  let iterates = H.iterates f 10 in
+  Alcotest.(check bool) "iterates from ⊥ stay finite" true
+    (List.for_all
+       (fun p ->
+         match p with
+         | H.H a -> Ord.is_finite a
+         | H.Top -> false)
+       iterates)
+
+let prop name gen print f =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count:300 ~name ~print gen f)
+
+let pair_print (a, b) = Printf.sprintf "(%s, %s)" (H.to_string a) (H.to_string b)
+let triple_print (a, b, c) =
+  Printf.sprintf "(%s, %s, %s)" (H.to_string a) (H.to_string b) (H.to_string c)
+
+let hpair = Q.Gen.pair Gen.height Gen.height
+let htriple = Q.Gen.triple Gen.height Gen.height Gen.height
+
+let properties =
+  [
+    prop "conj is the meet" hpair pair_print (fun (p, q) ->
+        let m = H.conj p q in
+        H.entails m p && H.entails m q);
+    prop "disj is the join" hpair pair_print (fun (p, q) ->
+        let j = H.disj p q in
+        H.entails p j && H.entails q j);
+    prop "impl: modus ponens" hpair pair_print (fun (p, q) ->
+        H.entails (H.conj (H.impl p q) p) q);
+    prop "impl: adjunction" htriple triple_print (fun (p, q, r) ->
+        Bool.equal (H.entails (H.conj p q) r) (H.entails p (H.impl q r)));
+    prop "later is monotone" hpair pair_print (fun (p, q) ->
+        (not (H.entails p q)) || H.entails (H.later p) (H.later q));
+    prop "later intro: P ⊨ ▷P" Gen.height H.to_string (fun p ->
+        H.entails p (H.later p));
+    prop "later soundness: ⊨ ▷P → ⊨ P" Gen.height H.to_string (fun p ->
+        (not (H.valid (H.later p))) || H.valid p);
+    prop "Löb: (▷P ⇒ P) ⊨ P" Gen.height H.to_string (fun p ->
+        H.entails (H.impl (H.later p) p) p);
+    prop "later distributes over conj" hpair pair_print (fun (p, q) ->
+        H.equal (H.later (H.conj p q)) (H.conj (H.later p) (H.later q)));
+    prop "down-closure" (Q.Gen.pair Gen.height Gen.ord)
+      (fun (p, a) -> Printf.sprintf "(%s, %s)" (H.to_string p) (Ord.to_string a))
+      (fun (p, a) ->
+        (* if P holds at a it holds at every sampled b ≤ a *)
+        (not (H.holds_at p a))
+        || List.for_all
+             (fun b -> (not (Ord.le b a)) || H.holds_at p b)
+             [ Ord.zero; Ord.one; w; Ord.succ w; a ]);
+    prop "dist coarsens as the index decreases"
+      (Q.Gen.triple Gen.height Gen.height Gen.ord)
+      (fun (p, q, a) ->
+        Printf.sprintf "(%s, %s, %s)" (H.to_string p) (H.to_string q)
+          (Ord.to_string a))
+      (fun (p, q, a) ->
+        (* p ≡_{a+1} q implies p ≡_a q *)
+        (not (H.dist (Ord.succ a) p q)) || H.dist a p q);
+    prop "entailment is the height order" hpair pair_print (fun (p, q) ->
+        Bool.equal (H.entails p q) (H.compare p q <= 0));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "basic validity" `Quick test_basics;
+    Alcotest.test_case "later modality" `Quick test_later;
+    Alcotest.test_case "family suprema (both models)" `Quick test_sup_family;
+    Alcotest.test_case "Banach fixed points (Thm 6.3)" `Quick test_fixpoint;
+  ]
+  @ properties

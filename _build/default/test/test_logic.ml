@@ -1,0 +1,311 @@
+(* The core logic: semantics in both models, soundness of every proof
+   rule, the existential property (Theorem 6.2), the commuting-rule
+   rejection, and the full dilemma (§2.7 + Theorem 7.1). *)
+
+open Tfiris
+module Q = QCheck2
+module F = Formula
+module S = Logic_semantics
+
+let w = Ord.omega
+
+(* ---------- semantics ---------- *)
+
+let test_eval_agreement () =
+  (* On later-free finite-height formulas the two models agree about
+     validity. *)
+  let fml = F.And (F.Index_lt (Ord.of_int 3), F.Or (F.True, F.False)) in
+  Alcotest.(check bool) "neither model validates a finite cut" true
+    ((not (S.valid_trans fml)) && not (S.valid_fin fml));
+  Alcotest.(check bool) "True valid in both" true
+    (S.valid_trans F.True && S.valid_fin F.True)
+
+let test_transfinite_atoms () =
+  (* Index_lt ω: invalid transfinitely (fails at ω), valid finitely. *)
+  let fml = F.Index_lt w in
+  Alcotest.(check bool) "trans: idx<ω invalid" false (S.valid_trans fml);
+  Alcotest.(check bool) "fin: idx<ω valid" true (S.valid_fin fml)
+
+let test_counterexample_formula () =
+  let fml = Dilemma.formula in
+  Alcotest.(check bool) "fin ⊨ ∃n.▷ⁿ⊥" true (S.valid_fin fml);
+  Alcotest.(check bool) "trans ⊭ ∃n.▷ⁿ⊥" false (S.valid_trans fml)
+
+(* ---------- proof checker: each rule concludes a semantically sound
+   sequent in its system ---------- *)
+
+let check_rule_sound name (system : Proof.system) (d : Proof.t) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Proof.check system d with
+      | Ok seq ->
+        Alcotest.(check bool)
+          (name ^ " semantically sound")
+          true
+          (Proof.conclusion_sound system seq)
+      | Error e -> Alcotest.failf "%s rejected: %a" name Proof.pp_error e)
+
+let a1 = F.Index_lt (Ord.of_int 3)
+let a2 = F.Index_lt w
+let fam = F.later_bot_family
+
+let rule_soundness system tag =
+  [
+    check_rule_sound (tag ^ "/refl") system (Refl a1);
+    check_rule_sound (tag ^ "/cut") system
+      (Cut (And_elim_l (a1, a2), Later_intro a1));
+    check_rule_sound (tag ^ "/true-intro") system (True_intro a1);
+    check_rule_sound (tag ^ "/false-elim") system (False_elim a2);
+    check_rule_sound (tag ^ "/and-intro") system
+      (And_intro (Refl a1, True_intro a1));
+    check_rule_sound (tag ^ "/and-elim-l") system (And_elim_l (a1, a2));
+    check_rule_sound (tag ^ "/and-elim-r") system (And_elim_r (a1, a2));
+    check_rule_sound (tag ^ "/or-intro-l") system (Or_intro_l (a1, a2));
+    check_rule_sound (tag ^ "/or-intro-r") system (Or_intro_r (a1, a2));
+    check_rule_sound (tag ^ "/or-elim") system
+      (Or_elim (True_intro a1, True_intro a2));
+    check_rule_sound (tag ^ "/impl-intro") system
+      (Impl_intro (And_elim_r (a1, a2)));
+    check_rule_sound (tag ^ "/impl-elim") system
+      (* from a1 ⊢ True ⇒ a1 and a1 ⊢ True conclude a1 ⊢ a1 *)
+      (Impl_elim (Impl_intro (And_elim_l (a1, F.True)), True_intro a1));
+    check_rule_sound (tag ^ "/later-mono") system (Later_mono (Refl a1));
+    check_rule_sound (tag ^ "/later-intro") system (Later_intro a1);
+    check_rule_sound (tag ^ "/loeb") system
+      (* True ∧ ▷True ⊢ True gives ⊢ True by Löb *)
+      (Loeb (True_intro (F.And (F.True, F.Later F.True))));
+    check_rule_sound (tag ^ "/exists-fin-intro") system
+      (Exists_fin_intro { members = [ a1; a2 ]; index = 1; premise = Refl a2 });
+    check_rule_sound (tag ^ "/exists-fin-elim") system
+      (Exists_fin_elim
+         { rhs = F.True; premises = [ True_intro a1; True_intro a2 ] });
+    check_rule_sound (tag ^ "/forall-fin-intro") system
+      (Forall_fin_intro { premises = [ Refl a1; True_intro a1 ] });
+    check_rule_sound (tag ^ "/forall-fin-elim") system
+      (Forall_fin_elim { members = [ a1; a2 ]; index = 0 });
+    check_rule_sound (tag ^ "/exists-nat-intro") system
+      (Exists_nat_intro { fam; index = 2; premise = Refl (fam.member 2) });
+    check_rule_sound (tag ^ "/exists-nat-elim") system
+      (Exists_nat_elim
+         {
+           fam;
+           rhs = F.Exists_nat fam;
+           premise =
+             (fun n ->
+               Exists_nat_intro { fam; index = n; premise = Refl (fam.member n) });
+           samples = 8;
+         });
+    check_rule_sound (tag ^ "/forall-nat-elim") system
+      (* members of later_bot_family are ▷ⁿ⊥; the minimum height is at
+         n = 0 *)
+      (Forall_nat_elim { fam; witness = 0; index = 3 });
+    check_rule_sound (tag ^ "/forall-nat-intro") system
+      (Forall_nat_intro
+         {
+           fam = F.family ~name:"const_true" ~sup:Ord.one (fun _ -> F.True);
+           witness = 0;
+           premise = (fun _ -> True_intro a1);
+           samples = 8;
+         });
+    check_rule_sound (tag ^ "/later-forall") system
+      (Later_forall (fam, 0));
+  ]
+
+let test_rejections () =
+  (* malformed derivations are rejected with the right rule name *)
+  let expect_err name d (system : Proof.system) =
+    match Proof.check system d with
+    | Ok _ -> Alcotest.failf "%s should have been rejected" name
+    | Error e -> Alcotest.(check bool) (name ^ " rejected") true (e.rule <> "")
+  in
+  expect_err "bad cut" (Cut (Refl a1, Refl a2)) Proof.Transfinite;
+  expect_err "bad and-intro"
+    (And_intro (Refl a1, Refl a2))
+    Proof.Transfinite;
+  expect_err "bad impl-intro (no conjunction)" (Impl_intro (Refl a1))
+    Proof.Transfinite;
+  expect_err "bad loeb shape" (Loeb (Refl a1)) Proof.Transfinite;
+  expect_err "exists-intro wrong member"
+    (Exists_nat_intro { fam; index = 1; premise = Refl (fam.member 2) })
+    Proof.Transfinite;
+  expect_err "out-of-bounds fin index"
+    (Forall_fin_elim { members = [ a1 ]; index = 3 })
+    Proof.Transfinite
+
+let test_commuting_rule () =
+  (* LaterExists: checkable finitely, rejected transfinitely; and the
+     finite conclusion is semantically sound while the transfinite
+     reading is not. *)
+  let d = Proof.Later_exists fam in
+  (match Proof.check Proof.Finite d with
+  | Ok seq ->
+    Alcotest.(check bool) "finite: sound" true
+      (Proof.conclusion_sound Proof.Finite seq);
+    (* the same sequent is NOT a transfinite entailment *)
+    Alcotest.(check bool) "transfinite: semantically refuted" false
+      (Proof.conclusion_sound Proof.Transfinite seq)
+  | Error e -> Alcotest.failf "finite check failed: %a" Proof.pp_error e);
+  match Proof.check Proof.Transfinite d with
+  | Ok _ -> Alcotest.fail "transfinite system accepted LaterExists"
+  | Error e ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "mentions Theorem 7.1" true
+      (contains (Format.asprintf "%a" Proof.pp_error e) "7.1")
+
+(* ---------- derived rules: provable in BOTH systems ---------- *)
+
+let test_derived_catalogue () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun system ->
+          match Proof.check system d with
+          | Ok seq ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s sound (%s)" name
+                 (match system with Proof.Finite -> "fin" | _ -> "trans"))
+              true
+              (Proof.conclusion_sound system seq)
+          | Error e ->
+            Alcotest.failf "%s rejected: %a" name Proof.pp_error e)
+        [ Proof.Finite; Proof.Transfinite ])
+    Derived.catalogue
+
+let test_forall_nat () =
+  (* ∀n. ▷ⁿ⊥ is invalid (height 0) in both models *)
+  let all = F.Forall_nat (fam, 0) in
+  Alcotest.(check bool) "∀ invalid trans" false (S.valid_trans all);
+  Alcotest.(check bool) "∀ invalid fin" false (S.valid_fin all);
+  (* a wrong witness annotation is caught during evaluation *)
+  let bad = F.Forall_nat (fam, 3) in
+  Alcotest.(check bool) "bad witness rejected" true
+    (match S.valid_trans bad with
+    | exception Tfiris_sprop.Height.Bad_family _ -> true
+    | _ -> false);
+  (* ▷∀ commutes in BOTH systems, while ▷∃ is finite-only: the §7
+     asymmetry in one test *)
+  List.iter
+    (fun system ->
+      match Proof.check system (Proof.Later_forall (fam, 0)) with
+      | Ok seq ->
+        Alcotest.(check bool) "later-forall sound" true
+          (Proof.conclusion_sound system seq)
+      | Error e -> Alcotest.failf "later-forall rejected: %a" Proof.pp_error e)
+    [ Proof.Finite; Proof.Transfinite ];
+  match Proof.check Proof.Transfinite (Proof.Later_exists fam) with
+  | Ok _ -> Alcotest.fail "later-exists must stay transfinitely rejected"
+  | Error _ -> ()
+
+let test_later_conj_survives () =
+  (* ▷∧-commuting survives transfinitely — in contrast to ▷∃ *)
+  let d = Proof.Later_conj (a1, a2) in
+  (match Proof.check Proof.Transfinite d with
+  | Ok seq ->
+    Alcotest.(check bool) "sound transfinitely" true
+      (Proof.conclusion_sound Proof.Transfinite seq)
+  | Error e -> Alcotest.failf "rejected: %a" Proof.pp_error e);
+  match Proof.check Proof.Transfinite (Proof.Later_exists fam) with
+  | Ok _ -> Alcotest.fail "LaterExists must stay rejected"
+  | Error _ -> ()
+
+(* ---------- the dilemma, end to end ---------- *)
+
+let test_dilemma_finite () =
+  let o = Dilemma.run Proof.Finite in
+  Alcotest.(check bool) "derivation accepted" true o.derivation_accepted;
+  Alcotest.(check bool) "formula valid" true o.formula_valid;
+  (match o.existential_verdict with
+  | Existential.No_witness -> ()
+  | v ->
+    Alcotest.failf "expected No_witness, got %a" Existential.pp_verdict v);
+  Alcotest.(check bool) "consistent (existential property sacrificed)" true
+    o.consistent
+
+let test_dilemma_transfinite () =
+  let o = Dilemma.run Proof.Transfinite in
+  Alcotest.(check bool) "derivation rejected" false o.derivation_accepted;
+  Alcotest.(check bool) "formula invalid" false o.formula_valid;
+  (match o.existential_verdict with
+  | Existential.Premise_invalid -> ()
+  | v -> Alcotest.failf "expected Premise_invalid, got %a" Existential.pp_verdict v);
+  Alcotest.(check bool) "consistent (commuting rule sacrificed)" true
+    o.consistent
+
+(* ---------- Theorem 6.2 as a property ---------- *)
+
+(* random ℕ-families with declared sup: heights n·step + base capped at
+   [cap] or growing to a limit *)
+let family_gen : F.family Q.Gen.t =
+  let open Q.Gen in
+  let* kind = int_bound 2 in
+  let* base = int_bound 4 in
+  let* step = int_range 0 3 in
+  match kind with
+  | 0 ->
+    (* eventually-Top family: some member is True *)
+    let* k = int_bound 6 in
+    return
+      (F.family ~name:(Printf.sprintf "evtop_%d_%d" base k) ~sup:Ord.omega
+         (fun n -> if n >= k then F.True else F.later_n n F.False))
+  | 1 ->
+    (* bounded family: heights ≤ base (declared exactly) *)
+    return
+      (F.family ~name:(Printf.sprintf "bounded_%d" base)
+         ~sup:(Ord.of_int base)
+         (fun n -> F.Index_lt (Ord.of_int (min n base))))
+  | _ ->
+    (* unbounded finite heights, sup ω *)
+    return
+      (F.family
+         ~name:(Printf.sprintf "unb_%d_%d" base step)
+         ~sup:Ord.omega
+         (fun n -> F.later_n ((n * (step + 1)) + base) F.False))
+
+let existential_property_prop =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:200 ~name:"Theorem 6.2: existential property (transfinite)"
+       ~print:(fun f -> f.F.name)
+       family_gen
+       (fun fam -> Existential.holds_trans ~bound:64 fam))
+
+let exists_heights_prop =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:200
+       ~name:"finite model may validate ∃ without witness; transfinite never"
+       ~print:(fun f -> f.F.name) family_gen
+       (fun fam ->
+         match Existential.check_trans ~bound:64 fam with
+         | Existential.No_witness -> false
+         | Existential.Witness _ | Existential.Premise_invalid -> true))
+
+let suite =
+  [
+    Alcotest.test_case "model agreement on simple formulas" `Quick
+      test_eval_agreement;
+    Alcotest.test_case "transfinite atoms split the models" `Quick
+      test_transfinite_atoms;
+    Alcotest.test_case "§2.7 counterexample formula" `Quick
+      test_counterexample_formula;
+  ]
+  @ rule_soundness Proof.Transfinite "trans"
+  @ rule_soundness Proof.Finite "fin"
+  @ [
+      Alcotest.test_case "malformed derivations rejected" `Quick
+        test_rejections;
+      Alcotest.test_case "LaterExists commuting rule (§7)" `Quick
+        test_commuting_rule;
+      Alcotest.test_case "derived-rule catalogue (both systems)" `Quick
+        test_derived_catalogue;
+      Alcotest.test_case "▷∧ commutes, ▷∃ does not" `Quick
+        test_later_conj_survives;
+      Alcotest.test_case "∀-nat: semantics, witnesses, ▷∀ commuting" `Quick
+        test_forall_nat;
+      Alcotest.test_case "dilemma: finite system" `Quick test_dilemma_finite;
+      Alcotest.test_case "dilemma: transfinite system" `Quick
+        test_dilemma_transfinite;
+      existential_property_prop;
+      exists_heights_prop;
+    ]

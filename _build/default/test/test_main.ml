@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "tfiris"
+    [
+      ("ordinal", Test_ordinal.suite);
+      ("sprop", Test_cut.suite);
+      ("resource", Test_resource.suite);
+      ("logic", Test_logic.suite);
+      ("tauto", Test_tauto.suite);
+      ("shl", Test_shl.suite);
+      ("safety", Test_safety.suite);
+      ("types", Test_types.suite);
+      ("concurrent", Test_conc.suite);
+      ("transition", Test_transition.suite);
+      ("refinement", Test_refinement.suite);
+      ("termination", Test_termination.suite);
+      ("promises", Test_promises.suite);
+    ]

@@ -1,0 +1,225 @@
+(* Ordinal arithmetic: unit tests on classical identities and qcheck
+   property tests for the algebraic laws. *)
+
+open Tfiris
+module Q = QCheck2
+
+let w = Ord.omega
+let ( + ) = Ord.add
+let ( * ) = Ord.mul
+let ( +! ) = Ord.hsum
+let i = Ord.of_int
+
+let check_ord name expected actual =
+  Alcotest.(check string) name (Ord.to_string expected) (Ord.to_string actual)
+
+let test_classics () =
+  check_ord "1 + ω = ω" w (i 1 + w);
+  check_ord "ω + 1 > ω" (Ord.succ w) (w + i 1);
+  check_ord "2·ω = ω" w (i 2 * w);
+  check_ord "ω·2 = ω + ω" (w + w) (w * i 2);
+  check_ord "(ω+1)·ω = ω²" (Ord.omega_pow Ord.two) (Ord.succ w * w);
+  check_ord "(ω+1)·2 = ω·2+1" ((w * i 2) + i 1) (Ord.succ w * i 2);
+  check_ord "ω·0 = 0" Ord.zero (w * Ord.zero);
+  check_ord "0·ω = 0" Ord.zero (Ord.zero * w);
+  check_ord "ω^0 = 1" Ord.one (Ord.omega_pow Ord.zero);
+  check_ord "ω^1 = ω" w (Ord.omega_pow Ord.one)
+
+let test_hessenberg_classics () =
+  check_ord "1 ⊕ ω = ω + 1" (w + i 1) (Ord.hsum (i 1) w);
+  check_ord "(ω+3) ⊕ (ω+4) = ω·2+7" ((w * i 2) + i 7) (Ord.hsum (w + i 3) (w + i 4));
+  check_ord "(ω+2) ⊗ (ω+3) = ω²+ω·5+6"
+    (Ord.omega_pow Ord.two + (w * i 5) + i 6)
+    (Ord.hprod (w + i 2) (w + i 3))
+
+let test_structure () =
+  Alcotest.(check bool) "ω is a limit" true (Ord.is_limit w);
+  Alcotest.(check bool) "ω+1 is a successor" true (Ord.is_succ (Ord.succ w));
+  Alcotest.(check bool) "0 is neither" false (Ord.is_limit Ord.zero || Ord.is_succ Ord.zero);
+  Alcotest.(check (option int)) "to_int 7" (Some 7) (Ord.to_int_opt (i 7));
+  Alcotest.(check (option int)) "to_int ω" None (Ord.to_int_opt w);
+  Alcotest.(check int) "nat_part (ω·2+5)" 5 (Ord.nat_part ((w * i 2) + i 5));
+  check_ord "limit_part (ω·2+5)" (w * i 2) (Ord.limit_part ((w * i 2) + i 5));
+  check_ord "degree (ω²·3 + ω)" Ord.two (Ord.degree (Ord.omega_pow Ord.two * i 3 + w))
+
+let test_sub () =
+  check_ord "(ω·2+5) - (ω+3) = ω+5" (w + i 5) (Ord.sub ((w * i 2) + i 5) (w + i 3));
+  check_ord "a - a = 0" Ord.zero (Ord.sub w w);
+  check_ord "smaller - larger = 0" Ord.zero (Ord.sub (i 3) w)
+
+let test_fundamental () =
+  check_ord "ω[5] = 5" (i 5) (Ord.fundamental w 5);
+  check_ord "ω²[3] = ω·3" (w * i 3) (Ord.fundamental (Ord.omega_pow Ord.two) 3);
+  check_ord "ω^ω[2] = ω²" (Ord.omega_pow Ord.two) (Ord.fundamental (Ord.omega_pow w) 2);
+  check_ord "(ω²+ω)[4] = ω²+4" (Ord.omega_pow Ord.two + i 4)
+    (Ord.fundamental (Ord.omega_pow Ord.two + w) 4);
+  Alcotest.check_raises "fundamental of successor"
+    (Invalid_argument "Ord.fundamental: not a limit") (fun () ->
+      ignore (Ord.fundamental (Ord.succ w) 1))
+
+let test_pow () =
+  check_ord "2^ω = ω" w (Ord.pow (i 2) w);
+  check_ord "2^(ω²) = ω^ω" (Ord.omega_pow w) (Ord.pow (i 2) (Ord.omega_pow Ord.two));
+  check_ord "ω^ω (via pow)" (Ord.omega_pow w) (Ord.pow w w);
+  check_ord "(ω·2)² = ω²·2" (Ord.omega_pow Ord.two * i 2) (Ord.pow (w * i 2) (i 2));
+  check_ord "ω^(ω+2) = ω^ω·ω²" (Ord.omega_pow (w + i 2)) (Ord.pow w (w + i 2));
+  check_ord "3^(ω·2+3) = ω²·27" (Ord.omega_pow Ord.two * i 27)
+    (Ord.pow (i 3) ((w * i 2) + i 3));
+  check_ord "a^0 = 1" Ord.one (Ord.pow w Ord.zero);
+  check_ord "0^ω = 0" Ord.zero (Ord.pow Ord.zero w);
+  check_ord "1^ω = 1" Ord.one (Ord.pow Ord.one w);
+  check_ord "2^10 = 1024" (i 1024) (Ord.pow (i 2) (i 10))
+
+let test_goodstein () =
+  (* the textbook G(3) sequence *)
+  Alcotest.(check (list (pair int int)))
+    "G(3) values"
+    [ (2, 3); (3, 3); (4, 3); (5, 2); (6, 1); (7, 0) ]
+    (Goodstein.sequence 3);
+  (* hereditary representation roundtrips *)
+  List.iter
+    (fun (base, n) ->
+      Alcotest.(check int)
+        (Printf.sprintf "roundtrip %d base %d" n base)
+        n
+        (Goodstein.of_hereditary ~base (Goodstein.to_hereditary ~base n)))
+    [ (2, 0); (2, 1); (2, 100); (3, 81); (5, 12345); (2, 266) ];
+  (* ordinal shadows *)
+  check_ord "ord of 3 base 2 = ω+1" (w + i 1) (Goodstein.ordinal_of ~base:2 3);
+  (* 266 = 2^(2^(2+1)) + 2^(2+1) + 2 — the classic example *)
+  check_ord "ord of 266 base 2 = ω^ω^(ω+1) + ω^(ω+1) + ω"
+    (Ord.omega_pow (Ord.omega_pow (w + i 1)) + Ord.omega_pow (w + i 1) + w)
+    (Goodstein.ordinal_of ~base:2 266)
+
+let test_descent () =
+  Alcotest.(check int) "descent ω·2" 4 (Ord.descent_depth (w * i 2));
+  Alcotest.(check int) "descent 10" 10 (Ord.descent_depth (i 10));
+  Alcotest.(check int) "descent 0" 0 (Ord.descent_depth Ord.zero)
+
+let test_printing () =
+  Alcotest.(check string) "zero" "0" (Ord.to_string Ord.zero);
+  Alcotest.(check string) "omega" "\xcf\x89" (Ord.to_string w);
+  Alcotest.(check string) "tower" "\xcf\x89^\xcf\x89^\xcf\x89" (Ord.to_string (Ord.omega_tower 3));
+  Alcotest.(check string) "compound" "\xcf\x89^(\xcf\x89 + 1)\xc2\xb72 + \xcf\x89^2 + 3"
+    (Ord.to_string (Ord.omega_pow (Ord.succ w) * i 2 + Ord.omega_pow Ord.two + i 3))
+
+(* ---------- properties ---------- *)
+
+let prop name gen print f =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:300 ~name ~print gen f)
+
+let prop2 name g1 p1 g2 p2 f =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:300 ~name
+       ~print:(fun (a, b) -> Printf.sprintf "(%s, %s)" (p1 a) (p2 b))
+       (Q.Gen.pair g1 g2) f)
+
+let prop3 name g p f =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:300 ~name
+       ~print:(fun (a, b, c) -> Printf.sprintf "(%s, %s, %s)" (p a) (p b) (p c))
+       (Q.Gen.triple g g g) f)
+
+let properties =
+  [
+    prop "compare is reflexive" Gen.ord Gen.print_ord (fun a ->
+        Ord.compare a a = 0);
+    prop3 "compare is transitive" Gen.ord Gen.print_ord (fun (a, b, c) ->
+        let sorted = List.sort Ord.compare [ a; b; c ] in
+        match sorted with
+        | [ x; y; z ] -> Ord.le x y && Ord.le y z && Ord.le x z
+        | _ -> false);
+    prop2 "add is monotone right" Gen.ord Gen.print_ord Gen.ord Gen.print_ord
+      (fun (a, b) -> Ord.le a (Ord.add a b) && Ord.le b (Ord.add a b));
+    prop3 "add is associative" Gen.ord Gen.print_ord (fun (a, b, c) ->
+        Ord.equal (Ord.add (Ord.add a b) c) (Ord.add a (Ord.add b c)));
+    prop3 "hsum is associative" Gen.ord Gen.print_ord (fun (a, b, c) ->
+        Ord.equal (Ord.hsum (Ord.hsum a b) c) (Ord.hsum a (Ord.hsum b c)));
+    prop2 "hsum is commutative" Gen.ord Gen.print_ord Gen.ord Gen.print_ord
+      (fun (a, b) -> Ord.equal (Ord.hsum a b) (Ord.hsum b a));
+    prop2 "hsum is strictly monotone" Gen.ord Gen.print_ord Gen.ord
+      Gen.print_ord (fun (a, b) ->
+        Ord.is_zero b || Ord.lt a (Ord.hsum a b));
+    prop3 "hsum is cancellative" Gen.ord Gen.print_ord (fun (a, b, c) ->
+        (not (Ord.equal (Ord.hsum a c) (Ord.hsum b c))) || Ord.equal a b);
+    prop2 "hprod is commutative" Gen.ord Gen.print_ord Gen.ord Gen.print_ord
+      (fun (a, b) -> Ord.equal (Ord.hprod a b) (Ord.hprod b a));
+    prop3 "hprod distributes over hsum" Gen.ord Gen.print_ord
+      (fun (a, b, c) ->
+        Ord.equal
+          (Ord.hprod a (Ord.hsum b c))
+          (Ord.hsum (Ord.hprod a b) (Ord.hprod a c)));
+    prop2 "add and hsum agree on naturals" (Q.Gen.int_bound 100)
+      string_of_int (Q.Gen.int_bound 100) string_of_int (fun (a, b) ->
+        Ord.equal
+          (Ord.add (Ord.of_int a) (Ord.of_int b))
+          (Ord.hsum (Ord.of_int a) (Ord.of_int b)));
+    prop2 "mul and hprod agree on naturals" (Q.Gen.int_range 0 40)
+      string_of_int (Q.Gen.int_range 0 40) string_of_int (fun (a, b) ->
+        Ord.equal
+          (Ord.mul (Ord.of_int a) (Ord.of_int b))
+          (Ord.hprod (Ord.of_int a) (Ord.of_int b)));
+    prop2 "sub inverts add" Gen.ord Gen.print_ord Gen.ord Gen.print_ord
+      (fun (a, b) -> Ord.equal (Ord.add b (Ord.sub (Ord.add b a) b)) (Ord.add b a));
+    prop "succ is strictly increasing" Gen.ord Gen.print_ord (fun a ->
+        Ord.lt a (Ord.succ a));
+    prop "pred inverts succ" Gen.ord Gen.print_ord (fun a ->
+        match Ord.pred (Ord.succ a) with
+        | Some b -> Ord.equal a b
+        | None -> false);
+    prop "fundamental sequences are increasing and below" Gen.ord
+      Gen.print_ord (fun a ->
+        (not (Ord.is_limit a))
+        ||
+        let f n = Ord.fundamental a n in
+        Ord.lt (f 1) (f 2) && Ord.lt (f 2) (f 3) && Ord.lt (f 3) a);
+    prop "descend is strictly decreasing" Gen.ord Gen.print_ord (fun a ->
+        Ord.is_zero a || Ord.lt (Ord.descend a) a);
+    prop "limit_part + nat_part reassemble" Gen.ord Gen.print_ord (fun a ->
+        Ord.equal a (Ord.add (Ord.limit_part a) (Ord.of_int (Ord.nat_part a))));
+    prop "printing roundtrips through compare" Gen.ord Gen.print_ord
+      (fun a ->
+        (* equal ordinals print equally; used as a sanity on the pp *)
+        String.equal (Ord.to_string a) (Ord.to_string (Ord.hsum a Ord.zero)));
+    prop2 "pow is monotone in the exponent" Gen.small_ord Gen.print_ord
+      Gen.small_ord Gen.print_ord (fun (a, b) ->
+        Ord.le (Ord.pow Ord.two a) (Ord.pow Ord.two (Ord.add a b)));
+    prop3 "pow: a^(b+c) = a^b · a^c" Gen.small_ord Gen.print_ord
+      (fun (a, b, c) ->
+        Ord.is_zero a
+        || Ord.equal
+             (Ord.pow a (Ord.add b c))
+             (Ord.mul (Ord.pow a b) (Ord.pow a c)));
+    QCheck_alcotest.to_alcotest
+      (Q.Test.make ~count:100 ~name:"Goodstein ordinal trace strictly descends"
+         ~print:string_of_int
+         (Q.Gen.int_range 1 40)
+         (fun n ->
+           let tr = Goodstein.ordinal_trace ~max_len:24 n in
+           let rec decreasing = function
+             | a :: (b :: _ as rest) -> Ord.lt b a && decreasing rest
+             | [ _ ] | [] -> true
+           in
+           decreasing tr));
+    QCheck_alcotest.to_alcotest
+      (Q.Test.make ~count:300 ~name:"hereditary representation roundtrips"
+         ~print:(fun (b, n) -> Printf.sprintf "base %d, %d" b n)
+         (Q.Gen.pair (Q.Gen.int_range 2 6) (Q.Gen.int_range 0 10_000))
+         (fun (base, n) ->
+           Goodstein.of_hereditary ~base (Goodstein.to_hereditary ~base n) = n));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "classical identities" `Quick test_classics;
+    Alcotest.test_case "hessenberg identities" `Quick test_hessenberg_classics;
+    Alcotest.test_case "structure predicates" `Quick test_structure;
+    Alcotest.test_case "subtraction" `Quick test_sub;
+    Alcotest.test_case "exponentiation" `Quick test_pow;
+    Alcotest.test_case "Goodstein sequences" `Quick test_goodstein;
+    Alcotest.test_case "fundamental sequences" `Quick test_fundamental;
+    Alcotest.test_case "descent" `Quick test_descent;
+    Alcotest.test_case "printing" `Quick test_printing;
+  ]
+  @ properties

@@ -1,0 +1,194 @@
+(* Resource algebras and uniform predicates: PCM laws, split
+   enumeration, separating conjunction, and the §7 observation that
+   ▷(P ∗ Q) ⊢ ▷P ∗ ▷Q fails in the transfinite model. *)
+
+open Tfiris
+module Q = QCheck2
+
+module IntKey = struct
+  type t = int
+
+  let compare = Stdlib.compare
+  let pp = Format.pp_print_int
+end
+
+module IntVal = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module H = Resource.Heap (IntKey) (IntVal)
+module C = Resource.Credits
+module P = Upred.Make (H)
+
+let heap_gen : H.t Q.Gen.t =
+  let open Q.Gen in
+  let* n = int_bound 4 in
+  let* kvs = list_repeat n (pair (int_bound 5) (int_bound 9)) in
+  return (H.of_list kvs)
+
+let print_heap h = Format.asprintf "%a" H.pp h
+
+let test_heap_ra () =
+  let a = H.of_list [ (1, 10); (2, 20) ] in
+  let b = H.of_list [ (3, 30) ] in
+  let c = H.of_list [ (1, 99) ] in
+  (match H.compose a b with
+  | Some ab -> Alcotest.(check int) "disjoint union size" 3 (List.length (H.bindings ab))
+  | None -> Alcotest.fail "disjoint compose failed");
+  Alcotest.(check bool) "overlapping compose invalid" true (H.compose a c = None);
+  Alcotest.(check int) "splits of 2-binding heap" 4 (List.length (H.splits a));
+  Alcotest.(check bool) "unit is neutral" true
+    (match H.compose a H.unit with Some x -> H.equal x a | None -> false)
+
+let test_credit_ra () =
+  let w = Ord.omega in
+  let a = Ord.add w (Ord.of_int 2) in
+  (* splits of ω+2: coefficient splits of [ω^1·1; ω^0·2] = 2·3 = 6 *)
+  Alcotest.(check int) "splits of ω+2" 6 (List.length (C.splits a));
+  Alcotest.(check bool) "every split recomposes" true
+    (List.for_all
+       (fun (x, y) -> Ord.equal (Ord.hsum x y) a)
+       (C.splits a))
+
+let test_upred () =
+  let r12 = H.of_list [ (1, 10); (2, 20) ] in
+  let p1 = P.own (H.singleton 1 10) in
+  let p2 = P.own (H.singleton 2 20) in
+  (* ownership of both pieces holds of the combined heap via ∗ *)
+  Alcotest.(check bool) "ℓ1↦10 ∗ ℓ2↦20 at combined heap" true
+    (P.holds (P.sep p1 p2) r12 Ord.zero);
+  Alcotest.(check bool) "ℓ1↦10 ∗ ℓ1↦10 unsatisfiable" false
+    (P.holds (P.sep p1 p1) r12 Ord.zero);
+  Alcotest.(check bool) "own is monotone" true
+    (P.monotone_on [ H.unit; H.singleton 1 10; r12 ] p1)
+
+let test_later_sep_commuting () =
+  (* §7: ▷(P ∗ Q) ⊨ ▷P ∗ ▷Q fails transfinitely. Build P, Q whose
+     heights depend on the split so that the sup-over-splits interacts
+     with ▷ the same way it does with ∃. On single-resource carriers the
+     two sides agree; the failure needs the ∃ over an unbounded family,
+     which the finite-split model cannot exhibit — we verify agreement
+     here and the genuine failure at the ∃-level in Test_logic. *)
+  let r = H.of_list [ (1, 0) ] in
+  let p = P.pure (Height.of_ord Ord.omega) in
+  let q = P.own (H.singleton 1 0) in
+  let lhs = P.later (P.sep p q) in
+  let rhs = P.sep (P.later p) (P.later q) in
+  Alcotest.(check bool) "finite splits: both sides agree" true
+    (P.entails_on [ H.unit; r ] lhs rhs && P.entails_on [ H.unit; r ] rhs lhs)
+
+let test_core_and_box () =
+  (* core laws on the heap RA *)
+  let r = H.of_list [ (1, 10) ] in
+  Alcotest.(check bool) "core r · r = r" true
+    (match H.compose (H.core r) r with Some x -> H.equal x r | None -> false);
+  Alcotest.(check bool) "core idempotent" true
+    (H.equal (H.core (H.core r)) (H.core r));
+  (* □ laws over upreds: □P ⊢ P on monotone P; □P duplicable *)
+  let rs = [ H.unit; H.singleton 1 10; H.of_list [ (1, 10); (2, 20) ] ] in
+  let pure_p = P.pure (Height.of_ord Ord.omega) in
+  Alcotest.(check bool) "□(pure) ⊢ pure" true
+    (P.entails_on rs (P.box pure_p) pure_p);
+  Alcotest.(check bool) "□P ⊢ □□P" true
+    (P.entails_on rs (P.box pure_p) (P.box (P.box pure_p)));
+  Alcotest.(check bool) "□P ⊢ □P ∗ □P" true
+    (P.entails_on rs (P.box pure_p) (P.sep (P.box pure_p) (P.box pure_p)));
+  (* ownership of an exclusive resource is NOT persistent *)
+  let own1 = P.own (H.singleton 1 10) in
+  Alcotest.(check bool) "□(own ℓ↦v) is trivialized" false
+    (P.entails_on rs own1 (P.box own1) && P.entails_on rs (P.box own1) own1)
+
+let test_fixpoint_on () =
+  let rs = [ H.unit; H.singleton 1 1 ] in
+  let q = P.own (H.singleton 1 1) in
+  let f p = P.conj q (P.later p) in
+  match P.fixpoint_on rs f with
+  | Some r ->
+    Alcotest.(check bool) "fixpoint property" true
+      (List.for_all (fun r0 -> Height.equal (f r r0) (r r0)) rs)
+  | None -> Alcotest.fail "no pointwise fixpoint"
+
+module A = Resource.Agree (IntVal)
+module F = Resource.Frac (IntVal)
+
+let test_agree_ra () =
+  let a = A.of_value 7 in
+  (match A.compose a (A.of_value 7) with
+  | Some r -> Alcotest.(check (option int)) "agree merges" (Some 7) (A.value r)
+  | None -> Alcotest.fail "agreement refused");
+  Alcotest.(check bool) "disagreement invalid" true
+    (A.compose a (A.of_value 8) = None);
+  Alcotest.(check bool) "unit neutral" true
+    (match A.compose a A.unit with Some r -> A.equal r a | None -> false);
+  Alcotest.(check bool) "splits recompose" true
+    (List.for_all
+       (fun (x, y) ->
+         match A.compose x y with Some r -> A.equal r a | None -> false)
+       (A.splits a))
+
+let test_frac_ra () =
+  let half = F.share ~num:1 ~den:2 3 in
+  let quarter = F.share ~num:1 ~den:4 3 in
+  (match F.compose half half with
+  | Some w -> Alcotest.(check bool) "1/2 + 1/2 = whole" true (F.is_whole w)
+  | None -> Alcotest.fail "halves refused");
+  (match F.compose half quarter with
+  | Some q ->
+    Alcotest.(check bool) "3/4 not whole" false (F.is_whole q);
+    (match F.compose q quarter with
+    | Some w -> Alcotest.(check bool) "3/4 + 1/4 whole" true (F.is_whole w)
+    | None -> Alcotest.fail "3/4 + 1/4 refused")
+  | None -> Alcotest.fail "1/2 + 1/4 refused");
+  Alcotest.(check bool) "over 1 invalid" true
+    (F.compose (F.whole 3) half = None);
+  Alcotest.(check bool) "different values refuse" true
+    (F.compose half (F.share ~num:1 ~den:2 4) = None);
+  Alcotest.(check bool) "normalization: 2/4 = 1/2" true
+    (F.equal (F.share ~num:2 ~den:4 3) half)
+
+let prop name gen print f =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count:200 ~name ~print gen f)
+
+let properties =
+  [
+    prop "heap compose is commutative" (Q.Gen.pair heap_gen heap_gen)
+      (fun (a, b) -> print_heap a ^ " / " ^ print_heap b)
+      (fun (a, b) ->
+        match H.compose a b, H.compose b a with
+        | Some x, Some y -> H.equal x y
+        | None, None -> true
+        | Some _, None | None, Some _ -> false);
+    prop "splits recompose" heap_gen print_heap (fun h ->
+        List.for_all
+          (fun (a, b) ->
+            match H.compose a b with Some x -> H.equal x h | None -> false)
+          (H.splits h));
+    prop "splits are exhaustive (count = 2^n)" heap_gen print_heap (fun h ->
+        List.length (H.splits h)
+        = int_of_float (2. ** float_of_int (List.length (H.bindings h))));
+    prop "credit splits recompose" Gen.small_ord Gen.print_ord (fun a ->
+        List.for_all
+          (fun (x, y) -> Ord.equal (Ord.hsum x y) a)
+          (C.splits a));
+    prop "sep is commutative on upreds" heap_gen print_heap (fun h ->
+        let p = P.own (H.singleton 1 10) in
+        let q = P.pure (Height.of_ord Ord.omega) in
+        Height.equal (P.sep p q h) (P.sep q p h));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "heap resource algebra" `Quick test_heap_ra;
+    Alcotest.test_case "credit resource algebra" `Quick test_credit_ra;
+    Alcotest.test_case "agreement resource algebra" `Quick test_agree_ra;
+    Alcotest.test_case "fractional resource algebra" `Quick test_frac_ra;
+    Alcotest.test_case "uniform predicates" `Quick test_upred;
+    Alcotest.test_case "later/sep commuting (finite split case)" `Quick
+      test_later_sep_commuting;
+    Alcotest.test_case "core laws and the □ modality" `Quick test_core_and_box;
+    Alcotest.test_case "pointwise fixpoints" `Quick test_fixpoint_on;
+  ]
+  @ properties

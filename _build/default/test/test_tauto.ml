@@ -1,0 +1,149 @@
+(* The G4ip prover: every found derivation must re-check (in both
+   systems) and be semantically sound; known theorems are found; known
+   non-theorems are not; and the Gödel–Dummett axiom separates
+   syntactic provability from validity in the linear models. *)
+
+module Q = QCheck2
+open Tfiris
+module F = Formula
+
+let a = F.Index_lt (Ord.of_int 3)
+let b = F.Index_lt Ord.omega
+let c = F.Index_lt Ord.one
+let neg p = F.Impl (p, F.False)
+
+let checks_and_sound (d : Proof.t) (expected_rhs : F.t) : bool =
+  List.for_all
+    (fun system ->
+      match Proof.check system d with
+      | Ok seq ->
+        F.equal seq.Proof.rhs expected_rhs
+        && F.equal seq.Proof.lhs F.True
+        && Proof.conclusion_sound system seq
+      | Error _ -> false)
+    [ Proof.Finite; Proof.Transfinite ]
+
+let expect_provable name goal =
+  match Tauto.prove goal with
+  | Some d ->
+    Alcotest.(check bool) (name ^ ": derivation checks + sound") true
+      (checks_and_sound d goal)
+  | None -> Alcotest.failf "%s: not proved" name
+
+let expect_unprovable name goal =
+  match Tauto.prove goal with
+  | Some _ -> Alcotest.failf "%s: unexpectedly proved" name
+  | None -> ()
+
+let test_theorems () =
+  expect_provable "identity" (F.Impl (a, a));
+  expect_provable "K" (F.Impl (a, F.Impl (b, a)));
+  expect_provable "S"
+    (F.Impl
+       ( F.Impl (a, F.Impl (b, c)),
+         F.Impl (F.Impl (a, b), F.Impl (a, c)) ));
+  expect_provable "and-comm" (F.Impl (F.And (a, b), F.And (b, a)));
+  expect_provable "or-comm" (F.Impl (F.Or (a, b), F.Or (b, a)));
+  expect_provable "curry"
+    (F.Impl (F.Impl (F.And (a, b), c), F.Impl (a, F.Impl (b, c))));
+  expect_provable "uncurry"
+    (F.Impl (F.Impl (a, F.Impl (b, c)), F.Impl (F.And (a, b), c)));
+  expect_provable "distrib"
+    (F.Impl (F.And (a, F.Or (b, c)), F.Or (F.And (a, b), F.And (a, c))));
+  expect_provable "or-elim-as-impl"
+    (F.Impl (F.Or (a, b), F.Impl (F.Impl (a, c), F.Impl (F.Impl (b, c), c))));
+  expect_provable "efq" (F.Impl (F.False, a));
+  expect_provable "true" F.True;
+  expect_provable "non-contradiction" (neg (F.And (a, neg a)));
+  expect_provable "double-negation intro" (F.Impl (a, neg (neg a)));
+  (* the classic: ¬¬(A ∨ ¬A), exercising the nested-implication left
+     rule of G4ip *)
+  expect_provable "weak excluded middle of LEM" (neg (neg (F.Or (a, neg a))));
+  expect_provable "de morgan (∨ to ∧)"
+    (F.Impl (neg (F.Or (a, b)), F.And (neg a, neg b)));
+  expect_provable "triple-to-single negation"
+    (F.Impl (neg (neg (neg a)), neg a))
+
+let test_non_theorems () =
+  expect_unprovable "atom" a;
+  expect_unprovable "LEM" (F.Or (a, neg a));
+  expect_unprovable "Peirce" (F.Impl (F.Impl (F.Impl (a, b), a), a));
+  expect_unprovable "double-negation elim" (F.Impl (neg (neg a), a));
+  expect_unprovable "de morgan (∧ to ∨)"
+    (F.Impl (neg (F.And (a, b)), F.Or (neg a, neg b)));
+  expect_unprovable "false" F.False;
+  expect_unprovable "and from or" (F.Impl (F.Or (a, b), F.And (a, b)))
+
+let test_goedel_dummett () =
+  (* the heights form a CHAIN, so the model validates (P⇒Q)∨(Q⇒P);
+     intuitionistic logic does not prove it: our prover correctly fails
+     while both models correctly validate — provability is strictly
+     stronger than validity in these models. *)
+  let gd = F.Or (F.Impl (a, b), F.Impl (b, a)) in
+  expect_unprovable "Gödel–Dummett" gd;
+  Alcotest.(check bool) "GD valid transfinitely" true
+    (Logic_semantics.valid_trans gd);
+  Alcotest.(check bool) "GD valid finitely" true (Logic_semantics.valid_fin gd)
+
+let test_entails () =
+  (match Tauto.entails (F.And (a, b)) (F.And (b, a)) with
+  | Some d -> (
+    match Proof.check Proof.Transfinite d with
+    | Ok seq ->
+      Alcotest.(check bool) "entails conclusion" true
+        (F.equal seq.Proof.lhs (F.And (a, b))
+        && F.equal seq.Proof.rhs (F.And (b, a)))
+    | Error e -> Alcotest.failf "entails: %a" Proof.pp_error e)
+  | None -> Alcotest.fail "entails failed");
+  match Tauto.entails a b with
+  | Some _ -> Alcotest.fail "a ⊢ b has no intuitionistic proof"
+  | None -> ()
+
+(* every proved random formula yields a checking, sound derivation; and
+   provability implies validity in both models (soundness of LJ for the
+   height semantics) *)
+let soundness_prop =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:600 ~name:"prover soundness on random formulas"
+       ~print:Gen.print_formula Gen.formula
+       (fun f ->
+         match Tauto.prove f with
+         | None -> true
+         | Some d ->
+           checks_and_sound d f
+           && Logic_semantics.valid_trans f
+           && Logic_semantics.valid_fin f))
+
+(* agreement with the semantics on the implication-free fragment, where
+   the chain semantics coincides with provability from no hypotheses:
+   an ∧/∨ formula over ⊤/⊥ is provable iff it evaluates to ⊤ *)
+let rec bool_formula (depth : int) : F.t Q.Gen.t =
+  let open Q.Gen in
+  if depth = 0 then oneofl [ F.True; F.False ]
+  else
+    let sub = bool_formula (depth - 1) in
+    oneof
+      [
+        oneofl [ F.True; F.False ];
+        map2 (fun x y -> F.And (x, y)) sub sub;
+        map2 (fun x y -> F.Or (x, y)) sub sub;
+      ]
+
+let completeness_bool_prop =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:400
+       ~name:"completeness on the ∧/∨/⊤/⊥ fragment"
+       ~print:Gen.print_formula (bool_formula 4)
+       (fun f ->
+         Bool.equal (Tauto.provable f) (Logic_semantics.valid_trans f)))
+
+let suite =
+  [
+    Alcotest.test_case "theorems found" `Quick test_theorems;
+    Alcotest.test_case "non-theorems not found" `Quick test_non_theorems;
+    Alcotest.test_case "Gödel–Dummett separates models from LJ" `Quick
+      test_goedel_dummett;
+    Alcotest.test_case "entailment search" `Quick test_entails;
+    soundness_prop;
+    completeness_bool_prop;
+  ]

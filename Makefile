@@ -1,0 +1,23 @@
+# Convenience wrappers around dune; `make verify` is the one-shot
+# pre-push check (build + tests + CLI smoke + quick bench).
+
+.PHONY: all build test bench verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+verify: build test
+	dune exec bin/tfiris_cli.exe -- stats -e "let r = ref 0 in r := 41; !r + 1"
+	dune exec bench/main.exe -- --quick --out=BENCH_obs.json
+	@echo "verify: OK"
+
+clean:
+	dune clean

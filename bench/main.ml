@@ -11,11 +11,16 @@ module Shl = Tfiris.Shl
 module Ref = Tfiris.Refinement
 module Term = Tfiris.Termination
 module Prom = Tfiris.Promises
+module Obs = Tfiris.Obs
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let row fmt = Printf.printf fmt
+
+(* --quick trims the heavy experiment instances and skips the Bechamel
+   timing loop, for use as a CI smoke test (see `make verify`). *)
+let quick = ref false
 
 (* ------------------------------------------------------------------ *)
 (* E1 — §2.7: the existential dilemma formula in both models           *)
@@ -163,7 +168,7 @@ let e4 () =
   section "E4  §4.3: memo_rec Fib — termination-preserving refinement";
   List.iter
     (fun n -> show_certificate (Ref.Memo_spec.fib_instance n))
-    [ 5; 10; 15 ];
+    (if !quick then [ 5; 10 ] else [ 5; 10; 15 ]);
   row "  step counts (plain vs memoized fib):\n";
   List.iter
     (fun n ->
@@ -175,7 +180,7 @@ let e4 () =
       row "    n = %2d: rec %8d steps | memo %6d steps\n" n
         (steps (Shl.Prog.rec_of Shl.Prog.fib_template))
         (steps (Shl.Prog.memo_of Shl.Prog.fib_template)))
-    [ 5; 10; 15; 20 ];
+    (if !quick then [ 5; 10 ] else [ 5; 10; 15; 20 ]);
   row "  unbounded stuttering (lookup cost after filling the table):\n";
   List.iter
     (fun n ->
@@ -184,11 +189,14 @@ let e4 () =
         row "    table to fib %2d: lookup of '1' takes %4d target-only steps\n"
           n c
       | None -> row "    table to fib %2d: (fuel)\n" n)
-    [ 4; 8; 12; 16; 20 ];
-  (* the §1 mutation *)
+    (if !quick then [ 4; 8 ] else [ 4; 8; 12; 16; 20 ]);
+  (* the §1 mutation; the full fuel bound makes the divergence verdict
+     sharp but costs ~45s in the driver, so --quick settles for less *)
   row "  broken template (t g x ↦ g x): %s\n"
     (match
-       Ref.Memo_spec.certify ~fuel:200_000 (Ref.Memo_spec.broken_instance 3)
+       Ref.Memo_spec.certify
+         ~fuel:(if !quick then 5_000 else 200_000)
+         (Ref.Memo_spec.broken_instance 3)
      with
     | None -> "no certificate exists (memoized version diverges)"
     | Some v -> Format.asprintf "%a" Ref.Driver.pp_verdict v)
@@ -196,11 +204,14 @@ let e4 () =
 let e5 () =
   section "E5  §4.3: nested memoized Levenshtein";
   List.iter show_certificate
-    [
-      Ref.Memo_spec.slen_instance "hello";
-      Ref.Memo_spec.lev_instance "cat" "hat";
-      Ref.Memo_spec.lev_instance "kitten" "sitting";
-    ]
+    (if !quick then
+       [ Ref.Memo_spec.slen_instance "hello"; Ref.Memo_spec.lev_instance "cat" "hat" ]
+     else
+       [
+         Ref.Memo_spec.slen_instance "hello";
+         Ref.Memo_spec.lev_instance "cat" "hat";
+         Ref.Memo_spec.lev_instance "kitten" "sitting";
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* E6 — §5.1: time credits                                              *)
@@ -555,9 +566,9 @@ let run_benches () =
   section "Timing (Bechamel, monotonic clock, ns/run)";
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg instances elt in
           let ols =
@@ -570,25 +581,97 @@ let run_benches () =
             | Some [] | None -> nan
           in
           let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
-          row "  %-28s %14.1f ns/run   (r² = %.3f)\n" (Test.Elt.name elt) ns r2)
+          row "  %-28s %14.1f ns/run   (r² = %.3f)\n" (Test.Elt.name elt) ns r2;
+          (Test.Elt.name elt, ns, r2))
         (Test.elements test))
     (bench_tests ())
 
+(* ------------------------------------------------------------------ *)
+(* Driver: run every experiment under the metrics registry, capture    *)
+(* per-experiment counter deltas and wall time, and drop the whole     *)
+(* record as BENCH_obs.json (schema documented in EXPERIMENTS.md).     *)
+(* ------------------------------------------------------------------ *)
+
+type obs_record = {
+  rec_name : string;
+  rec_wall_ns : int64;
+  rec_counters : (string * int) list;
+}
+
+(* Run one experiment with metrics on, returning its wall time and the
+   non-zero counter values it produced (the registry is reset first, so
+   the snapshot is exactly this experiment's delta). *)
+let observe name (f : unit -> unit) : obs_record =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let t0 = Obs.Trace.now_ns () in
+  f ();
+  let t1 = Obs.Trace.now_ns () in
+  Obs.Metrics.set_enabled false;
+  let counters =
+    List.filter_map
+      (function
+        | Obs.Metrics.Counter_v (n, c) when c > 0 -> Some (n, c)
+        | _ -> None)
+      (Obs.Metrics.snapshot ())
+  in
+  { rec_name = name; rec_wall_ns = Int64.sub t1 t0; rec_counters = counters }
+
+let json_of_record r =
+  Obs.Json.(
+    Obj
+      [
+        ("name", Str r.rec_name);
+        ("wall_ns", Int (Int64.to_int r.rec_wall_ns));
+        ("counters", Obj (List.map (fun (n, c) -> (n, Int c)) r.rec_counters));
+      ])
+
+let json_of_timing (name, ns, r2) =
+  Obs.Json.(
+    Obj [ ("name", Str name); ("ns_per_run", Float ns); ("r_square", Float r2) ])
+
+let write_obs_json path records timings =
+  let doc =
+    Obs.Json.(
+      Obj
+        [
+          ("schema", Str "tfiris-bench-obs/1");
+          ("quick", Bool !quick);
+          ("experiments", List (List.map json_of_record records));
+          ("timings", List (List.map json_of_timing timings));
+        ])
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  row "\nWrote %s (%d experiments, %d timings).\n" path (List.length records)
+    (List.length timings)
+
 let () =
+  let out = ref "BENCH_obs.json" in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        if arg = "--quick" then quick := true
+        else if String.length arg > 6 && String.sub arg 0 6 = "--out=" then
+          out := String.sub arg 6 (String.length arg - 6)
+        else begin
+          Printf.eprintf "usage: %s [--quick] [--out=FILE]\n" Sys.argv.(0);
+          exit 2
+        end)
+    Sys.argv;
   row "Transfinite Iris, executable — experiment harness (see EXPERIMENTS.md)\n";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  run_benches ();
+  let experiments =
+    [
+      ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+      ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+      ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
+    ]
+  in
+  let records = List.map (fun (name, f) -> observe name f) experiments in
+  (* Bechamel timings run with metrics off so the measured loops see the
+     near-free disabled path, matching production defaults. *)
+  let timings = if !quick then [] else run_benches () in
+  write_obs_json !out records timings;
   row "\nAll experiments executed.\n"

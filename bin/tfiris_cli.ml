@@ -2,16 +2,22 @@
 
    Subcommands:
      run          run an SHL program
+     stats        run an SHL program and print the full metrics snapshot
      trace        print the small-step trace of an SHL program
      check-term   verify termination with transfinite time credits
      refine       check a termination-preserving refinement
      dilemma      run the §2.7/Theorem 7.1 demonstration
 
-   Programs are given either inline (-e) or as a file path. *)
+   Programs are given either inline (-e) or as a file path.
+
+   Every subcommand accepts the global observability flags:
+     --trace=FILE[:FMT]   write a structured trace (FMT: jsonl | chrome | pretty)
+     --metrics            collect metrics; print the snapshot on exit *)
 
 open Cmdliner
 open Tfiris
 module Shl = Tfiris.Shl
+module Obs = Tfiris.Obs
 
 let read_program expr_opt file_opt =
   match expr_opt, file_opt with
@@ -56,6 +62,79 @@ let fuel_arg =
     & opt int 10_000_000
     & info [ "fuel" ] ~docv:"N" ~doc:"Maximum number of steps.")
 
+(* ---- observability flags (shared by every subcommand) ---- *)
+
+let print_metrics_snapshot () =
+  Format.printf "@[<v>-- metrics --@,@]";
+  Obs.Metrics.render_text Format.std_formatter (Obs.Metrics.snapshot ());
+  Format.pp_print_flush Format.std_formatter ()
+
+let parse_trace_spec (spec : string) : (string * string, string) result =
+  let result =
+    match String.rindex_opt spec ':' with
+    | None -> Ok (spec, "jsonl")
+    | Some i ->
+      let file = String.sub spec 0 i in
+      let fmt = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if List.mem fmt [ "jsonl"; "chrome"; "pretty" ] then Ok (file, fmt)
+      else
+        Error
+          (Printf.sprintf
+             "unknown trace format %S (expected FILE[:FMT] with FMT one of \
+              jsonl, chrome, pretty)"
+             fmt)
+  in
+  match result with
+  | Ok ("", _) -> Error "empty trace file name"
+  | r -> r
+
+let setup_obs trace_spec metrics =
+  if metrics then begin
+    Obs.Metrics.set_enabled true;
+    at_exit print_metrics_snapshot
+  end;
+  match trace_spec with
+  | None -> ()
+  | Some spec ->
+    let file, fmt = or_die (parse_trace_spec spec) in
+    let oc =
+      try open_out file
+      with Sys_error m ->
+        Format.eprintf "tfiris: cannot open trace file: %s@." m;
+        exit 2
+    in
+    let sink =
+      match fmt with
+      | "chrome" -> Obs.Trace.chrome_sink oc
+      | "pretty" -> Obs.Trace.pretty_sink (Format.formatter_of_out_channel oc)
+      | _ -> Obs.Trace.jsonl_sink oc
+    in
+    Obs.Trace.set_sink sink;
+    Obs.Trace.set_enabled true;
+    at_exit (fun () ->
+        Obs.Trace.flush ();
+        close_out oc)
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE[:FMT]"
+          ~doc:
+            "Write a structured execution trace to $(docv). FMT is jsonl \
+             (default, one JSON event per line), chrome (Chrome trace_event \
+             format, loadable in chrome://tracing or Perfetto), or pretty \
+             (human-readable).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect metrics and print the snapshot on exit.")
+  in
+  Term.(const setup_obs $ trace $ metrics)
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -80,7 +159,36 @@ let run_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print step statistics.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an SHL program.")
-    Term.(const (fun p f s -> Stdlib.exit (action p f s)) $ program_term $ fuel_arg $ stats)
+    Term.(
+      const (fun () p f s -> Stdlib.exit (action p f s))
+      $ obs_term $ program_term $ fuel_arg $ stats)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let action program fuel =
+    Obs.Metrics.set_enabled true;
+    let e = or_die (Result.bind program parse_program) in
+    let outcome, st = Shl.Interp.exec ~fuel e in
+    (match outcome with
+    | Shl.Interp.Value (v, _) ->
+      Format.printf "value: %s@." (Shl.Pretty.value_to_string v)
+    | Shl.Interp.Stuck (_, redex) ->
+      Format.printf "stuck on: %s@." (Shl.Pretty.expr_to_string redex)
+    | Shl.Interp.Out_of_fuel _ -> Format.printf "out of fuel (%d steps)@." fuel);
+    Format.printf "steps: %d (pure %d, heap %d)@." st.Shl.Interp.steps
+      st.Shl.Interp.pure_steps st.Shl.Interp.heap_steps;
+    print_metrics_snapshot ();
+    match outcome with Shl.Interp.Value _ -> 0 | _ -> 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an SHL program with metrics enabled and print the full \
+          observability snapshot.")
+    Term.(
+      const (fun () p f -> Stdlib.exit (action p f))
+      $ obs_term $ program_term $ fuel_arg)
 
 (* ---- trace ---- *)
 
@@ -99,7 +207,9 @@ let trace_cmd =
       value & opt int 50 & info [ "n"; "steps" ] ~docv:"N" ~doc:"Trace length.")
   in
   Cmd.v (Cmd.info "trace" ~doc:"Print the small-step trace of an SHL program.")
-    Term.(const (fun p n -> Stdlib.exit (action p n)) $ program_term $ steps)
+    Term.(
+      const (fun () p n -> Stdlib.exit (action p n))
+      $ obs_term $ program_term $ steps)
 
 (* ---- check-term ---- *)
 
@@ -135,7 +245,9 @@ let check_term_cmd =
   Cmd.v
     (Cmd.info "check-term"
        ~doc:"Verify termination of an SHL program with transfinite time credits.")
-    Term.(const (fun p c -> Stdlib.exit (action p c)) $ program_term $ credit)
+    Term.(
+      const (fun () p c -> Stdlib.exit (action p c))
+      $ obs_term $ program_term $ credit)
 
 (* ---- refine ---- *)
 
@@ -183,7 +295,9 @@ let refine_cmd =
   Cmd.v
     (Cmd.info "refine"
        ~doc:"Check a termination-preserving refinement between two SHL programs.")
-    Term.(const (fun t s f -> Stdlib.exit (action t s f)) $ target $ source $ fuel_arg)
+    Term.(
+      const (fun () t s f -> Stdlib.exit (action t s f))
+      $ obs_term $ target $ source $ fuel_arg)
 
 (* ---- prove ---- *)
 
@@ -224,7 +338,7 @@ let prove_cmd =
   Cmd.v
     (Cmd.info "prove"
        ~doc:"Search for an intuitionistic proof (G4ip) and evaluate in both models.")
-    Term.(const (fun s -> Stdlib.exit (action s)) $ goal)
+    Term.(const (fun () s -> Stdlib.exit (action s)) $ obs_term $ goal)
 
 (* ---- goodstein ---- *)
 
@@ -253,7 +367,9 @@ let goodstein_cmd =
   Cmd.v
     (Cmd.info "goodstein"
        ~doc:"Print a Goodstein sequence with its descending ordinal certificate.")
-    Term.(const (fun n k -> Stdlib.exit (action n k)) $ seed $ max_len)
+    Term.(
+      const (fun () n k -> Stdlib.exit (action n k))
+      $ obs_term $ seed $ max_len)
 
 (* ---- hydra ---- *)
 
@@ -294,8 +410,8 @@ let hydra_cmd =
     (Cmd.info "hydra"
        ~doc:"Play the Kirby\xe2\x80\x93Paris hydra game to the death by ordinal descent.")
     Term.(
-      const (fun w d r a -> Stdlib.exit (action w d r a))
-      $ width $ depth $ regrow $ adversarial)
+      const (fun () w d r a -> Stdlib.exit (action w d r a))
+      $ obs_term $ width $ depth $ regrow $ adversarial)
 
 (* ---- dilemma ---- *)
 
@@ -309,7 +425,7 @@ let dilemma_cmd =
   in
   Cmd.v
     (Cmd.info "dilemma" ~doc:"Run the §2.7 / Theorem 7.1 demonstration.")
-    Term.(const (fun () -> Stdlib.exit (action ())) $ const ())
+    Term.(const (fun () () -> Stdlib.exit (action ())) $ obs_term $ const ())
 
 let () =
   let doc = "Transfinite Iris, executable — SHL runner and liveness checkers" in
@@ -319,6 +435,7 @@ let () =
        (Cmd.group info
           [
             run_cmd;
+            stats_cmd;
             trace_cmd;
             check_term_cmd;
             refine_cmd;

@@ -32,6 +32,18 @@
 
 module Ord = Tfiris_ordinal.Ord
 
+(** Observability: structured tracing, metrics, and a minimal JSON
+    layer (see DESIGN.md, "Observability").  Every hot layer below —
+    the interpreter, the refinement drivers, the credit checker, the
+    promise scheduler and the proof searchers — reports into these
+    registries; tracing and metrics are off (and near-free) unless
+    switched on. *)
+module Obs = struct
+  module Trace = Tfiris_obs.Trace
+  module Metrics = Tfiris_obs.Metrics
+  module Json = Tfiris_obs.Json
+end
+
 module Index = Tfiris_sprop.Index
 module Cut = Tfiris_sprop.Cut
 module Height = Tfiris_sprop.Height

@@ -25,6 +25,16 @@
     [Impl_intro] applies directly when the newest hypothesis is used. *)
 
 module F = Formula
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
+
+(* Proof-search instrumentation: one counter bump per sequent visited
+   and per caught [Fail] (a backtrack point), so the cost of G4ip
+   search is visible in the metrics snapshot. *)
+let c_nodes = Metrics.counter "logic.tauto.search_nodes"
+let c_backtracks = Metrics.counter "logic.tauto.backtracks"
+let c_proved = Metrics.counter "logic.tauto.proved"
+let c_failed = Metrics.counter "logic.tauto.failed"
 
 (* ---------- context plumbing ---------- *)
 
@@ -79,6 +89,7 @@ exception Fail
 (* The search works on (Γ as list, goal); it returns a derivation of
    ⟦Γ⟧ ⊢ G.  Atoms are Index_lt formulas (and anything else opaque). *)
 let rec search (gamma : F.t list) (goal : F.t) : Proof.t =
+  Metrics.incr c_nodes;
   (* 1. axiom / absurdity *)
   match find_axiom gamma goal with
   | Some d -> d
@@ -217,7 +228,9 @@ and decompose_left_at gamma goal i =
         let id_b = F.Impl (dd, b) in
         let d1 =
           try Some (search (id_b :: rest_without) (F.Impl (c, dd)))
-          with Fail -> None
+          with Fail ->
+            Metrics.incr c_backtracks;
+            None
         in
         (match d1 with
         | None -> decompose_left_at gamma goal (i + 1)
@@ -311,11 +324,19 @@ and attempt_noninvertible gamma goal =
   match goal with
   | F.Or (a, b) -> (
     match
-      try Some (search gamma a) with Fail -> None
+      try Some (search gamma a)
+      with Fail ->
+        Metrics.incr c_backtracks;
+        None
     with
     | Some d -> Proof.Cut (d, Proof.Or_intro_l (a, b))
     | None -> (
-      match try Some (search gamma b) with Fail -> None with
+      match
+        try Some (search gamma b)
+        with Fail ->
+          Metrics.incr c_backtracks;
+          None
+      with
       | Some d -> Proof.Cut (d, Proof.Or_intro_r (a, b))
       | None -> raise Fail))
   | F.True | F.False | F.And _ | F.Impl _ | F.Index_lt _ | F.Later _
@@ -326,9 +347,20 @@ and attempt_noninvertible gamma goal =
     returned derivation has conclusion [True ⊢ goal] (and re-checks in
     both systems: the fragment uses no step-indexed rules). *)
 let prove (goal : F.t) : Proof.t option =
-  match search [] goal with
-  | d -> Some d
-  | exception Fail -> None
+  let attempt () =
+    match search [] goal with
+    | d ->
+      Metrics.incr c_proved;
+      Some d
+    | exception Fail ->
+      Metrics.incr c_failed;
+      None
+  in
+  if Trace.on () then
+    Trace.with_span "tauto.prove"
+      ~attrs:[ ("goal", Trace.S (F.to_string goal)) ]
+      attempt
+  else attempt ()
 
 (** [provable goal]. *)
 let provable goal = Option.is_some (prove goal)

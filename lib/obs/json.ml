@@ -1,0 +1,252 @@
+(** A minimal JSON representation with a printer and a parser.
+
+    The observability sinks must emit machine-readable output (JSONL,
+    Chrome [trace_event]) and the test suite must be able to read it
+    back, but the toolchain deliberately carries no JSON dependency —
+    this module is the small, total subset the sinks need: objects,
+    arrays, strings, numbers (emitted as ints or floats), booleans and
+    null.  Strings are escaped per RFC 8259; the parser accepts exactly
+    what the printer produces (plus whitespace), which is all the
+    round-trip tests require. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec to_buffer b (j : t) =
+  match j with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.1f" f)
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Str s -> escape_string b s
+  | List js ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i j ->
+        if i > 0 then Buffer.add_char b ',';
+        to_buffer b j)
+      js;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        to_buffer b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string (j : t) =
+  let b = Buffer.create 256 in
+  to_buffer b j;
+  Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg = raise (Parse_error (Printf.sprintf "at %d: %s" c.pos msg))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | Some _ | None -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word (v : t) =
+  String.iter (fun ch -> expect c ch) word;
+  v
+
+let parse_string_body c =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some 'n' -> advance c; Buffer.add_char b '\n'; go ()
+      | Some 't' -> advance c; Buffer.add_char b '\t'; go ()
+      | Some 'r' -> advance c; Buffer.add_char b '\r'; go ()
+      | Some ('"' | '\\' | '/') ->
+        Buffer.add_char b (Option.get (peek c));
+        advance c;
+        go ()
+      | Some 'u' ->
+        advance c;
+        let hex = String.init 4 (fun _ ->
+            match peek c with
+            | Some ch -> advance c; ch
+            | None -> fail c "truncated \\u escape")
+        in
+        let code = int_of_string ("0x" ^ hex) in
+        (* only BMP codepoints ≤ 0x7f are emitted unescaped by us; decode
+           the rest as UTF-8 for completeness *)
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+        end
+        else begin
+          Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+        end;
+        go ()
+      | _ -> fail c "bad escape")
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail c (Printf.sprintf "bad number %S" s))
+
+let rec parse_value c : t =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' ->
+    advance c;
+    Str (parse_string_body c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List (List.rev (v :: acc))
+        | _ -> fail c "expected ',' or ']'"
+      in
+      items []
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws c;
+        expect c '"';
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> fail c "expected ',' or '}'"
+      in
+      fields []
+  | Some ch -> (
+    match ch with
+    | '0' .. '9' | '-' -> parse_number c
+    | _ -> fail c (Printf.sprintf "unexpected %C" ch))
+
+let of_string (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos = String.length s then Ok v
+    else Error (Printf.sprintf "trailing input at %d" c.pos)
+  | exception Parse_error m -> Error m
+
+(* ---------- accessors (for tests and consumers) ---------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_list = function List js -> Some js | _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,238 @@
+(** A process-global metrics registry: counters, gauges, histograms.
+
+    Every instrumented layer registers its instruments once (at module
+    initialisation — registration is idempotent by name) and bumps them
+    from its hot paths.  A {!snapshot} freezes the registry into plain
+    data, renderable as an aligned text table ({!render_text}) or JSON
+    ({!to_json}); {!reset} zeroes every instrument, which is how the
+    harnesses measure per-experiment deltas.
+
+    Like tracing, metrics are off by default: {!incr}/{!add}/{!observe}
+    are a load-and-branch when disabled, and the instrumented libraries
+    additionally batch their updates (one [add] per run, not per step)
+    so the disabled path stays within measurement noise.
+
+    Histograms use base-2 exponential buckets: bucket [i] counts
+    observations in [(2^(i-1), 2^i]] (bucket 0 is [[0,1]]), which is the
+    right shape for step counts and budget descents that range over many
+    orders of magnitude. *)
+
+let enabled = ref false
+
+let on () = !enabled
+
+let set_enabled b = enabled := b
+
+let n_buckets = 32
+
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+  h_buckets : int array;  (** [n_buckets] exponential buckets *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+(* Registration order, so snapshots render in a stable, meaningful
+   order rather than hash order. *)
+let order : string list ref = ref []
+
+let register name make =
+  match Hashtbl.find_opt registry name with
+  | Some i -> i
+  | None ->
+    let i = make () in
+    Hashtbl.add registry name i;
+    order := name :: !order;
+    i
+
+let counter name : counter =
+  match register name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ ->
+    invalid_arg (name ^ " is already registered as a non-counter")
+
+let gauge name : gauge =
+  match register name (fun () -> Gauge { g_name = name; g_value = 0. }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ ->
+    invalid_arg (name ^ " is already registered as a non-gauge")
+
+let histogram name : histogram =
+  match
+    register name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            h_count = 0;
+            h_sum = 0.;
+            h_max = 0.;
+            h_buckets = Array.make n_buckets 0;
+          })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ ->
+    invalid_arg (name ^ " is already registered as a non-histogram")
+
+(* ---------- updates (hot path) ---------- *)
+
+let incr c = if !enabled then c.c_value <- c.c_value + 1
+
+let add c n = if !enabled then c.c_value <- c.c_value + n
+
+let set g v = if !enabled then g.g_value <- v
+
+let bucket_of (v : float) : int =
+  if v <= 1. then 0
+  else
+    let rec go i bound =
+      if i >= n_buckets - 1 || v <= bound then i else go (i + 1) (bound *. 2.)
+    in
+    go 1 2.
+
+let observe h v =
+  if !enabled then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v > h.h_max then h.h_max <- v;
+    let b = h.h_buckets in
+    b.(bucket_of v) <- b.(bucket_of v) + 1
+  end
+
+let observe_int h n = observe h (float_of_int n)
+
+(* ---------- snapshots ---------- *)
+
+type hist_data = {
+  count : int;
+  sum : float;
+  max : float;
+  buckets : (float * int) list;
+      (** (inclusive upper bound, count), non-empty buckets only *)
+}
+
+type entry =
+  | Counter_v of string * int
+  | Gauge_v of string * float
+  | Histogram_v of string * hist_data
+
+type snapshot = entry list
+
+let entry_name = function
+  | Counter_v (n, _) | Gauge_v (n, _) | Histogram_v (n, _) -> n
+
+let snapshot () : snapshot =
+  List.rev_map
+    (fun name ->
+      match Hashtbl.find registry name with
+      | Counter c -> Counter_v (name, c.c_value)
+      | Gauge g -> Gauge_v (name, g.g_value)
+      | Histogram h ->
+        let buckets = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if h.h_buckets.(i) > 0 then
+            buckets := (Float.pow 2. (float_of_int i), h.h_buckets.(i)) :: !buckets
+        done;
+        Histogram_v
+          ( name,
+            { count = h.h_count; sum = h.h_sum; max = h.h_max; buckets = !buckets } ))
+    !order
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.;
+        h.h_max <- 0.;
+        Array.fill h.h_buckets 0 n_buckets 0)
+    registry
+
+(** [counter_value snap name]. *)
+let counter_value (snap : snapshot) name : int option =
+  List.find_map
+    (function Counter_v (n, v) when n = name -> Some v | _ -> None)
+    snap
+
+(** Sum of every counter whose name starts with [prefix] — e.g. the
+    per-kind step counters under ["shl.interp.steps."]. *)
+let sum_counters (snap : snapshot) ~prefix : int =
+  List.fold_left
+    (fun acc -> function
+      | Counter_v (n, v) when String.starts_with ~prefix n -> acc + v
+      | _ -> acc)
+    0 snap
+
+(* ---------- rendering ---------- *)
+
+let render_text ppf (snap : snapshot) =
+  let non_zero = function
+    | Counter_v (_, 0) -> false
+    | Gauge_v (_, v) -> v <> 0.
+    | Histogram_v (_, h) -> h.count > 0
+    | Counter_v _ -> true
+  in
+  let snap = List.filter non_zero snap in
+  if snap = [] then Format.fprintf ppf "(no metrics recorded)@."
+  else begin
+    let width =
+      List.fold_left (fun w e -> Stdlib.max w (String.length (entry_name e))) 0 snap
+    in
+    List.iter
+      (fun e ->
+        match e with
+        | Counter_v (n, v) -> Format.fprintf ppf "%-*s %12d@." width n v
+        | Gauge_v (n, v) -> Format.fprintf ppf "%-*s %12g@." width n v
+        | Histogram_v (n, h) ->
+          Format.fprintf ppf "%-*s %12d obs  sum %.0f  max %.0f  mean %.1f@."
+            width n h.count h.sum h.max
+            (if h.count = 0 then 0. else h.sum /. float_of_int h.count);
+          List.iter
+            (fun (ub, c) ->
+              Format.fprintf ppf "%-*s   <= %-10.0f %8d@." width "" ub c)
+            h.buckets)
+      snap
+  end
+
+let to_json (snap : snapshot) : Json.t =
+  Json.Obj
+    (List.map
+       (fun e ->
+         match e with
+         | Counter_v (n, v) -> (n, Json.Int v)
+         | Gauge_v (n, v) -> (n, Json.Float v)
+         | Histogram_v (n, h) ->
+           ( n,
+             Json.Obj
+               [
+                 ("count", Json.Int h.count);
+                 ("sum", Json.Float h.sum);
+                 ("max", Json.Float h.max);
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (ub, c) ->
+                          Json.Obj [ ("le", Json.Float ub); ("n", Json.Int c) ])
+                        h.buckets) );
+               ] ))
+       snap)

@@ -11,6 +11,18 @@
     termination the credits of {!Termination} pay for. *)
 
 open Syntax
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
+
+(* Scheduler/channel instrumentation: each counter is bumped at the
+   move it names (a load-and-branch each when metrics are disabled). *)
+let c_sched_steps = Metrics.counter "promises.sched.steps"
+let c_posts = Metrics.counter "promises.chan.posts"
+let c_resolves = Metrics.counter "promises.chan.resolves"
+let c_waits = Metrics.counter "promises.chan.waits"
+let c_blocks = Metrics.counter "promises.chan.blocks"
+let c_wakes = Metrics.counter "promises.chan.wakes"
+let c_pure = Metrics.counter "promises.sched.pure_steps"
 
 type chan_state =
   | Pending
@@ -144,6 +156,13 @@ let step (st : state) : step_outcome =
         let woken, still =
           List.partition (fun (c', _) -> c' = c) st.blocked
         in
+        if Metrics.on () then begin
+          Metrics.incr c_resolves;
+          Metrics.add c_wakes (List.length woken)
+        end;
+        if Trace.on () then
+          Trace.instant "promises.resolve"
+            ~attrs:[ ("chan", Trace.I c); ("woken", Trace.I (List.length woken)) ];
         Progress
           {
             st with
@@ -159,6 +178,9 @@ let step (st : state) : step_outcome =
         match redex with
         | Post e ->
           let c = st.next_chan in
+          Metrics.incr c_posts;
+          if Trace.on () then
+            Trace.instant "promises.post" ~attrs:[ ("chan", Trace.I c) ];
           Progress
             {
               st with
@@ -171,8 +193,15 @@ let step (st : state) : step_outcome =
         | Wait (Chan_v c) -> (
           match List.assoc_opt c st.chans with
           | Some (Resolved v) ->
+            Metrics.incr c_waits;
             Progress { st with run = { task with body = fill k v } :: rest }
           | Some Pending ->
+            if Metrics.on () then begin
+              Metrics.incr c_waits;
+              Metrics.incr c_blocks
+            end;
+            if Trace.on () then
+              Trace.instant "promises.block" ~attrs:[ ("chan", Trace.I c) ];
             Progress
               {
                 st with
@@ -183,6 +212,7 @@ let step (st : state) : step_outcome =
         | _ -> (
           match pure_head redex with
           | Some e' ->
+            Metrics.incr c_pure;
             Progress { st with run = { task with body = fill k e' } :: rest }
           | None -> Task_stuck redex)))
 
@@ -192,18 +222,36 @@ type result =
   | Stuck of term * int
   | Out_of_fuel
 
-(** Run the scheduler to completion with a fuel bound. *)
+(** Run the scheduler to completion with a fuel bound.  Every scheduler
+    pick (one call to {!step} that made progress) bumps
+    [promises.sched.steps]; with tracing on, the whole run is a
+    [promises.exec] span. *)
 let exec ?(fuel = 1_000_000) (e : term) : result =
   let rec go st n k =
     if n = 0 then Out_of_fuel
     else
       match step st with
-      | Done v -> Value (v, k)
-      | Deadlock _ -> Deadlocked k
-      | Task_stuck t -> Stuck (t, k)
+      | Done v ->
+        Metrics.add c_sched_steps k;
+        Value (v, k)
+      | Deadlock _ ->
+        Metrics.add c_sched_steps k;
+        Deadlocked k
+      | Task_stuck t ->
+        Metrics.add c_sched_steps k;
+        Stuck (t, k)
       | Progress st' -> go st' (n - 1) (k + 1)
   in
-  go (init e) fuel 0
+  let run () =
+    match go (init e) fuel 0 with
+    | Out_of_fuel ->
+      Metrics.add c_sched_steps fuel;
+      Out_of_fuel
+    | r -> r
+  in
+  if Trace.on () then
+    Trace.with_span "promises.exec" ~attrs:[ ("fuel", Trace.I fuel) ] run
+  else run ()
 
 let eval ?fuel e =
   match exec ?fuel e with

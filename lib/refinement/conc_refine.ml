@@ -15,6 +15,8 @@
     passes. *)
 
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
 open Tfiris_shl
 
 type sched_config = {
@@ -58,6 +60,28 @@ let pp_verdict ppf = function
   | Rejected (m, st) ->
     Format.fprintf ppf "rejected after %d target steps: %s" st.target_steps m
 
+(* ---------- observability ---------- *)
+
+let c_runs = Metrics.counter "refinement.conc.runs"
+let c_tgt = Metrics.counter "refinement.conc.target_steps"
+let c_src = Metrics.counter "refinement.conc.source_steps"
+let c_stutters = Metrics.counter "refinement.conc.stutters"
+let c_rejections = Metrics.counter "refinement.conc.rejections"
+let h_stutter_run = Metrics.histogram "refinement.conc.stutter_run_len"
+
+let publish (v : verdict) : verdict =
+  if Metrics.on () then begin
+    let st =
+      match v with Accepted (_, st) | Still_running st | Rejected (_, st) -> st
+    in
+    Metrics.incr c_runs;
+    Metrics.add c_tgt st.target_steps;
+    Metrics.add c_src st.source_steps;
+    Metrics.add c_stutters st.stutters;
+    match v with Rejected _ -> Metrics.incr c_rejections | _ -> ()
+  end;
+  v
+
 (** The refinement game between a concurrent target (under
     [tgt_sched]) and a {e sequential} source, with the same ordinal
     stutter-budget discipline as {!Driver}: advancing the target without
@@ -89,11 +113,20 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
   in
   match count_target (), count_source () with
   | None, _ | _, None ->
-    Rejected
-      ("no oracle pacing (a side is stuck or non-terminating under this scheduler)",
-       { target_steps = 0; source_steps = 0; stutters = 0 })
+    publish
+      (Rejected
+         ( "no oracle pacing (a side is stuck or non-terminating under this \
+            scheduler)",
+           { target_steps = 0; source_steps = 0; stutters = 0 } ))
   | Some t_total, Some s_total ->
     let scheduled i = if t_total = 0 then s_total else s_total * i / t_total in
+    let stutter_run = ref 0 in
+    let flush_stutter_run () =
+      if !stutter_run > 0 then begin
+        Metrics.observe_int h_stutter_run !stutter_run;
+        stutter_run := 0
+      end
+    in
     let rec go tgt (src : Step.config) budget st n =
       match Conc.runnable tgt.cfg with
       | [] -> (
@@ -136,6 +169,14 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
                   | Ok (cfg', _) -> adv cfg' (k - 1)
                   | Error _ -> None
               in
+              if Trace.on () then
+                Trace.instant "conc.advance"
+                  ~attrs:
+                    [
+                      ("step_no", Trace.I st.target_steps);
+                      ("src_steps", Trace.I (want - had));
+                    ];
+              flush_stutter_run ();
               match adv src (want - had) with
               | Some src' ->
                 go tgt' src' (Ord.of_int t_total)
@@ -147,17 +188,26 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
               | None -> Rejected ("source stuck mid-game", st))
             else if Ord.is_zero budget then
               Rejected ("stutter budget exhausted", st)
-            else
+            else begin
+              if Trace.on () then
+                Trace.instant "conc.stutter"
+                  ~attrs:[ ("step_no", Trace.I st.target_steps) ];
+              incr stutter_run;
               go tgt' src (Ord.descend budget)
                 { st with stutters = st.stutters + 1 }
-                (n - 1))
+                (n - 1)
+            end)
     in
-    go
-      { cfg = Conc.init target; step_no = 0 }
-      (Step.config source)
-      (Ord.of_int (t_total + 1))
-      { target_steps = 0; source_steps = 0; stutters = 0 }
-      fuel
+    let v =
+      go
+        { cfg = Conc.init target; step_no = 0 }
+        (Step.config source)
+        (Ord.of_int (t_total + 1))
+        { target_steps = 0; source_steps = 0; stutters = 0 }
+        fuel
+    in
+    flush_stutter_run ();
+    publish v
 
 (** Replay the certificate under many seeded schedulers: the bounded
     face of "for all fair schedules".  Returns the seeds that passed

@@ -26,6 +26,8 @@
     refinement, independent of how the strategy was produced. *)
 
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
 open Tfiris_shl
 
 type decision =
@@ -147,13 +149,90 @@ let src_drain ~fuel (cfg : Step.config) =
   in
   go cfg fuel 0
 
+(* ---------- observability ---------- *)
+
+let c_runs = Metrics.counter "refinement.driver.runs"
+let c_tgt = Metrics.counter "refinement.driver.target_steps"
+let c_src = Metrics.counter "refinement.driver.source_steps"
+let c_stutters = Metrics.counter "refinement.driver.stutters"
+let c_resets = Metrics.counter "refinement.driver.budget_resets"
+let c_rejections = Metrics.counter "refinement.driver.rejections"
+let h_stutter_run = Metrics.histogram "refinement.driver.stutter_run_len"
+let h_advance_batch = Metrics.histogram "refinement.driver.advance_src_steps"
+let h_budget_descents = Metrics.histogram "refinement.driver.descent_len"
+
+let verdict_name = function
+  | Accepted (Terminated _, _) -> "accepted"
+  | Accepted (Fuel_exhausted, _) -> "fuel_exhausted"
+  | Rejected _ -> "rejected"
+
+(* One bulk metrics update per game, derived from the verdict's own
+   stats so the registry and the returned record cannot disagree. *)
+let publish (s : strategy) (v : verdict) : verdict =
+  if Metrics.on () then begin
+    let st = match v with Accepted (_, st) | Rejected (_, st) -> st in
+    Metrics.incr c_runs;
+    Metrics.add c_tgt st.target_steps;
+    Metrics.add c_src st.source_steps;
+    Metrics.add c_stutters st.stutters;
+    Metrics.add c_resets st.budget_resets;
+    (match v with Rejected _ -> Metrics.incr c_rejections | Accepted _ -> ());
+    if st.budget_resets > 0 then
+      Metrics.observe h_budget_descents
+        (float_of_int st.stutters /. float_of_int st.budget_resets)
+  end;
+  if Trace.on () then
+    Trace.instant "driver.verdict"
+      ~attrs:[ ("strategy", Trace.S s.name); ("verdict", Trace.S (verdict_name v)) ];
+  v
+
 (** [run ~fuel ~target ~source strategy]: execute the refinement game.
 
     [fuel] bounds the number of target steps (and the source drain at
     the end); the initial stutter budget is taken from the strategy's
-    first decision by starting from a maximal sentinel. *)
+    first decision by starting from a maximal sentinel.
+
+    When tracing is enabled every strategy decision is a span
+    ([driver.decide], with the step number, budget and outcome as
+    attributes); every game additionally batches its counters into the
+    [refinement.driver.*] metrics, including histograms of stutter-run
+    lengths and advance batch sizes. *)
 let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
     ~source (s : strategy) : verdict =
+  (* length of the current maximal run of consecutive stutters; flushed
+     into the histogram at each advance and at game end *)
+  let stutter_run = ref 0 in
+  let flush_stutter_run () =
+    if !stutter_run > 0 then begin
+      Metrics.observe_int h_stutter_run !stutter_run;
+      stutter_run := 0
+    end
+  in
+  let decide ~step_no ~target ~source ~budget =
+    if Trace.on () then
+      Trace.with_span "driver.decide"
+        ~attrs:
+          [
+            ("strategy", Trace.S s.name);
+            ("step_no", Trace.I step_no);
+            ("budget", Trace.S (Ord.to_string budget));
+          ]
+        (fun () ->
+          let d = s.decide ~step_no ~target ~source ~budget in
+          (match d with
+          | Stutter b' ->
+            Trace.instant "driver.stutter"
+              ~attrs:[ ("new_budget", Trace.S (Ord.to_string b')) ]
+          | Advance { src_steps; budget = b' } ->
+            Trace.instant "driver.advance"
+              ~attrs:
+                [
+                  ("src_steps", Trace.I src_steps);
+                  ("new_budget", Trace.S (Ord.to_string b'));
+                ]);
+          d)
+    else s.decide ~step_no ~target ~source ~budget
+  in
   let rec go (t : Step.config) (src : Step.config) budget stats n =
     match t.Step.expr with
     | Ast.Val v ->
@@ -175,13 +254,15 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
         | Ok (t', _) -> (
           let stats = { stats with target_steps = stats.target_steps + 1 } in
           match
-            s.decide ~step_no:stats.target_steps ~target:t' ~source:src ~budget
+            decide ~step_no:stats.target_steps ~target:t' ~source:src ~budget
           with
           | Stutter b' ->
-            if Ord.lt b' budget then
+            if Ord.lt b' budget then begin
+              incr stutter_run;
               go t' src b'
                 { stats with stutters = stats.stutters + 1 }
                 (n - 1)
+            end
             else Rejected (Budget_not_decreasing (budget, b'), stats)
           | Advance { src_steps; budget = b' } ->
             if src_steps < 1 then Rejected (Advance_needs_progress, stats)
@@ -189,6 +270,8 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
               match src_advance src src_steps with
               | Error r -> Rejected (r, stats)
               | Ok src' ->
+                flush_stutter_run ();
+                Metrics.observe_int h_advance_batch src_steps;
                 go t' src' b'
                   {
                     stats with
@@ -197,7 +280,15 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
                   }
                   (n - 1))))
   in
-  go target source init_budget zero_stats fuel
+  let verdict =
+    if Trace.on () then
+      Trace.with_span "driver.run"
+        ~attrs:[ ("strategy", Trace.S s.name); ("fuel", Trace.I fuel) ]
+        (fun () -> go target source init_budget zero_stats fuel)
+    else go target source init_budget zero_stats fuel
+  in
+  flush_stutter_run ();
+  publish s verdict
 
 (** Convenience wrapper on closed expressions with empty heaps. *)
 let refine ?fuel ?init_budget ~target ~source strategy =

@@ -29,6 +29,8 @@
 
 open Tfiris_shl
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
 
 type system =
   | Iris_result  (** §4.1: result refinement rules *)
@@ -133,7 +135,14 @@ let step_checked ~want_pure (cfg : Step.config) =
   | Error Step.Finished -> Error "expression is already a value"
   | Error (Step.Stuck _) -> Error "expression is stuck"
 
-let strip_guards hyps = List.map (fun h -> { h with guarded = false }) hyps
+let c_apps = Metrics.counter "refinement.rules.applications"
+let c_strips = Metrics.counter "refinement.rules.later_strips"
+let c_proved = Metrics.counter "refinement.rules.proved"
+let c_rejected = Metrics.counter "refinement.rules.rejected"
+
+let strip_guards hyps =
+  Metrics.incr c_strips;
+  List.map (fun h -> { h with guarded = false }) hyps
 
 let check (system : system) (g0 : goal) (script : script) :
     (status, error) result =
@@ -144,6 +153,10 @@ let check (system : system) (g0 : goal) (script : script) :
     match script with
     | [] -> Ok (Open g)
     | r :: rest -> (
+      Metrics.incr c_apps;
+      if Trace.on () then
+        Trace.instant "rules.apply"
+          ~attrs:[ ("rule", Trace.S (rule_name r)); ("at", Trace.I at) ];
       let continue g = go g rest (at + 1) in
       let tgt_is_value = Ast.is_value g.target.Step.expr in
       match r, system with
@@ -254,7 +267,12 @@ let check (system : system) (g0 : goal) (script : script) :
                 Pretty.pp_value vs)
         | _, _ -> fail at r "both sides must be values"))
   in
-  go g0 script 0
+  let result = go g0 script 0 in
+  (match result with
+  | Ok Proved -> Metrics.incr c_proved
+  | Ok (Open _) -> ()
+  | Error _ -> Metrics.incr c_rejected);
+  result
 
 (** [proved system goal script]: the script closes the goal. *)
 let proved system g script =

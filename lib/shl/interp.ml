@@ -1,8 +1,16 @@
 (** Executing SHL programs: a fueled driver over {!Step.prim_step} with
     step accounting and optional tracing.  This is the "run the target"
-    half of every experiment harness. *)
+    half of every experiment harness.
+
+    Step accounting feeds the {!Tfiris_obs} metrics registry: the
+    per-kind counters ([shl.interp.steps.*]) are bumped once per run
+    with the same per-kind counts that {!stats} is derived from, so the
+    two views cannot drift apart (and the disabled path costs one
+    branch per run, not per step). *)
 
 open Ast
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
 
 type outcome =
   | Value of value * Heap.t
@@ -17,29 +25,89 @@ type stats = {
 
 let no_stats = { steps = 0; pure_steps = 0; heap_steps = 0 }
 
-let bump stats kind =
+(* The single source of truth for step accounting: per-kind counts,
+   accumulated locally in the run loop and published once per run. *)
+type counts = {
+  mutable pure : int;
+  mutable alloc : int;
+  mutable load : int;
+  mutable store : int;
+}
+
+let fresh_counts () = { pure = 0; alloc = 0; load = 0; store = 0 }
+
+let bump (c : counts) (kind : Step.kind) =
+  match kind with
+  | Step.Pure -> c.pure <- c.pure + 1
+  | Step.Alloc _ -> c.alloc <- c.alloc + 1
+  | Step.Load_of _ -> c.load <- c.load + 1
+  | Step.Store_to _ -> c.store <- c.store + 1
+
+let c_pure = Metrics.counter "shl.interp.steps.pure"
+let c_alloc = Metrics.counter "shl.interp.steps.alloc"
+let c_load = Metrics.counter "shl.interp.steps.load"
+let c_store = Metrics.counter "shl.interp.steps.store"
+let c_runs = Metrics.counter "shl.interp.runs"
+let c_out_of_fuel = Metrics.counter "shl.interp.out_of_fuel"
+let c_stuck = Metrics.counter "shl.interp.stuck"
+let h_fuel = Metrics.histogram "shl.interp.fuel_used"
+
+(** [stats_of_counts c]: the classic three-number summary, {e derived}
+    from the same counts that go to the metrics registry. *)
+let stats_of_counts (c : counts) : stats =
   {
-    steps = stats.steps + 1;
-    pure_steps = (stats.pure_steps + if Step.kind_is_pure kind then 1 else 0);
-    heap_steps = (stats.heap_steps + if Step.kind_is_pure kind then 0 else 1);
+    steps = c.pure + c.alloc + c.load + c.store;
+    pure_steps = c.pure;
+    heap_steps = c.alloc + c.load + c.store;
   }
 
+(* Publish one run's counts into the registry and return the summary. *)
+let publish (c : counts) (outcome : outcome) : stats =
+  let st = stats_of_counts c in
+  if Metrics.on () then begin
+    Metrics.incr c_runs;
+    Metrics.add c_pure c.pure;
+    Metrics.add c_alloc c.alloc;
+    Metrics.add c_load c.load;
+    Metrics.add c_store c.store;
+    Metrics.observe_int h_fuel st.steps;
+    match outcome with
+    | Out_of_fuel _ -> Metrics.incr c_out_of_fuel
+    | Stuck _ -> Metrics.incr c_stuck
+    | Value _ -> ()
+  end;
+  st
+
 (** [exec ?fuel ?heap e]: run [e] to completion (or until the fuel runs
-    out), returning the outcome and step statistics. *)
+    out), returning the outcome and step statistics.
+
+    Fuel accounting is exact: a configuration that {e finishes} (or gets
+    stuck) after exactly [fuel] steps is reported as such — [Out_of_fuel]
+    means the program would genuinely have taken a further step. *)
 let exec ?(fuel = 1_000_000) ?(heap = Heap.empty) (e : expr) :
     outcome * stats =
-  let rec go (cfg : Step.config) stats n =
-    if n = 0 then (Out_of_fuel cfg, stats)
-    else
-      match Step.prim_step cfg with
-      | Error Step.Finished -> (
-        match cfg.expr with
-        | Val v -> (Value (v, cfg.heap), stats)
-        | _ -> assert false)
-      | Error (Step.Stuck redex) -> (Stuck (cfg, redex), stats)
-      | Ok (cfg', kind) -> go cfg' (bump stats kind) (n - 1)
+  let counts = fresh_counts () in
+  let rec go (cfg : Step.config) n =
+    match Step.prim_step cfg with
+    | Error Step.Finished -> (
+      match cfg.expr with
+      | Val v -> Value (v, cfg.heap)
+      | _ -> assert false)
+    | Error (Step.Stuck redex) -> Stuck (cfg, redex)
+    | Ok (cfg', kind) ->
+      if n = 0 then Out_of_fuel cfg
+      else begin
+        bump counts kind;
+        go cfg' (n - 1)
+      end
   in
-  go { expr = e; heap } no_stats fuel
+  let outcome =
+    if Trace.on () then
+      Trace.with_span "shl.exec" ~attrs:[ ("fuel", Trace.I fuel) ] (fun () ->
+          go { expr = e; heap } fuel)
+    else go { expr = e; heap } fuel
+  in
+  (outcome, publish counts outcome)
 
 (** [eval e]: the result value, or [None] on stuck/diverging (within
     fuel) executions. *)
@@ -55,21 +123,23 @@ let steps_to_value ?fuel ?heap e =
   | (Stuck _ | Out_of_fuel _), _ -> None
 
 (** The finite prefix of the execution trace of [e]: the successive
-    configurations, including the initial one. *)
+    configurations, including the initial one.  Like {!exec}, the fuel
+    bound is exact: a program that terminates in exactly [fuel] steps
+    yields its complete trace. *)
 let trace ?(fuel = 1000) ?(heap = Heap.empty) (e : expr) : Step.config list =
   let rec go cfg acc n =
-    if n = 0 then List.rev (cfg :: acc)
-    else
-      match Step.prim_step cfg with
-      | Error (Step.Finished | Step.Stuck _) -> List.rev (cfg :: acc)
-      | Ok (cfg', _) -> go cfg' (cfg :: acc) (n - 1)
+    match Step.prim_step cfg with
+    | Error (Step.Finished | Step.Stuck _) -> List.rev (cfg :: acc)
+    | Ok (cfg', _) ->
+      if n = 0 then List.rev (cfg :: acc) else go cfg' (cfg :: acc) (n - 1)
   in
   go { Step.expr = e; heap } [] fuel
 
-(** [diverges_beyond n e]: [e] runs for at least [n] steps without
+(** [diverges_beyond n e]: [e] runs for {e more than} [n] steps without
     finishing — the bounded, executable face of "e diverges".  (True
     divergence is Π⁰₁; every harness that "checks divergence" checks
-    this for a caller-chosen [n], and says so.) *)
+    this for a caller-chosen [n], and says so.)  A program terminating
+    in exactly [n] steps does {e not} count as diverging. *)
 let diverges_beyond n e =
   match exec ~fuel:n e with
   | Out_of_fuel _, _ -> true

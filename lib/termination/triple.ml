@@ -22,9 +22,15 @@
       fails). *)
 
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
 open Tfiris_shl
 
 type phase_boundary = Step.config -> bool
+
+let c_phase_switches = Metrics.counter "termination.tsplit.phase_switches"
+let c_pot1_spends = Metrics.counter "termination.tsplit.pot1_spends"
+let c_pot2_spends = Metrics.counter "termination.tsplit.pot2_spends"
 
 (** [split_strategy ~boundary s1 s2]: spend from pot 1 with [s1] until
     [boundary] first holds, then from pot 2 with [s2].  The pots are the
@@ -37,13 +43,20 @@ let split_strategy ~(boundary : phase_boundary) ~(pot1 : Ord.t) ~(pot2 : Ord.t)
     Wp.name = Printf.sprintf "split(%s,%s)" s1.Wp.name s2.Wp.name;
     spend =
       (fun ~step_no ~config ~kind ~credit:_ ->
-        if (not !phase2) && boundary config then phase2 := true;
+        if (not !phase2) && boundary config then begin
+          phase2 := true;
+          Metrics.incr c_phase_switches;
+          if Trace.on () then
+            Trace.instant "tsplit.boundary"
+              ~attrs:[ ("step_no", Trace.I step_no) ]
+        end;
         let a, b = !pots in
         if not !phase2 then
           match s1.Wp.spend ~step_no ~config ~kind ~credit:a with
           | None -> None
           | Some a' ->
             if Ord.lt a' a then begin
+              Metrics.incr c_pot1_spends;
               pots := (a', b);
               Some (Ord.hsum a' b)
             end
@@ -53,6 +66,7 @@ let split_strategy ~(boundary : phase_boundary) ~(pot1 : Ord.t) ~(pot2 : Ord.t)
           | None -> None
           | Some b' ->
             if Ord.lt b' b then begin
+              Metrics.incr c_pot2_spends;
               pots := (a, b');
               Some (Ord.hsum a b')
             end

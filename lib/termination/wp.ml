@@ -22,6 +22,8 @@
     becomes available. *)
 
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
+module Trace = Tfiris_obs.Trace
 open Tfiris_shl
 
 type strategy = {
@@ -65,10 +67,35 @@ let pp_verdict ppf = function
   | Rejected (Stuck _, st) ->
     Format.fprintf ppf "program stuck at step %d" st.steps
 
+(* ---------- observability ---------- *)
+
+let c_runs = Metrics.counter "termination.wp.runs"
+let c_spends = Metrics.counter "termination.wp.credit_spends"
+let c_limit = Metrics.counter "termination.wp.limit_refinements"
+let c_rejections = Metrics.counter "termination.wp.rejections"
+let h_steps = Metrics.histogram "termination.wp.run_steps"
+
+let publish (v : verdict) : verdict =
+  if Metrics.on () then begin
+    let st = match v with Terminated (_, _, st) | Rejected (_, st) -> st in
+    Metrics.incr c_runs;
+    Metrics.add c_spends st.steps;
+    Metrics.add c_limit st.limit_refinements;
+    Metrics.observe_int h_steps st.steps;
+    match v with Rejected _ -> Metrics.incr c_rejections | Terminated _ -> ()
+  end;
+  v
+
 (** [run ~credits strategy e]: execute [e], spending credit at every
     step.  Terminates unconditionally: each iteration strictly
     decreases an ordinal (validated), and ordinal descent is
-    well-founded. *)
+    well-founded.
+
+    Each run batches its counters into the [termination.wp.*] metrics;
+    with tracing on, the run is a span (strategy name, initial credit)
+    and every limit-ordinal instantiation — the "dynamic information
+    learned" moments — is an instant event carrying the old and new
+    credit. *)
 let run ~credits (s : strategy) (cfg : Step.config) : verdict =
   let rec go cfg credit stats =
     match cfg.Step.expr with
@@ -82,21 +109,41 @@ let run ~credits (s : strategy) (cfg : Step.config) : verdict =
         match s.spend ~step_no ~config:cfg' ~kind ~credit with
         | None -> Rejected (Gave_up, { stats with steps = step_no })
         | Some credit' ->
-          if Ord.lt credit' credit then
+          if Ord.lt credit' credit then begin
             (* A descent that skips past the predecessor means a limit
                component was instantiated with dynamic information. *)
             let was_limit_jump = Ord.lt (Ord.succ credit') credit in
+            if was_limit_jump && Trace.on () then
+              Trace.instant "wp.limit_refinement"
+                ~attrs:
+                  [
+                    ("step_no", Trace.I step_no);
+                    ("from", Trace.S (Ord.to_string credit));
+                    ("to", Trace.S (Ord.to_string credit'));
+                  ];
             go cfg' credit'
               {
                 steps = step_no;
                 limit_refinements =
                   (stats.limit_refinements + if was_limit_jump then 1 else 0);
               }
+          end
           else
             Rejected
               (Not_decreasing (credit, credit'), { stats with steps = step_no })))
   in
-  go cfg credits { steps = 0; limit_refinements = 0 }
+  let verdict =
+    if Trace.on () then
+      Trace.with_span "wp.run"
+        ~attrs:
+          [
+            ("strategy", Trace.S s.name);
+            ("credits", Trace.S (Ord.to_string credits));
+          ]
+        (fun () -> go cfg credits { steps = 0; limit_refinements = 0 })
+    else go cfg credits { steps = 0; limit_refinements = 0 }
+  in
+  publish verdict
 
 let terminates ~credits s e =
   match run ~credits s (Step.config e) with

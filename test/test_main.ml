@@ -14,4 +14,5 @@ let () =
       ("refinement", Test_refinement.suite);
       ("termination", Test_termination.suite);
       ("promises", Test_promises.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,336 @@
+(* Observability: the tracer (span nesting, sinks, serialisation
+   round-trips), the metrics registry, and the property tying the
+   interpreter's metrics to its classic stats and trace. *)
+
+open Tfiris
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+module Json = Obs.Json
+module Q = QCheck2
+
+(* Run [f] with tracing routed into a fresh memory sink, restoring the
+   previous sink/enabled state afterwards; returns (result, events). *)
+let with_memory_trace ?capacity f =
+  let sink, contents = Trace.memory_sink ?capacity () in
+  let prev = Trace.install sink in
+  let r = Fun.protect ~finally:(fun () -> Trace.restore prev) f in
+  (r, contents ())
+
+let test_span_nesting () =
+  let (), evs =
+    with_memory_trace (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.instant "tick" ~attrs:[ ("n", Trace.I 1) ];
+            Trace.with_span "inner" (fun () -> Trace.instant "tock")))
+  in
+  let shape =
+    List.map (fun ev -> (ev.Trace.name, ev.Trace.phase, ev.Trace.depth)) evs
+  in
+  Alcotest.(check int) "event count" 6 (List.length evs);
+  let expect =
+    Trace.
+      [
+        ("outer", Span_begin, 0);
+        ("tick", Instant, 1);
+        ("inner", Span_begin, 1);
+        ("tock", Instant, 2);
+        ("inner", Span_end, 1);
+        ("outer", Span_end, 0);
+      ]
+  in
+  if shape <> expect then Alcotest.fail "span nesting shape mismatch";
+  (* timestamps are non-decreasing *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+      Int64.compare a.Trace.ts_ns b.Trace.ts_ns <= 0 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (mono evs)
+
+let test_span_exception_safety () =
+  let (), evs =
+    with_memory_trace (fun () ->
+        try Trace.with_span "doomed" (fun () -> failwith "boom")
+        with Failure _ -> ())
+  in
+  let phases = List.map (fun ev -> ev.Trace.phase) evs in
+  Alcotest.(check bool)
+    "span closed on exception" true
+    (phases = [ Trace.Span_begin; Trace.Span_end ])
+
+let test_disabled_is_silent () =
+  let sink, contents = Trace.memory_sink () in
+  let prev = Trace.install sink in
+  Trace.set_enabled false;
+  let r = Trace.with_span "quiet" (fun () -> 41 + 1) in
+  Trace.instant "quiet-too";
+  Trace.restore prev;
+  Alcotest.(check int) "with_span passes result through" 42 r;
+  Alcotest.(check int) "no events when disabled" 0 (List.length (contents ()))
+
+let test_ring_buffer () =
+  let (), evs =
+    with_memory_trace ~capacity:4 (fun () ->
+        for i = 1 to 6 do
+          Trace.instant (string_of_int i)
+        done)
+  in
+  Alcotest.(check (list string))
+    "ring keeps last [capacity], oldest first" [ "3"; "4"; "5"; "6" ]
+    (List.map (fun ev -> ev.Trace.name) evs)
+
+(* ---------- serialisation ---------- *)
+
+let ev_testable =
+  let pp ppf (ev : Trace.event) =
+    Format.fprintf ppf "%s@%Ld d%d" ev.name ev.ts_ns ev.depth
+  in
+  Alcotest.testable pp ( = )
+
+let test_jsonl_roundtrip () =
+  let mk name phase ts d attrs =
+    Trace.{ name; phase; ts_ns = Int64.of_int ts; depth = d; attrs }
+  in
+  let evs =
+    [
+      mk "a" Trace.Span_begin 10 0 [ ("i", Trace.I 3); ("s", Trace.S "x\"y\n") ];
+      mk "b" Trace.Instant 11 1 [ ("f", Trace.F 2.5); ("b", Trace.B true) ];
+      mk "a" Trace.Span_end 12 0 [];
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let line = Json.to_string (Trace.json_of_event ev) in
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "reparse failed: %s (%s)" e line
+      | Ok j -> (
+        match Trace.event_of_json j with
+        | None -> Alcotest.failf "event_of_json failed on %s" line
+        | Some ev' -> Alcotest.check ev_testable "round-trip" ev ev'))
+    evs
+
+let test_jsonl_sink_file () =
+  let path = Filename.temp_file "tfiris_trace" ".jsonl" in
+  let oc = open_out path in
+  let prev = Trace.install (Trace.jsonl_sink oc) in
+  ignore (Shl.Interp.exec ~fuel:1_000 (Shl.Parser.parse_exn "1 + 2 * 3"));
+  Trace.restore prev;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "at least one event" true (List.length lines >= 2);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "bad JSONL line: %s (%s)" e line
+      | Ok j ->
+        if Trace.event_of_json j = None then
+          Alcotest.failf "line is not an event: %s" line)
+    lines
+
+(* The Chrome [trace_event] array: produced by the same sink the CLI's
+   --trace=FILE:chrome uses; must parse as a JSON array of objects with
+   the fields chrome://tracing requires, with balanced B/E phases. *)
+let check_chrome_file ?(require = fun _ -> true) ~ctx path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "%s: chrome trace unparseable: %s" ctx e
+  | Ok (Json.List events) ->
+    Alcotest.(check bool) (ctx ^ ": non-empty") true (events <> []);
+    let depth = ref 0 in
+    List.iter
+      (fun ev ->
+        let str k =
+          match Option.bind (Json.member k ev) Json.to_str with
+          | Some s -> s
+          | None -> Alcotest.failf "%s: event missing %s" ctx k
+        in
+        let _name = str "name" in
+        (match str "ph" with
+        | "B" -> incr depth
+        | "E" ->
+          decr depth;
+          if !depth < 0 then Alcotest.failf "%s: E before B" ctx
+        | "i" -> ()
+        | ph -> Alcotest.failf "%s: unexpected phase %s" ctx ph);
+        if Json.member "ts" ev = None then Alcotest.failf "%s: no ts" ctx)
+      events;
+    Alcotest.(check int) (ctx ^ ": spans balanced") 0 !depth;
+    if not (require events) then
+      Alcotest.failf "%s: required event missing" ctx
+  | Ok _ -> Alcotest.failf "%s: chrome trace is not an array" ctx
+
+let has_event name events =
+  List.exists
+    (fun ev -> Option.bind (Json.member "name" ev) Json.to_str = Some name)
+    events
+
+let test_chrome_sink () =
+  let path = Filename.temp_file "tfiris_trace" ".json" in
+  let oc = open_out path in
+  let prev = Trace.install (Trace.chrome_sink oc) in
+  (* a driver run, so the trace contains per-decision spans *)
+  ignore (Refinement.Memo_spec.certify (Refinement.Memo_spec.fib_instance 3));
+  Trace.restore prev;
+  close_out oc;
+  check_chrome_file ~ctx:"chrome_sink" path
+    ~require:(fun evs -> has_event "driver.decide" evs && has_event "driver.run" evs);
+  Sys.remove path
+
+(* End to end through the binary: `tfiris run --trace=FILE:chrome`. *)
+let test_cli_chrome_trace () =
+  let exe = "../bin/tfiris_cli.exe" in
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  let path = Filename.temp_file "tfiris_cli_trace" ".json" in
+  let cmd =
+    Printf.sprintf "%s run --trace=%s:chrome -e '1 + 2 * 3' > /dev/null" exe
+      (Filename.quote path)
+  in
+  Alcotest.(check int) "cli exit code" 0 (Sys.command cmd);
+  check_chrome_file ~ctx:"cli" path ~require:(has_event "shl.exec");
+  Sys.remove path
+
+(* ---------- metrics ---------- *)
+
+(* Snapshot/reset touch the process-global registry the instrumented
+   libraries also use, so tests bracket carefully. *)
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+
+let test_metrics_basic () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.obs.counter" in
+      let g = Metrics.gauge "test.obs.gauge" in
+      let h = Metrics.histogram "test.obs.hist" in
+      Metrics.incr c;
+      Metrics.add c 4;
+      Metrics.set g 2.5;
+      List.iter (Metrics.observe_int h) [ 0; 1; 2; 3; 1000 ];
+      let snap = Metrics.snapshot () in
+      Alcotest.(check (option int))
+        "counter" (Some 5)
+        (Metrics.counter_value snap "test.obs.counter");
+      (match
+         List.find_map
+           (function
+             | Metrics.Histogram_v ("test.obs.hist", d) -> Some d | _ -> None)
+           snap
+       with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some d ->
+        Alcotest.(check int) "hist count" 5 d.Metrics.count;
+        Alcotest.(check (float 1e-9)) "hist sum" 1006. d.Metrics.sum;
+        Alcotest.(check (float 1e-9)) "hist max" 1000. d.Metrics.max;
+        (* 0 and 1 share the [0,1] bucket; 2, 3, 1000 land in (1,2],
+           (2,4] and (512,1024] *)
+        Alcotest.(check int) "hist buckets" 4 (List.length d.Metrics.buckets));
+      Metrics.reset ();
+      Alcotest.(check (option int))
+        "reset zeroes" (Some 0)
+        (Metrics.counter_value (Metrics.snapshot ()) "test.obs.counter"))
+
+let test_metrics_disabled () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.obs.counter" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Alcotest.(check (option int))
+    "no updates when disabled" (Some 0)
+    (Metrics.counter_value (Metrics.snapshot ()) "test.obs.counter")
+
+let test_metrics_idempotent_registration () =
+  let c1 = Metrics.counter "test.obs.same" in
+  let c2 = Metrics.counter "test.obs.same" in
+  Alcotest.(check bool) "same instrument" true (c1 == c2);
+  match Metrics.gauge "test.obs.same" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash not rejected"
+
+let test_metrics_json () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.obs.counter" in
+      Metrics.add c 7;
+      let j = Metrics.to_json (Metrics.snapshot ()) in
+      match Json.of_string (Json.to_string j) with
+      | Error e -> Alcotest.failf "metrics JSON unparseable: %s" e
+      | Ok j' ->
+        Alcotest.(check (option int))
+          "value survives" (Some 7)
+          (Option.bind (Json.member "test.obs.counter" j') Json.to_int))
+
+(* The anti-drift property ISSUE.md asks for: on arbitrary generated
+   programs, the per-kind step counters published to the registry sum to
+   exactly [stats.steps], which in turn equals the step count implied by
+   [Interp.trace] at the same fuel. *)
+let interp_counters_agree =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:120 ~name:"interp metrics = stats = |trace| - 1"
+       ~print:Gen.print_shl Gen.shl_expr (fun e ->
+         let fuel = 500 in
+         Metrics.reset ();
+         Metrics.set_enabled true;
+         let _, stats = Shl.Interp.exec ~fuel e in
+         Metrics.set_enabled false;
+         let snap = Metrics.snapshot () in
+         Metrics.reset ();
+         let from_metrics =
+           Metrics.sum_counters snap ~prefix:"shl.interp.steps."
+         in
+         let from_trace = List.length (Shl.Interp.trace ~fuel e) - 1 in
+         from_metrics = stats.Shl.Interp.steps && stats.Shl.Interp.steps = from_trace))
+
+(* The satellite fix: fuel is an exact bound, so a program finishing in
+   exactly [fuel] steps reports Value, not Out_of_fuel. *)
+let test_fuel_exact () =
+  let e = Shl.Parser.parse_exn "1 + 2 + 3" in
+  let n = Option.get (Shl.Interp.steps_to_value e) in
+  (match Shl.Interp.exec ~fuel:n e with
+  | Shl.Interp.Value (Shl.Ast.Int 6, _), stats ->
+    Alcotest.(check int) "all steps counted" n stats.Shl.Interp.steps
+  | Shl.Interp.Value _, _ -> Alcotest.fail "wrong value"
+  | (Shl.Interp.Stuck _ | Shl.Interp.Out_of_fuel _), _ ->
+    Alcotest.fail "exact fuel must suffice");
+  (match Shl.Interp.exec ~fuel:(n - 1) e with
+  | Shl.Interp.Out_of_fuel _, _ -> ()
+  | _ -> Alcotest.fail "fuel - 1 must be Out_of_fuel");
+  Alcotest.(check int)
+    "trace at exact fuel is complete" (n + 1)
+    (List.length (Shl.Interp.trace ~fuel:n e));
+  Alcotest.(check bool)
+    "diverges_beyond is strict" false
+    (Shl.Interp.diverges_beyond n e)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "disabled tracer is silent" `Quick test_disabled_is_silent;
+    Alcotest.test_case "memory sink ring buffer" `Quick test_ring_buffer;
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "jsonl file sink" `Quick test_jsonl_sink_file;
+    Alcotest.test_case "chrome sink (driver spans)" `Quick test_chrome_sink;
+    Alcotest.test_case "cli --trace=chrome" `Quick test_cli_chrome_trace;
+    Alcotest.test_case "metrics basics" `Quick test_metrics_basic;
+    Alcotest.test_case "metrics disabled" `Quick test_metrics_disabled;
+    Alcotest.test_case "metrics registration" `Quick
+      test_metrics_idempotent_registration;
+    Alcotest.test_case "metrics JSON" `Quick test_metrics_json;
+    interp_counters_agree;
+    Alcotest.test_case "fuel bound is exact" `Quick test_fuel_exact;
+  ]

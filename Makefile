@@ -16,6 +16,7 @@ bench:
 
 verify: build test
 	dune exec bin/tfiris_cli.exe -- stats -e "let r = ref 0 in r := 41; !r + 1"
+	dune exec bin/tfiris_cli.exe -- analyze --fail-on=error examples/shl/*.shl
 	dune exec bench/main.exe -- --quick --out=BENCH_obs.json
 	@echo "verify: OK"
 

@@ -482,6 +482,57 @@ let e14 () =
     (List.length ok2) (List.length bad2)
 
 (* ------------------------------------------------------------------ *)
+(* E15 — the static analyzer over the example corpus                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let e15 () =
+  section "E15  static analysis: all passes over the examples";
+  let module An = Tfiris.Analysis in
+  let corpus =
+    let dir = "examples/shl" in
+    let from_files =
+      if Sys.file_exists dir && Sys.is_directory dir then
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".shl")
+        |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+        (* largest example last, so its per-pass split prints at the
+           bottom of the section *)
+        |> List.sort (fun (_, a) (_, b) ->
+               compare (String.length a) (String.length b))
+        |> List.map (fun (f, src) -> (f, Shl.Parser.parse_exn src))
+      else []
+    in
+    if from_files <> [] then from_files
+    else [ ("mlev (fallback)", Shl.Prog.mlev) ]
+  in
+  List.iter
+    (fun (name, e) ->
+      let r = An.Analyzer.analyze ~label:name e in
+      let count s = An.Finding.count_severity r.An.Analyzer.findings s in
+      row "  %-22s %d errors, %d warnings, %d info\n" name
+        (count An.Finding.Error) (count An.Finding.Warning)
+        (count An.Finding.Info))
+    corpus;
+  (* per-pass wall time for the largest example *)
+  match List.rev corpus with
+  | (name, e) :: _ ->
+    let r = An.Analyzer.analyze ~label:name e in
+    row "  per-pass wall time, largest example (%s):\n" name;
+    List.iter
+      (fun t ->
+        row "    %-10s %8.1f us  (%d findings)\n" t.An.Analyzer.t_pass
+          (Int64.to_float t.An.Analyzer.t_ns /. 1e3)
+          t.An.Analyzer.t_found)
+      r.An.Analyzer.timings
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -500,6 +551,7 @@ let bench_tests () =
   let fib_memo n =
     Shl.Ast.App (Shl.Prog.memo_of Shl.Prog.fib_template, Shl.Ast.int_ n)
   in
+  let module An = Tfiris.Analysis in
   let memo_inst = Ref.Memo_spec.fib_instance 10 in
   let fib10_src = "(rec f n. if n < 2 then n else f (n - 1) + f (n - 2)) 10" in
   let straight =
@@ -560,6 +612,10 @@ let bench_tests () =
       (Staged.stage
          (let u = parse "fun v -> 2 + 2" and f = parse "fun v -> 1 + 2" in
           fun () -> Term.Nested.verify ~u ~f ()));
+    Test.make ~name:"e15/analyze_mlev"
+      (Staged.stage (fun () -> An.Analyzer.analyze ~label:"mlev" Shl.Prog.mlev));
+    Test.make ~name:"e15/analyze_races_spinlock"
+      (Staged.stage (fun () -> An.Races.analyze Shl.Conc.spinlock_pair));
   ]
 
 let run_benches () =
@@ -596,11 +652,14 @@ type obs_record = {
   rec_name : string;
   rec_wall_ns : int64;
   rec_counters : (string * int) list;
+  rec_hist_sums : (string * float) list;
+      (** histogram totals — e.g. the per-pass analyzer wall times
+          under [analysis.pass.*.wall_ns] *)
 }
 
 (* Run one experiment with metrics on, returning its wall time and the
-   non-zero counter values it produced (the registry is reset first, so
-   the snapshot is exactly this experiment's delta). *)
+   non-zero counter/histogram values it produced (the registry is reset
+   first, so the snapshot is exactly this experiment's delta). *)
 let observe name (f : unit -> unit) : obs_record =
   Obs.Metrics.reset ();
   Obs.Metrics.set_enabled true;
@@ -608,23 +667,44 @@ let observe name (f : unit -> unit) : obs_record =
   f ();
   let t1 = Obs.Trace.now_ns () in
   Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
   let counters =
     List.filter_map
       (function
         | Obs.Metrics.Counter_v (n, c) when c > 0 -> Some (n, c)
         | _ -> None)
-      (Obs.Metrics.snapshot ())
+      snap
   in
-  { rec_name = name; rec_wall_ns = Int64.sub t1 t0; rec_counters = counters }
+  let hist_sums =
+    List.filter_map
+      (function
+        | Obs.Metrics.Histogram_v (n, h) when h.Obs.Metrics.count > 0 ->
+          Some (n, h.Obs.Metrics.sum)
+        | _ -> None)
+      snap
+  in
+  {
+    rec_name = name;
+    rec_wall_ns = Int64.sub t1 t0;
+    rec_counters = counters;
+    rec_hist_sums = hist_sums;
+  }
 
 let json_of_record r =
   Obs.Json.(
     Obj
-      [
-        ("name", Str r.rec_name);
-        ("wall_ns", Int (Int64.to_int r.rec_wall_ns));
-        ("counters", Obj (List.map (fun (n, c) -> (n, Int c)) r.rec_counters));
-      ])
+      ([
+         ("name", Str r.rec_name);
+         ("wall_ns", Int (Int64.to_int r.rec_wall_ns));
+         ("counters", Obj (List.map (fun (n, c) -> (n, Int c)) r.rec_counters));
+       ]
+      @
+      if r.rec_hist_sums = [] then []
+      else
+        [
+          ( "hist_sums",
+            Obj (List.map (fun (n, s) -> (n, Float s)) r.rec_hist_sums) );
+        ]))
 
 let json_of_timing (name, ns, r2) =
   Obs.Json.(
@@ -667,6 +747,7 @@ let () =
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
       ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
+      ("e15", e15);
     ]
   in
   let records = List.map (fun (name, f) -> observe name f) experiments in

@@ -4,6 +4,7 @@
      run          run an SHL program
      stats        run an SHL program and print the full metrics snapshot
      trace        print the small-step trace of an SHL program
+     analyze      run the static analyzer over one or more SHL programs
      check-term   verify termination with transfinite time credits
      refine       check a termination-preserving refinement
      dilemma      run the §2.7/Theorem 7.1 demonstration
@@ -210,6 +211,110 @@ let trace_cmd =
     Term.(
       const (fun () p n -> Stdlib.exit (action p n))
       $ obs_term $ program_term $ steps)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let module An = Tfiris.Analysis.Analyzer in
+  let module F = Tfiris.Analysis.Finding in
+  let read_file path =
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error m -> Error m
+  in
+  let action expr files fmt fail_on only skip timings =
+    List.iter
+      (fun p ->
+        if not (List.mem p An.pass_names) then
+          or_die
+            (Error
+               (Printf.sprintf "unknown pass %S (available: %s)" p
+                  (String.concat ", " An.pass_names))))
+      (only @ skip);
+    let selected =
+      (match only with [] -> An.pass_names | ps -> ps)
+      |> List.filter (fun p -> not (List.mem p skip))
+    in
+    if selected = [] then or_die (Error "every pass is disabled");
+    let programs =
+      List.map (fun f -> (f, or_die (read_file f))) files
+      @ match expr with Some s -> [ ("<expr>", s) ] | None -> []
+    in
+    if programs = [] then
+      or_die (Error "no program: use -e EXPR or give files");
+    let reports =
+      List.map
+        (fun (label, src) ->
+          let e = or_die (parse_program src) in
+          An.analyze ~passes:selected ~label e)
+        programs
+    in
+    (match fmt with
+    | `Json ->
+      let j = Obs.Json.List (List.map An.report_to_json reports) in
+      print_endline (Obs.Json.to_string j)
+    | `Text ->
+      List.iter
+        (fun r -> Format.printf "%a@." (An.render_text ~timings) r)
+        reports);
+    if List.exists (fun r -> An.fails ~fail_on r) reports then 1 else 0
+  in
+  let expr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Program text.")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Program files.")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("info", F.Info); ("warning", F.Warning); ("error", F.Error) ])
+          F.Error
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Exit 1 when a finding at or above $(docv) is reported \
+             (info|warning|error).")
+  in
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "pass" ] ~docv:"PASS"
+          ~doc:"Run only this pass (repeatable).")
+  in
+  let skip =
+    Arg.(
+      value & opt_all string []
+      & info [ "no-pass" ] ~docv:"PASS" ~doc:"Skip this pass (repeatable).")
+  in
+  let timings =
+    Arg.(
+      value & flag
+      & info [ "timings" ] ~doc:"Print per-pass wall times (text format).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static analyzer (scope/shape lint, constant propagation, \
+          intervals, termination measures, race detection) over SHL \
+          programs.")
+    Term.(
+      const (fun () e fs fmt fo po sk t -> Stdlib.exit (action e fs fmt fo po sk t))
+      $ obs_term $ expr $ files $ fmt $ fail_on $ only $ skip $ timings)
 
 (* ---- check-term ---- *)
 
@@ -437,6 +542,7 @@ let () =
             run_cmd;
             stats_cmd;
             trace_cmd;
+            analyze_cmd;
             check_term_cmd;
             refine_cmd;
             dilemma_cmd;

@@ -1,0 +1,200 @@
+(** Pass 1: scope and shape lint.
+
+    Purely syntactic checks, one traversal:
+
+    - {b unbound variables} ([scope/unbound-var], error) — a free
+      variable is stuck the moment it is evaluated;
+    - {b shadowing} ([scope/shadowed-binder], info) — legal, but a
+      frequent source of confusion in hand-written SHL;
+    - {b unused lets} ([scope/unused-let], warning) — a [let] whose
+      binder does not occur in its body; binders named ["_"] or
+      starting with ['_'] are exempt by convention (function and match
+      parameters are also exempt: unused unit parameters are the
+      idiomatic thunk encoding);
+    - {b obviously-stuck redexes} ([shape/...], error) — applications
+      of non-function literals, projections of non-pairs, loads and
+      stores through non-locations, conditionals on non-booleans,
+      matches on non-sums, and operator/operand type clashes, wherever
+      the operand is a literal so the mismatch is beyond doubt. *)
+
+open Tfiris_shl
+open Ast
+module F = Finding
+
+let exempt name = name = "" || name.[0] = '_'
+
+(* The shape of a literal operand, for the stuck-redex checks.  [None]
+   means "not a literal / unknown" and produces no finding. *)
+type shape =
+  | S_unit
+  | S_bool
+  | S_int
+  | S_loc
+  | S_pair
+  | S_sum
+  | S_fun
+
+let shape_of_value = function
+  | Unit -> Some S_unit
+  | Bool _ -> Some S_bool
+  | Int _ -> Some S_int
+  | Loc _ -> Some S_loc
+  | Pair _ -> Some S_pair
+  | Inj_l _ | Inj_r _ -> Some S_sum
+  | Rec_fun _ -> Some S_fun
+
+(* Only literals and literal-producing constructors are judged; any
+   computation yields [None]. *)
+let shape_of_expr = function
+  | Val v -> shape_of_value v
+  | Rec _ -> Some S_fun
+  | Pair_e _ -> Some S_pair
+  | Inj_l_e _ | Inj_r_e _ -> Some S_sum
+  | Ref _ -> Some S_loc
+  | _ -> None
+
+let shape_to_string = function
+  | S_unit -> "()"
+  | S_bool -> "a boolean"
+  | S_int -> "an integer"
+  | S_loc -> "a location"
+  | S_pair -> "a pair"
+  | S_sum -> "a sum"
+  | S_fun -> "a function"
+
+let run (e : expr) : F.t list =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let err ~id ~path fmt = Format.kasprintf
+      (fun m -> add (F.make ~id ~severity:F.Error ~path m)) fmt
+  in
+  (* scope: walk with the bound-variable environment *)
+  let rec scope env rev_p e =
+    let path () = List.rev rev_p in
+    let bind env x inner_rev_p k =
+      if (not (exempt x)) && List.mem x env then
+        add
+          (F.makef ~id:"scope/shadowed-binder" ~severity:F.Info ~path:(path ())
+             "binder %s shadows an enclosing binding" x);
+      k (x :: env) inner_rev_p
+    in
+    match e with
+    | Var x ->
+      if not (List.mem x env) then
+        err ~id:"scope/unbound-var" ~path:(path ()) "unbound variable %s" x
+    | Let (x, e1, e2) ->
+      scope env (Path.Let_bound :: rev_p) e1;
+      if (not (exempt x)) && not (Sset.mem x (free_vars e2)) then
+        add
+          (F.makef ~id:"scope/unused-let" ~severity:F.Warning ~path:(path ())
+             "let-bound %s is never used" x);
+      bind env x (Path.Let_body :: rev_p) (fun env p -> scope env p e2)
+    | Rec (f, x, body) ->
+      let env =
+        match f with
+        | Some f when not (List.mem f env) -> f :: env
+        | _ -> env
+      in
+      bind env x (Path.Rec_body :: rev_p) (fun env p -> scope env p body)
+    | Val (Rec_fun (f, x, body)) ->
+      let env = match f with Some f -> f :: env | None -> env in
+      bind env x (Path.Val_body :: rev_p) (fun env p -> scope env p body)
+    | Case (e0, (x, e1), (y, e2)) ->
+      scope env (Path.Case_scrut :: rev_p) e0;
+      bind env x (Path.Case_inl :: rev_p) (fun env p -> scope env p e1);
+      bind env y (Path.Case_inr :: rev_p) (fun env p -> scope env p e2)
+    | _ ->
+      List.iter
+        (fun (s, child) -> scope env (s :: rev_p) child)
+        (Path.children e)
+  in
+  scope [] [] e;
+  (* shape: every subexpression, no environment needed *)
+  Path.iter
+    (fun path sub ->
+      let shp e = shape_of_expr e in
+      match sub with
+      | App (e1, _) -> (
+        match shp e1 with
+        | Some S_fun | None -> ()
+        | Some s ->
+          err ~id:"shape/stuck-app" ~path "applying %s, not a function"
+            (shape_to_string s))
+      | Fst e1 | Snd e1 -> (
+        match shp e1 with
+        | Some S_pair | None -> ()
+        | Some s ->
+          err ~id:"shape/stuck-proj" ~path "projection from %s, not a pair"
+            (shape_to_string s))
+      | Case (e0, _, _) -> (
+        match shp e0 with
+        | Some S_sum | None -> ()
+        | Some s ->
+          err ~id:"shape/stuck-case" ~path "match on %s, not a sum"
+            (shape_to_string s))
+      | If (c, _, _) -> (
+        match shp c with
+        | Some S_bool | None -> ()
+        | Some s ->
+          err ~id:"shape/stuck-if" ~path "condition is %s, not a boolean"
+            (shape_to_string s))
+      | Load e1 -> (
+        match shp e1 with
+        | Some S_loc | None -> ()
+        | Some s ->
+          err ~id:"shape/stuck-load" ~path "loading from %s, not a location"
+            (shape_to_string s))
+      | Store (e1, _) -> (
+        match shp e1 with
+        | Some S_loc | None -> ()
+        | Some s ->
+          err ~id:"shape/stuck-store" ~path "storing to %s, not a location"
+            (shape_to_string s))
+      | Cas (e1, _, _) -> (
+        match shp e1 with
+        | Some S_loc | None -> ()
+        | Some s ->
+          err ~id:"shape/stuck-cas" ~path "cas on %s, not a location"
+            (shape_to_string s))
+      | Un_op (op, e1) -> (
+        let want = match op with Neg -> S_bool | Minus -> S_int in
+        match shp e1 with
+        | None -> ()
+        | Some s when s = want -> ()
+        | Some s ->
+          err ~id:"shape/stuck-op" ~path "operand of %s is %s"
+            (match op with Neg -> "not" | Minus -> "unary minus")
+            (shape_to_string s))
+      | Bin_op (op, e1, e2) -> (
+        let sym =
+          match op with
+          | Add -> "+" | Sub -> "-" | Mul -> "*" | Quot -> "quot"
+          | Rem -> "rem" | Lt -> "<" | Le -> "<=" | Eq -> "="
+          | Ptr_add -> "+l"
+        in
+        let bad_operand s =
+          err ~id:"shape/stuck-op" ~path "operand of %s is %s" sym
+            (shape_to_string s)
+        in
+        match op with
+        | Add | Sub | Mul | Quot | Rem | Lt | Le ->
+          List.iter
+            (fun e ->
+              match shp e with
+              | Some S_int | None -> ()
+              | Some s -> bad_operand s)
+            [ e1; e2 ]
+        | Ptr_add -> (
+          (match shp e1 with
+          | Some S_loc | None -> ()
+          | Some s -> bad_operand s);
+          match shp e2 with
+          | Some S_int | None -> ()
+          | Some s -> bad_operand s)
+        | Eq ->
+          (* = is total on closure-free values (shape mismatches compare
+             as false); only closures make it stuck *)
+          if shp e1 = Some S_fun || shp e2 = Some S_fun then bad_operand S_fun)
+      | _ -> ())
+    e;
+  List.sort F.compare !findings

@@ -73,6 +73,22 @@ module Shl = struct
   module Prog = Tfiris_shl.Prog
   module Types = Tfiris_shl.Types
   module Conc = Tfiris_shl.Conc
+  module Path = Tfiris_shl.Path
+end
+
+(** The static analyzer (see DESIGN.md, "Static analysis"): a shared
+    findings core, a scope/shape lint, a generic monotone dataflow
+    engine instantiated with constant propagation and intervals,
+    termination-measure inference, and a race detector for [Shl.Conc]
+    programs validated against exhaustive interleaving exploration. *)
+module Analysis = struct
+  module Finding = Tfiris_analysis.Finding
+  module Scope = Tfiris_analysis.Scope
+  module Dataflow = Tfiris_analysis.Dataflow
+  module Domains = Tfiris_analysis.Domains
+  module Term_measure = Tfiris_analysis.Term_measure
+  module Races = Tfiris_analysis.Races
+  module Analyzer = Tfiris_analysis.Analyzer
 end
 
 module Goodstein = Tfiris_ordinal.Goodstein

@@ -80,31 +80,37 @@ let round_robin : scheduler =
  fun ~step_no ~runnable _ -> List.nth runnable (step_no mod List.length runnable)
 
 (** A deterministic pseudo-random scheduler (linear congruential, so
-    runs are reproducible per seed). *)
+    runs are reproducible per seed).  The choice is drawn from the high
+    bits: an LCG's low bits have tiny periods (the parity alternates
+    identically for every seed), which would collapse all seeds onto
+    the same schedule whenever only two threads are runnable. *)
 let seeded (seed : int) : scheduler =
   let state = ref (seed land 0x3FFFFFFF) in
   fun ~step_no:_ ~runnable _ ->
     state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
-    List.nth runnable (!state mod List.length runnable)
+    List.nth runnable (!state lsr 16 mod List.length runnable)
 
-(** Run under a scheduler. *)
-let run ?(fuel = 1_000_000) ~(sched : scheduler) (c : cfg) : outcome =
+(** Run under a scheduler, counting the scheduling decisions taken. *)
+let run_stats ?(fuel = 1_000_000) ~(sched : scheduler) (c : cfg) :
+    outcome * int =
   let rec go c n step_no =
     match runnable c with
     | [] -> (
       match c.threads with
-      | Val v :: _ -> All_done (v, c.heap)
+      | Val v :: _ -> (All_done (v, c.heap), step_no)
       | _ -> assert false)
     | rs -> (
-      if n = 0 then Out_of_fuel c
+      if n = 0 then (Out_of_fuel c, step_no)
       else
         let i = sched ~step_no ~runnable:rs c in
         match step_thread c i with
         | T_progress c' -> go c' (n - 1) (step_no + 1)
         | T_value -> go c (n - 1) (step_no + 1)
-        | T_stuck redex -> Thread_stuck (i, redex))
+        | T_stuck redex -> (Thread_stuck (i, redex), step_no))
   in
   go c fuel 0
+
+let run ?fuel ~sched c = fst (run_stats ?fuel ~sched c)
 
 (** Exhaustively explore {b all} interleavings by memoized reachability
     over configurations (spin loops revisit states, so the state space

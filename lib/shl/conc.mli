@@ -38,6 +38,11 @@ val seeded : int -> scheduler
 
 val run : ?fuel:int -> sched:scheduler -> cfg -> outcome
 
+val run_stats : ?fuel:int -> sched:scheduler -> cfg -> outcome * int
+(** Like {!run}, also returning the number of scheduling decisions
+    taken; with a deterministic scheduler both components are
+    reproducible (tested). *)
+
 type exploration = {
   final_values : (value * Heap.t) list;  (** deduplicated terminals *)
   stuck : (int * expr) list;

@@ -1,0 +1,145 @@
+(** Expression paths: stable addresses of subexpressions.
+
+    A path is the list of child-selection steps from the root of an
+    expression to a subexpression, outermost first.  The static
+    analyses ({!Tfiris_analysis}) attach every finding to a path, so a
+    diagnostic names a {e position} in the program rather than quoting
+    a (possibly large) subterm; paths also serve as allocation-site and
+    function identifiers in the abstract domains, because they are
+    stable under re-analysis and cheap to compare.
+
+    Unlike {!Ctx} frames (which address the unique {e evaluation}
+    position), paths address arbitrary syntactic positions, including
+    under binders and inside values. *)
+
+open Ast
+
+type step =
+  | Rec_body
+  | App_fun
+  | App_arg
+  | Un_arg
+  | Bin_l
+  | Bin_r
+  | If_cond
+  | If_then
+  | If_else
+  | Pair_l
+  | Pair_r
+  | Fst_arg
+  | Snd_arg
+  | Inj_arg
+  | Case_scrut
+  | Case_inl
+  | Case_inr
+  | Ref_arg
+  | Load_arg
+  | Store_l
+  | Store_r
+  | Let_bound
+  | Let_body
+  | Seq_l
+  | Seq_r
+  | Fork_body
+  | Cas_loc
+  | Cas_old
+  | Cas_new
+  | Val_body  (** descend into a [Rec_fun] value's body *)
+
+type t = step list  (** outermost step first *)
+
+let root : t = []
+
+let step_to_string = function
+  | Rec_body -> "body"
+  | App_fun -> "fn"
+  | App_arg -> "arg"
+  | Un_arg -> "arg"
+  | Bin_l -> "lhs"
+  | Bin_r -> "rhs"
+  | If_cond -> "cond"
+  | If_then -> "then"
+  | If_else -> "else"
+  | Pair_l -> "fst"
+  | Pair_r -> "snd"
+  | Fst_arg -> "arg"
+  | Snd_arg -> "arg"
+  | Inj_arg -> "arg"
+  | Case_scrut -> "scrut"
+  | Case_inl -> "inl"
+  | Case_inr -> "inr"
+  | Ref_arg -> "init"
+  | Load_arg -> "loc"
+  | Store_l -> "loc"
+  | Store_r -> "rhs"
+  | Let_bound -> "bound"
+  | Let_body -> "in"
+  | Seq_l -> "first"
+  | Seq_r -> "rest"
+  | Fork_body -> "fork"
+  | Cas_loc -> "loc"
+  | Cas_old -> "old"
+  | Cas_new -> "new"
+  | Val_body -> "body"
+
+let to_string (p : t) =
+  match p with
+  | [] -> "/"
+  | _ -> String.concat "" (List.map (fun s -> "/" ^ step_to_string s) p)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+
+(** [children e]: the immediate subexpressions of [e], each tagged with
+    the step selecting it.  [Rec_fun] values expose their bodies (via
+    [Val_body]); other values are leaves. *)
+let children (e : expr) : (step * expr) list =
+  match e with
+  | Val (Rec_fun (_, _, body)) -> [ (Val_body, body) ]
+  | Val _ | Var _ -> []
+  | Rec (_, _, body) -> [ (Rec_body, body) ]
+  | App (e1, e2) -> [ (App_fun, e1); (App_arg, e2) ]
+  | Un_op (_, e1) -> [ (Un_arg, e1) ]
+  | Bin_op (_, e1, e2) -> [ (Bin_l, e1); (Bin_r, e2) ]
+  | If (c, e1, e2) -> [ (If_cond, c); (If_then, e1); (If_else, e2) ]
+  | Pair_e (e1, e2) -> [ (Pair_l, e1); (Pair_r, e2) ]
+  | Fst e1 -> [ (Fst_arg, e1) ]
+  | Snd e1 -> [ (Snd_arg, e1) ]
+  | Inj_l_e e1 | Inj_r_e e1 -> [ (Inj_arg, e1) ]
+  | Case (e0, (_, e1), (_, e2)) ->
+    [ (Case_scrut, e0); (Case_inl, e1); (Case_inr, e2) ]
+  | Ref e1 -> [ (Ref_arg, e1) ]
+  | Load e1 -> [ (Load_arg, e1) ]
+  | Store (e1, e2) -> [ (Store_l, e1); (Store_r, e2) ]
+  | Let (_, e1, e2) -> [ (Let_bound, e1); (Let_body, e2) ]
+  | Seq (e1, e2) -> [ (Seq_l, e1); (Seq_r, e2) ]
+  | Fork e1 -> [ (Fork_body, e1) ]
+  | Cas (e1, e2, e3) -> [ (Cas_loc, e1); (Cas_old, e2); (Cas_new, e3) ]
+
+(** [get e p]: the subexpression of [e] at [p], if the path is valid. *)
+let rec get (e : expr) (p : t) : expr option =
+  match p with
+  | [] -> Some e
+  | s :: rest -> (
+    match List.assoc_opt s (children e) with
+    | Some child -> get child rest
+    | None -> None)
+
+(** [iter f e]: visit every subexpression of [e] (including [e] itself
+    and the bodies of function values) with its path, outside-in.
+    Paths are built root-first. *)
+let iter (f : t -> expr -> unit) (e : expr) : unit =
+  (* accumulate the reversed path to keep extension O(1) *)
+  let rec go rev_p e =
+    f (List.rev rev_p) e;
+    List.iter (fun (s, child) -> go (s :: rev_p) child) (children e)
+  in
+  go [] e
+
+(** [fold f init e]: like {!iter}, threading an accumulator. *)
+let fold (f : 'a -> t -> expr -> 'a) (init : 'a) (e : expr) : 'a =
+  let acc = ref init in
+  iter (fun p sub -> acc := f !acc p sub) e;
+  !acc

@@ -6,8 +6,12 @@ open Ast
 (* Precedence levels, loosest to tightest:
    0 let / rec / fun / match / if / sequencing
    1 := (store)
-   2 || ; 3 && ; 4 comparisons ; 5 + - +l ; 6 * quot rem
-   7 application ; 8 atoms (!e, constants, parens) *)
+   2 || ; 3 && ; 4 comparisons ; 5 + - +l ; 6 * quot rem and unary not/-
+   7 application ; 8 atoms (!e, constants, parens)
+
+   The grammar's [unary] sits between [mul] and [app]: a unary operator
+   is a legal [mul] operand but not a legal application head or
+   argument, so [Un_op] prints at level 6 with its operand at 7. *)
 
 let bin_op_info = function
   | Add -> ("+", 5)
@@ -54,9 +58,13 @@ and pp_prec prec ppf (e : expr) =
   | App (e1, e2) ->
     paren 7 (fun ppf ->
         Format.fprintf ppf "@[<hov 2>%a@ %a@]" (pp_prec 7) e1 (pp_prec 8) e2)
-  | Un_op (Neg, e1) -> paren 7 (fun ppf -> Format.fprintf ppf "not %a" (pp_prec 8) e1)
+  | Un_op (Neg, e1) -> paren 6 (fun ppf -> Format.fprintf ppf "not %a" (pp_prec 7) e1)
+  | Un_op (Minus, Val (Int n)) when n >= 0 ->
+    (* the parser folds [- <int literal>] into a negative literal;
+       parenthesize so this stays a [Un_op] redex *)
+    paren 6 (fun ppf -> Format.fprintf ppf "-(%d)" n)
   | Un_op (Minus, e1) ->
-    paren 7 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 8) e1)
+    paren 6 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 7) e1)
   | Bin_op (op, e1, e2) ->
     let sym, p = bin_op_info op in
     (* comparisons are non-associative in the grammar: parenthesize a
@@ -108,7 +116,8 @@ and pp_value_as_expr prec ppf v =
   | Inj_l _ | Inj_r _ ->
     if prec > 7 then Format.fprintf ppf "(%a)" pp_value v else pp_value ppf v
   | Int n when n < 0 ->
-    if prec > 7 then Format.fprintf ppf "(%a)" pp_value v else pp_value ppf v
+    (* [-n] re-parses at the unary level (6), not as an atom *)
+    if prec > 6 then Format.fprintf ppf "(%a)" pp_value v else pp_value ppf v
   | Unit | Bool _ | Int _ | Loc _ | Pair _ -> pp_value ppf v
 
 let pp_expr ppf e = pp_prec 0 ppf e

@@ -109,19 +109,48 @@ let print_ts (ts : Ts.t) =
 
 (* Closed, well-scoped expressions over a variable environment; built to
    exercise the parser/printer roundtrip and the interpreter's
-   determinism rather than to always terminate. *)
+   determinism rather than to always terminate.  Every constructor of
+   the AST is reachable — all nine binary operators, both unary
+   operators, named and anonymous [rec], [fork]/[cas], negative integer
+   literals, and value literals (pairs, injections, locations and
+   closures) — so the roundtrip property covers the whole grammar. *)
 let shl_expr : Shl.Ast.expr Q.t =
   let open Q in
   let open Shl.Ast in
   let var_name = oneofl [ "x"; "y"; "z"; "f"; "g" ] in
-  let rec go env depth =
+  let all_bin_ops =
+    oneofl [ Add; Sub; Mul; Quot; Rem; Lt; Le; Eq; Ptr_add ]
+  in
+  let rec value env depth =
+    let base =
+      [
+        return Unit;
+        map (fun b -> Bool b) bool;
+        map (fun n -> Int n) (int_range (-20) 20);
+        map (fun l -> Loc l) (int_bound 9);
+      ]
+    in
+    if depth = 0 then oneof base
+    else
+      let subv = value env (depth - 1) in
+      oneof
+        (base
+        @ [
+            map2 (fun a b -> Pair (a, b)) subv subv;
+            map (fun a -> Inj_l a) subv;
+            map (fun a -> Inj_r a) subv;
+            (let* f = oneof [ return None; map Option.some var_name ] in
+             let* x = var_name in
+             let env' =
+               x :: (match f with Some f -> f :: env | None -> env)
+             in
+             let* body = go env' (depth - 1) in
+             return (Rec_fun (f, x, body)));
+          ])
+  and go env depth =
     let atom =
-      let consts =
-        [ return unit_; map bool_ bool; map int_ (int_bound 20) ]
-      in
-      let vars =
-        if env = [] then [] else [ map var (oneofl env) ]
-      in
+      let consts = [ map (fun v -> Val v) (value env 0) ] in
+      let vars = if env = [] then [] else [ map var (oneofl env) ] in
       oneof (consts @ vars)
     in
     if depth = 0 then atom
@@ -136,10 +165,12 @@ let shl_expr : Shl.Ast.expr Q.t =
       oneof
         [
           atom;
+          map (fun v -> Val v) (value env (depth - 1));
           map2 (fun a b -> App (a, b)) sub sub;
-          map2 (fun a b -> Bin_op (Add, a, b)) sub sub;
-          map2 (fun a b -> Bin_op (Lt, a, b)) sub sub;
-          map2 (fun a b -> Bin_op (Eq, a, b)) sub sub;
+          (let* op = all_bin_ops in
+           map2 (fun a b -> Bin_op (op, a, b)) sub sub);
+          map (fun a -> Un_op (Neg, a)) sub;
+          map (fun a -> Un_op (Minus, a)) sub;
           map3 (fun a b c -> If (a, b, c)) sub sub sub;
           map2 (fun a b -> Pair_e (a, b)) sub sub;
           map (fun a -> Fst a) sub;
@@ -150,10 +181,16 @@ let shl_expr : Shl.Ast.expr Q.t =
           map (fun a -> Load a) sub;
           map2 (fun a b -> Store (a, b)) sub sub;
           map2 (fun a b -> Seq (a, b)) sub sub;
+          map (fun a -> Fork a) sub;
+          map3 (fun a b c -> Cas (a, b, c)) sub sub sub;
           bind1 (fun x e1 e2 -> Let (x, e1, e2));
           (let* x = var_name in
            let* body = go (x :: env) (depth - 1) in
            return (lam x body));
+          (let* f = var_name in
+           let* x = var_name in
+           let* body = go (x :: f :: env) (depth - 1) in
+           return (Rec (Some f, x, body)));
           (let* c = sub in
            let* x = var_name in
            let* e1 = go (x :: env) (depth - 1) in

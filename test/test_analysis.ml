@@ -1,0 +1,441 @@
+(* The static analyzer: scope/shape lint, the dataflow engine and its
+   two domains, termination-measure inference (cross-validated against
+   the transfinite credit checker of §5), and the race detector
+   (cross-validated against exhaustive interleaving exploration). *)
+
+module Shl = Tfiris.Shl
+module An = Tfiris.Analysis
+module F = An.Finding
+module Ord = Tfiris.Ord
+module Wp = Tfiris.Termination.Wp
+module Prog = Tfiris_shl.Prog
+module Conc = Tfiris_shl.Conc
+
+let parse = Shl.Parser.parse_exn
+
+let ids fs = List.map (fun f -> f.F.id) fs
+let has_id id fs = List.mem id (ids fs)
+let count_id id fs = List.length (List.filter (fun f -> f.F.id = id) fs)
+
+let severity_of id fs =
+  match List.find_opt (fun f -> f.F.id = id) fs with
+  | Some f -> Some f.F.severity
+  | None -> None
+
+(* ---------- scope and shape lint ---------- *)
+
+let test_scope () =
+  let fs = An.Scope.run (parse "x + 1") in
+  Alcotest.(check (option bool)) "unbound var is an error" (Some true)
+    (Option.map (fun s -> s = F.Error) (severity_of "scope/unbound-var" fs));
+  let fs = An.Scope.run (parse "let x = 1 in let x = 2 in x") in
+  Alcotest.(check bool) "shadowing reported" true
+    (has_id "scope/shadowed-binder" fs);
+  Alcotest.(check (option bool)) "shadowing is info only" (Some true)
+    (Option.map (fun s -> s = F.Info) (severity_of "scope/shadowed-binder" fs));
+  let fs = An.Scope.run (parse "let x = 1 in 2") in
+  Alcotest.(check bool) "unused let reported" true (has_id "scope/unused-let" fs);
+  let fs = An.Scope.run (parse "let _x = 1 in 2") in
+  Alcotest.(check bool) "underscore binders exempt" false
+    (has_id "scope/unused-let" fs);
+  Alcotest.(check bool) "closed program is clean" true
+    (An.Scope.run (parse "let x = 1 in x + 1") = [])
+
+let test_shape () =
+  let stuck src id =
+    let fs = An.Scope.run (parse src) in
+    Alcotest.(check bool) (id ^ " on " ^ src) true (has_id id fs);
+    Alcotest.(check (option bool)) (id ^ " is an error") (Some true)
+      (Option.map (fun s -> s = F.Error) (severity_of id fs))
+  in
+  stuck "1 2" "shape/stuck-app";
+  stuck "fst 1" "shape/stuck-proj";
+  stuck "if 1 then 2 else 3" "shape/stuck-if";
+  stuck "!true" "shape/stuck-load";
+  stuck "1 := 2" "shape/stuck-store";
+  stuck "match 1 with | inl x -> x | inr y -> y end" "shape/stuck-case";
+  stuck "1 + true" "shape/stuck-op";
+  stuck "(fun x -> x) = (fun y -> y)" "shape/stuck-op";
+  (* = is total on closure-free values: not flagged *)
+  Alcotest.(check bool) "eq on ground shapes is fine" false
+    (has_id "shape/stuck-op" (An.Scope.run (parse "1 = true")))
+
+(* ---------- the generic engine: lfp and widening ---------- *)
+
+let test_lfp_widening () =
+  (* counter lattice: join = max.  Without widening the chain
+     0,1,2,…,5 stabilizes; with the jump-widening the unbounded chain
+     terminates at the sentinel instead of iterating forever. *)
+  let counter ~widen =
+    {
+      An.Dataflow.name = "counter";
+      bottom = 0;
+      equal = Int.equal;
+      join = Stdlib.max;
+      widen;
+    }
+  in
+  let finite = counter ~widen:Stdlib.max in
+  Alcotest.(check int) "finite chain reaches its fixpoint" 5
+    (An.Dataflow.lfp finite (fun x -> Stdlib.min 5 (x + 1)));
+  let sentinel = 1_000_000 in
+  let jumping =
+    counter ~widen:(fun old next -> if next > old then sentinel else old)
+  in
+  Alcotest.(check int) "widening forces stabilization" sentinel
+    (An.Dataflow.lfp ~widen_after:4 jumping (fun x ->
+         if x >= sentinel then x else x + 1))
+
+(* ---------- constant propagation ---------- *)
+
+let test_constprop () =
+  let fs = An.Domains.constprop (parse "if true then 1 else 2") in
+  Alcotest.(check int) "dead else-branch" 1
+    (count_id "constprop/unreachable-branch" fs);
+  let fs = An.Domains.constprop (parse "let x = 2 in if x < 1 then 1 else 2") in
+  Alcotest.(check int) "constants propagate through let" 1
+    (count_id "constprop/unreachable-branch" fs);
+  let fs = An.Domains.constprop (parse "1 + true") in
+  Alcotest.(check bool) "constant type clash" true
+    (has_id "constprop/stuck-op" fs);
+  (* an unknown condition reports nothing: cas yields an unknown bool *)
+  let fs =
+    An.Domains.constprop
+      (parse "let r = ref 0 in if cas r 0 1 then 1 else 2")
+  in
+  Alcotest.(check int) "unknown condition: no dead branch" 0
+    (count_id "constprop/unreachable-branch" fs);
+  (* the memoized fib of §4.3 is clean: the heap summary must survive
+     the memoized closure being applied only through the table *)
+  let memo_fib = Shl.Ast.App (Prog.memo_of Prog.fib_template, Shl.Ast.int_ 10) in
+  Alcotest.(check (list string)) "memo fib clean under constprop" []
+    (ids (An.Domains.constprop memo_fib))
+
+(* ---------- intervals ---------- *)
+
+let test_interval () =
+  let fs = An.Domains.interval (parse "1 quot 0") in
+  Alcotest.(check (option bool)) "definite division by zero" (Some true)
+    (Option.map (fun s -> s = F.Error) (severity_of "interval/div-by-zero" fs));
+  (* divisor in [0,3]: possible, a warning *)
+  let fs =
+    An.Domains.interval
+      (parse
+         "let r = ref false in let b = cas r false true in let d = if b then \
+          0 else 3 in 10 quot d")
+  in
+  Alcotest.(check (option bool)) "possible division by zero" (Some true)
+    (Option.map (fun s -> s = F.Warning) (severity_of "interval/div-by-zero" fs));
+  (* fully unknown divisor: silence, not a warning storm *)
+  let fs =
+    An.Domains.interval (parse "let r = ref 5 in let d = !r - !r in 10 quot 7 + d")
+  in
+  Alcotest.(check bool) "known nonzero divisor is fine" false
+    (has_id "interval/div-by-zero" fs);
+  let fs = An.Domains.interval (parse "let s = ref 7 in !(s +l (0 - 1))") in
+  Alcotest.(check (option bool)) "definite negative pointer offset" (Some true)
+    (Option.map (fun s -> s = F.Error) (severity_of "interval/ptr-offset" fs));
+  let fs =
+    An.Domains.interval
+      (parse
+         "let r = ref false in let b = cas r false true in let d = if b then \
+          0 - 1 else 3 in let s = ref 7 in !(s +l d)")
+  in
+  Alcotest.(check (option bool)) "possibly negative pointer offset" (Some true)
+    (Option.map (fun s -> s = F.Warning) (severity_of "interval/ptr-offset" fs));
+  (* pointer arithmetic must not resurrect stale contents: the
+     incremented pointer may cross into a sibling allocation *)
+  let slen_walk =
+    parse
+      "let s = ref 97 in let _z = ref 0 in (rec slen p. if !p = 0 then 0 \
+       else slen (p +l 1) + 1) s"
+  in
+  Alcotest.(check int) "no false dead branches through +l" 0
+    (count_id "interval/unreachable-branch" (An.Domains.interval slen_walk)
+    + count_id "constprop/unreachable-branch" (An.Domains.constprop slen_walk))
+
+(* ---------- termination measures, checked against §5 credits ---------- *)
+
+let verdict_of name e =
+  let reports = An.Term_measure.infer e in
+  match
+    List.find_opt (fun r -> r.An.Term_measure.fn_name = Some name) reports
+  with
+  | Some r -> Some r.An.Term_measure.verdict
+  | None -> None
+
+let measure_of name e =
+  match verdict_of name e with
+  | Some (An.Term_measure.Decreasing m) -> Some m
+  | _ -> None
+
+(* The candidate measure class tells us which transfinite credit should
+   make the §5 checker accept: a nat or pointer-walk measure is learned
+   from ω, a lexicographic ω·a+b measure from ω². *)
+let credits_for = function
+  | An.Term_measure.M_nat | An.Term_measure.M_omega -> Ord.omega
+  | An.Term_measure.M_omega_ab | An.Term_measure.M_omega_sq ->
+    Ord.omega_pow (Ord.of_int 2)
+
+let accepts ~credits ?heap e =
+  match Wp.run ~credits (Wp.adaptive ()) (Shl.Step.config ?heap e) with
+  | Wp.Terminated _ -> true
+  | Wp.Rejected _ -> false
+
+let test_termination_inference () =
+  let fib = parse "rec fib n. if n < 2 then n else fib (n - 1) + fib (n - 2)" in
+  Alcotest.(check bool) "fib: nat measure" true
+    (measure_of "fib" fib = Some An.Term_measure.M_nat);
+  let slen = parse "rec slen p. if !p = 0 then 0 else slen (p +l 1) + 1" in
+  Alcotest.(check bool) "slen: omega measure" true
+    (measure_of "slen" slen = Some An.Term_measure.M_omega);
+  let ack =
+    parse
+      "rec a m. fun n -> if m = 0 then n + 1 else if n = 0 then a (m - 1) 1 \
+       else a (m - 1) (a m (n - 1))"
+  in
+  Alcotest.(check bool) "ackermann: lexicographic measure" true
+    (measure_of "a" ack = Some An.Term_measure.M_omega_ab);
+  (* e_loop: the §2 counterexample program never decreases *)
+  (match verdict_of "loop" Prog.e_loop with
+  | Some (An.Term_measure.Non_decreasing (_ :: _)) -> ()
+  | _ -> Alcotest.fail "e_loop: expected a non-decreasing verdict");
+  let fs = An.Term_measure.run Prog.e_loop in
+  Alcotest.(check (option bool)) "e_loop warning" (Some true)
+    (Option.map (fun s -> s = F.Warning) (severity_of "term/non-decreasing" fs));
+  (* memo_rec's recursion escapes through the table *)
+  let fs = An.Term_measure.run Prog.memo_rec in
+  Alcotest.(check bool) "memo_rec: escaping recursion" true
+    (has_id "term/escaping-recursion" fs)
+
+let test_termination_credits_agree () =
+  (* each inferred measure class is validated by running the program
+     under the §5 transfinite credit checker with the ordinal the class
+     prescribes — the static analysis and the dynamic certificate agree *)
+  let fib = parse "rec fib n. if n < 2 then n else fib (n - 1) + fib (n - 2)" in
+  let m = Option.get (measure_of "fib" fib) in
+  Alcotest.(check bool) "fib 12 terminates within its class" true
+    (accepts ~credits:(credits_for m) (Shl.Ast.App (fib, Shl.Ast.int_ 12)));
+  let slen = parse "rec slen p. if !p = 0 then 0 else slen (p +l 1) + 1" in
+  let m = Option.get (measure_of "slen" slen) in
+  let l, heap = Prog.alloc_string "abcde" Shl.Heap.empty in
+  Alcotest.(check bool) "slen over a heap string terminates" true
+    (accepts ~credits:(credits_for m) ~heap
+       (Shl.Ast.App (slen, Shl.Ast.Val (Shl.Ast.Loc l))));
+  let ack =
+    parse
+      "rec a m. fun n -> if m = 0 then n + 1 else if n = 0 then a (m - 1) 1 \
+       else a (m - 1) (a m (n - 1))"
+  in
+  let m = Option.get (measure_of "a" ack) in
+  Alcotest.(check bool) "ackermann 2 2 terminates within omega^2" true
+    (accepts ~credits:(credits_for m)
+       (parse
+          "(rec a m. fun n -> if m = 0 then n + 1 else if n = 0 then a (m - \
+           1) 1 else a (m - 1) (a m (n - 1))) 2 2"));
+  (* and the non-decreasing program is rejected on those same budgets *)
+  Alcotest.(check bool) "e_loop rejected" false
+    (match
+       Wp.run ~credits:(Ord.omega_pow (Ord.of_int 2))
+         (Wp.adaptive ~fuel:20_000 ())
+         (Shl.Step.config Prog.e_loop)
+     with
+    | Wp.Terminated _ -> true
+    | Wp.Rejected _ -> false)
+
+(* ---------- races, checked against exhaustive exploration ---------- *)
+
+let static_races e = (An.Races.analyze e).An.Races.races
+let dynamic_races e = An.Races.dynamic_races e
+
+let test_race_soundness () =
+  (* soundness: on every program whose exhaustive interleaving
+     exploration exhibits a race, the static detector reports one;
+     on the correctly locked program it reports none *)
+  let programs =
+    [
+      ("racy_incr", Conc.racy_incr);
+      ("locked_incr", Conc.locked_incr);
+      ("spinlock_pair", Conc.spinlock_pair);
+      ("spinlock_pair_racy_read", Conc.spinlock_pair_racy_read);
+      ("fork_store", parse "let c = ref 0 in fork (c := 1); c := 2; !c");
+    ]
+  in
+  let total_dyn = ref 0 and total_static = ref 0 in
+  List.iter
+    (fun (name, e) ->
+      let dyn = dynamic_races e in
+      let stat = static_races e in
+      total_dyn := !total_dyn + List.length dyn;
+      total_static := !total_static + List.length stat;
+      if dyn <> [] then
+        Alcotest.(check bool)
+          (name ^ ": dynamic races are statically covered")
+          true (stat <> []))
+    programs;
+  (* precision: the static overapproximation on this corpus stays
+     within a small constant factor of the dynamically real races *)
+  Alcotest.(check bool) "some dynamic races exist in the corpus" true
+    (!total_dyn > 0);
+  Alcotest.(check bool) "static counts bound dynamic counts" true
+    (!total_static >= !total_dyn);
+  Alcotest.(check bool) "static over-reporting is bounded (< 5x)" true
+    (!total_static < 5 * !total_dyn)
+
+let test_race_precision () =
+  (* the locked program has no static findings at all: cas-only
+     synchronization is understood *)
+  Alcotest.(check int) "locked_incr: no false positives" 0
+    (List.length (static_races Conc.locked_incr));
+  (* racy_incr: the counter race includes a write/write pair *)
+  let fs = An.Races.run Conc.racy_incr in
+  Alcotest.(check bool) "racy_incr has a write-write race" true
+    (has_id "race/write-write" fs);
+  Alcotest.(check bool) "race findings are warnings" true
+    (List.for_all (fun f -> f.F.severity = F.Warning) fs);
+  (* sequential programs race with nobody *)
+  Alcotest.(check int) "sequential program: no races" 0
+    (List.length (static_races (parse "let r = ref 0 in r := 1; !r")))
+
+(* ---------- the driver: reports, JSON, and the examples ---------- *)
+
+let test_analyzer_driver () =
+  let r = An.Analyzer.analyze ~label:"clean" (parse "let x = 1 in x + 1") in
+  Alcotest.(check int) "clean program: no findings" 0
+    (List.length r.An.Analyzer.findings);
+  Alcotest.(check bool) "clean program passes every gate" false
+    (An.Analyzer.fails ~fail_on:F.Info r);
+  Alcotest.(check int) "all passes ran" (List.length An.Analyzer.pass_names)
+    (List.length r.An.Analyzer.timings);
+  let r = An.Analyzer.analyze ~label:"bad" (parse "x + 1") in
+  Alcotest.(check bool) "errors trip the error gate" true
+    (An.Analyzer.fails ~fail_on:F.Error r);
+  let r =
+    An.Analyzer.analyze ~passes:[ "scope" ] ~label:"one-pass" (parse "1 quot 0")
+  in
+  Alcotest.(check int) "pass selection honored" 1
+    (List.length r.An.Analyzer.timings);
+  Alcotest.(check bool) "interval findings absent when deselected" false
+    (has_id "interval/div-by-zero" r.An.Analyzer.findings)
+
+let test_case_studies_clean () =
+  (* the paper's positive case studies analyze without errors or
+     warnings — memoization (§4.3) and nested memoized Levenshtein *)
+  let memo_fib = Shl.Ast.App (Prog.memo_of Prog.fib_template, Shl.Ast.int_ 10) in
+  let check name e =
+    let r = An.Analyzer.analyze ~label:name e in
+    Alcotest.(check int) (name ^ ": no errors") 0
+      (F.count_severity r.An.Analyzer.findings F.Error);
+    Alcotest.(check int) (name ^ ": no warnings") 0
+      (F.count_severity r.An.Analyzer.findings F.Warning)
+  in
+  check "memo_fib" memo_fib;
+  check "mlev" Prog.mlev;
+  check "rlev" Prog.rlev
+
+let test_golden_json () =
+  (* the §2 counterexample: a non-decreasing loop with a constant-true
+     condition — the report is stable, golden-tested JSON *)
+  let r = An.Analyzer.analyze ~label:"e_loop" Prog.e_loop in
+  let got = Tfiris.Obs.Json.to_string (An.Analyzer.report_to_json_stable r) in
+  let expect =
+    {|{"program":"e_loop","findings":[{"id":"term/non-decreasing","severity":"warning","path":"/fn/fn/body/body/then","message":"recursive call to loop does not visibly decrease its argument"},{"id":"constprop/unreachable-branch","severity":"warning","path":"/fn/fn/body/body/else","message":"condition is always true; else-branch is unreachable"},{"id":"interval/unreachable-branch","severity":"warning","path":"/fn/fn/body/body/else","message":"condition is always true; else-branch is unreachable"}],"counts":{"error":0,"warning":3,"info":0}}|}
+  in
+  Alcotest.(check string) "e_loop golden report" expect got;
+  let racy = parse "let c = ref 0 in fork (c := 1); c := 2; !c" in
+  let r = An.Analyzer.analyze ~label:"fork_store" racy in
+  let got = Tfiris.Obs.Json.to_string (An.Analyzer.report_to_json_stable r) in
+  let expect =
+    {|{"program":"fork_store","findings":[{"id":"race/write-write","severity":"warning","path":"/in/rest/first","message":"possible data race on the cell allocated at /bound: write at /in/rest/first (main thread) vs write at /in/first/fork (thread forked at /in/first)"},{"id":"race/read-write","severity":"warning","path":"/in/rest/rest","message":"possible data race on the cell allocated at /bound: read at /in/rest/rest (main thread) vs write at /in/first/fork (thread forked at /in/first)"}],"counts":{"error":0,"warning":2,"info":0}}|}
+  in
+  Alcotest.(check string) "fork_store golden report" expect got
+
+let test_examples_analyze_clean () =
+  (* every shipped example analyzes without errors *)
+  let dir = "../examples/shl" in
+  if not (Sys.file_exists dir) then Alcotest.skip ();
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".shl")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "examples present" true (List.length files >= 5);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let r = An.Analyzer.analyze ~label:f (parse src) in
+      Alcotest.(check int) (f ^ ": no errors") 0
+        (F.count_severity r.An.Analyzer.findings F.Error))
+    files
+
+(* ---------- metrics integration ---------- *)
+
+let test_metrics () =
+  let module Metrics = Tfiris.Obs.Metrics in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+  @@ fun () ->
+  ignore (An.Analyzer.analyze ~label:"m" (parse "x + 1"));
+  let s = Metrics.snapshot () in
+  let counter name = Option.value ~default:0 (Metrics.counter_value s name) in
+  Alcotest.(check bool) "programs counted" true (counter "analysis.programs" >= 1);
+  Alcotest.(check bool) "error findings counted" true
+    (counter "analysis.findings.error" >= 1);
+  Alcotest.(check bool) "per-pass timings recorded" true
+    (List.exists
+       (function
+         | Metrics.Histogram_v ("analysis.pass.scope.wall_ns", h) ->
+           h.Metrics.count >= 1
+         | _ -> false)
+       s)
+
+(* ---------- end to end through the binary ---------- *)
+
+let test_cli_analyze () =
+  let exe = "../bin/tfiris_cli.exe" in
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  let run args =
+    Sys.command (Printf.sprintf "%s analyze %s > /dev/null" exe args)
+  in
+  Alcotest.(check int) "clean expression exits 0" 0
+    (run "-e 'let x = 1 in x + 1'");
+  Alcotest.(check int) "unbound variable trips --fail-on=error" 1
+    (run "-e 'x + 1'");
+  Alcotest.(check int) "warnings pass the default gate" 0
+    (run "-e 'let y = 1 in 2'");
+  Alcotest.(check int) "--fail-on=warning tightens the gate" 1
+    (run "--fail-on=warning -e 'let y = 1 in 2'");
+  Alcotest.(check int) "json format exits 0" 0
+    (run "--format=json -e '1 + 2'");
+  Alcotest.(check int) "unknown pass is a usage error" 2
+    (run "--pass=nonsense -e '1' 2>/dev/null")
+
+let suite =
+  [
+    Alcotest.test_case "scope lint" `Quick test_scope;
+    Alcotest.test_case "shape lint" `Quick test_shape;
+    Alcotest.test_case "lfp and widening" `Quick test_lfp_widening;
+    Alcotest.test_case "constant propagation" `Quick test_constprop;
+    Alcotest.test_case "interval analysis" `Quick test_interval;
+    Alcotest.test_case "termination measures inferred" `Quick
+      test_termination_inference;
+    Alcotest.test_case "termination measures agree with §5 credits" `Slow
+      test_termination_credits_agree;
+    Alcotest.test_case "race detector is sound vs exploration" `Slow
+      test_race_soundness;
+    Alcotest.test_case "race detector precision" `Quick test_race_precision;
+    Alcotest.test_case "analyzer driver" `Quick test_analyzer_driver;
+    Alcotest.test_case "paper case studies analyze clean" `Quick
+      test_case_studies_clean;
+    Alcotest.test_case "golden JSON reports" `Quick test_golden_json;
+    Alcotest.test_case "shipped examples analyze clean" `Quick
+      test_examples_analyze_clean;
+    Alcotest.test_case "metrics integration" `Quick test_metrics;
+    Alcotest.test_case "cli analyze" `Quick test_cli_analyze;
+  ]

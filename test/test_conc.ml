@@ -50,6 +50,42 @@ let test_schedulers_agree_with_exploration () =
       | _ -> Alcotest.fail "scheduler run did not finish")
     [ Conc.round_robin; Conc.seeded 1; Conc.seeded 7; Conc.seeded 99 ]
 
+let test_seeded_determinism () =
+  (* a seeded scheduler is a pure function of its seed: the same seed
+     must reproduce both the outcome and the exact step count, while
+     over a racy program different seeds should exhibit at least two
+     distinct schedules *)
+  let describe = function
+    | Conc.All_done (v, _) -> "done " ^ Shl.Pretty.value_to_string v
+    | Conc.Thread_stuck (i, _) -> Printf.sprintf "stuck %d" i
+    | Conc.Out_of_fuel _ -> "fuel"
+  in
+  let seeds = [ 0; 1; 7; 42; 99; 1234 ] in
+  let runs =
+    List.map
+      (fun seed ->
+        let run () =
+          let o, steps =
+            Conc.run_stats ~fuel:100_000 ~sched:(Conc.seeded seed)
+              (Conc.init Conc.racy_incr)
+          in
+          (describe o, steps)
+        in
+        let o1, n1 = run () in
+        let o2, n2 = run () in
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d outcome reproducible" seed)
+          o1 o2;
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d step count reproducible" seed)
+          n1 n2;
+        (o1, n1))
+      seeds
+  in
+  let distinct = List.sort_uniq compare runs in
+  Alcotest.(check bool) "different seeds explore different schedules" true
+    (List.length distinct > 1)
+
 let test_fork_semantics () =
   (* fork returns unit immediately; the child's effect lands later *)
   let e = parse "let r = ref 0 in fork (r := 1); !r" in
@@ -158,6 +194,8 @@ let suite =
     Alcotest.test_case "spin lock protects its invariant" `Slow test_spinlock;
     Alcotest.test_case "schedulers ⊆ exploration" `Quick
       test_schedulers_agree_with_exploration;
+    Alcotest.test_case "seeded scheduler is deterministic" `Quick
+      test_seeded_determinism;
     Alcotest.test_case "fork semantics" `Quick test_fork_semantics;
     Alcotest.test_case "cas sequentially (and typed)" `Quick
       test_cas_sequential;

@@ -10,6 +10,7 @@ let () =
       ("safety", Test_safety.suite);
       ("types", Test_types.suite);
       ("concurrent", Test_conc.suite);
+      ("analysis", Test_analysis.suite);
       ("transition", Test_transition.suite);
       ("refinement", Test_refinement.suite);
       ("termination", Test_termination.suite);

@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make verify` is the one-shot
-# pre-push check (build + tests + CLI smoke + quick bench).
+# pre-push check (build + tests + CLI smoke + quick bench + perf gate).
 
-.PHONY: all build test bench verify clean
+.PHONY: all build test bench baseline verify clean
 
 all: build
 
@@ -14,10 +14,22 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Refresh the committed quick-mode baseline (run on an idle machine).
+baseline:
+	dune exec bench/main.exe -- --quick --out=BENCH_obs.json \
+	  --save-baseline=BENCH_history/baseline-quick.json
+
+# The perf gate compares against a baseline usually recorded on a
+# different machine, so the threshold is deliberately loose (4x); use
+# `bench --compare` against a locally saved baseline (threshold 1.3x)
+# for same-machine comparisons.
 verify: build test
 	dune exec bin/tfiris_cli.exe -- stats -e "let r = ref 0 in r := 41; !r + 1"
 	dune exec bin/tfiris_cli.exe -- analyze --fail-on=error examples/shl/*.shl
-	dune exec bench/main.exe -- --quick --out=BENCH_obs.json
+	dune exec bin/tfiris_cli.exe -- profile --collapsed=PROFILE.collapsed -- \
+	  run examples/shl/memo_fib.shl
+	dune exec bench/main.exe -- --quick --out=BENCH_obs.json \
+	  --compare=BENCH_history/baseline-quick.json --threshold=4
 	@echo "verify: OK"
 
 clean:

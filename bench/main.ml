@@ -643,30 +643,101 @@ let run_benches () =
     (bench_tests ())
 
 (* ------------------------------------------------------------------ *)
-(* Driver: run every experiment under the metrics registry, capture    *)
-(* per-experiment counter deltas and wall time, and drop the whole     *)
-(* record as BENCH_obs.json (schema documented in EXPERIMENTS.md).     *)
+(* Driver v2: run every experiment under the metrics registry for      *)
+(* several trials, capture per-experiment counter deltas and robust    *)
+(* wall-time statistics (min/median/p95 with outlier rejection), drop  *)
+(* the record as BENCH_obs.json (schema tfiris-bench-obs/2, see        *)
+(* EXPERIMENTS.md), and optionally gate against a saved baseline.      *)
 (* ------------------------------------------------------------------ *)
 
 type obs_record = {
   rec_name : string;
-  rec_wall_ns : int64;
+  rec_trials_ns : int64 list;  (** wall time of every trial, run order *)
   rec_counters : (string * int) list;
   rec_hist_sums : (string * float) list;
       (** histogram totals — e.g. the per-pass analyzer wall times
           under [analysis.pass.*.wall_ns] *)
 }
 
-(* Run one experiment with metrics on, returning its wall time and the
-   non-zero counter/histogram values it produced (the registry is reset
-   first, so the snapshot is exactly this experiment's delta). *)
-let observe name (f : unit -> unit) : obs_record =
-  Obs.Metrics.reset ();
-  Obs.Metrics.set_enabled true;
-  let t0 = Obs.Trace.now_ns () in
-  f ();
-  let t1 = Obs.Trace.now_ns () in
-  Obs.Metrics.set_enabled false;
+(* ---------- robust trial statistics ---------- *)
+
+type trial_stats = {
+  ts_min : float;
+  ts_median : float;
+  ts_p95 : float;
+  ts_dropped : int;  (** trials rejected as outliers *)
+}
+
+let median_of_sorted = function
+  | [] -> nan
+  | l ->
+    let n = List.length l in
+    if n mod 2 = 1 then List.nth l (n / 2)
+    else (List.nth l ((n / 2) - 1) +. List.nth l (n / 2)) /. 2.
+
+let percentile_of_sorted p = function
+  | [] -> nan
+  | l ->
+    let n = List.length l in
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    List.nth l (Stdlib.max 0 (Stdlib.min (n - 1) idx))
+
+(* Outlier rejection: a trial further than 2.5x the raw median is a
+   machine hiccup (GC pause, scheduler preemption), not the workload;
+   the reported statistics come from the surviving trials. *)
+let stats_of_trials (ns : float list) : trial_stats =
+  let sorted = List.sort Float.compare ns in
+  let m = median_of_sorted sorted in
+  let kept = List.filter (fun v -> v <= 2.5 *. m) sorted in
+  {
+    ts_min = (match kept with [] -> nan | x :: _ -> x);
+    ts_median = median_of_sorted kept;
+    ts_p95 = percentile_of_sorted 95. kept;
+    ts_dropped = List.length sorted - List.length kept;
+  }
+
+let record_stats r =
+  stats_of_trials (List.map Int64.to_float r.rec_trials_ns)
+
+(* ---------- running the experiments ---------- *)
+
+(* Re-run trials print the same tables again; silence stdout for them
+   so the harness output stays one copy of each experiment. *)
+let with_quiet f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+(* [--handicap=EXP:MS] injects an artificial delay into one experiment —
+   the deterministic "slowed build" used to test the regression gate. *)
+let handicap : (string * float) option ref = ref None
+
+(* Run one experiment with metrics on for [trials] runs.  The counter
+   deltas come from the first trial (the registry is reset before each
+   run, so they are per-run, not accumulated); the later trials measure
+   wall time only, with stdout silenced. *)
+let observe ~trials name (f : unit -> unit) : obs_record =
+  let run_once () =
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_enabled true;
+    let t0 = Obs.Trace.now_ns () in
+    (match !handicap with
+    | Some (e, ms) when e = name -> Unix.sleepf (ms /. 1000.)
+    | _ -> ());
+    f ();
+    let t1 = Obs.Trace.now_ns () in
+    Obs.Metrics.set_enabled false;
+    Int64.sub t1 t0
+  in
+  let w1 = run_once () in
   let snap = Obs.Metrics.snapshot () in
   let counters =
     List.filter_map
@@ -683,19 +754,29 @@ let observe name (f : unit -> unit) : obs_record =
         | _ -> None)
       snap
   in
+  let rest =
+    List.init (Stdlib.max 0 (trials - 1)) (fun _ -> with_quiet run_once)
+  in
   {
     rec_name = name;
-    rec_wall_ns = Int64.sub t1 t0;
+    rec_trials_ns = w1 :: rest;
     rec_counters = counters;
     rec_hist_sums = hist_sums;
   }
 
+(* ---------- the JSON record (schema tfiris-bench-obs/2) ---------- *)
+
 let json_of_record r =
+  let s = record_stats r in
   Obs.Json.(
     Obj
       ([
          ("name", Str r.rec_name);
-         ("wall_ns", Int (Int64.to_int r.rec_wall_ns));
+         ("trials_ns", List (List.map (fun w -> Int (Int64.to_int w)) r.rec_trials_ns));
+         ("min_ns", Float s.ts_min);
+         ("median_ns", Float s.ts_median);
+         ("p95_ns", Float s.ts_p95);
+         ("outliers_dropped", Int s.ts_dropped);
          ("counters", Obj (List.map (fun (n, c) -> (n, Int c)) r.rec_counters));
        ]
       @
@@ -710,37 +791,161 @@ let json_of_timing (name, ns, r2) =
   Obs.Json.(
     Obj [ ("name", Str name); ("ns_per_run", Float ns); ("r_square", Float r2) ])
 
-let write_obs_json path records timings =
-  let doc =
-    Obs.Json.(
-      Obj
-        [
-          ("schema", Str "tfiris-bench-obs/1");
-          ("quick", Bool !quick);
-          ("experiments", List (List.map json_of_record records));
-          ("timings", List (List.map json_of_timing timings));
-        ])
-  in
+let obs_doc ~trials records timings =
+  Obs.Json.(
+    Obj
+      ([
+         ("schema", Str "tfiris-bench-obs/2");
+         ("quick", Bool !quick);
+         ("trials", Int trials);
+         ("experiments", List (List.map json_of_record records));
+       ]
+      @
+      (* Bechamel timings only exist in full mode; the field is dropped
+         rather than committed as a permanently-empty list. *)
+      if timings = [] then []
+      else [ ("timings", List (List.map json_of_timing timings)) ]))
+
+let write_json path doc =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
-  close_out oc;
-  row "\nWrote %s (%d experiments, %d timings).\n" path (List.length records)
-    (List.length timings)
+  close_out oc
+
+(* ---------- the regression gate ---------- *)
+
+(* Noise policy: a slowdown is a regression only when it is both
+   relative (median > threshold x baseline median) and absolute
+   (at least [min_delta_ms] slower) — sub-20ms experiments jitter by
+   factors on a loaded machine without meaning anything. *)
+let min_delta_ms = 20.
+
+let json_ns = function
+  | Obs.Json.Int n -> Some (float_of_int n)
+  | Obs.Json.Float f -> Some f
+  | _ -> None
+
+(* Baseline medians by experiment name; accepts schema /2 (median_ns)
+   and the older /1 records (wall_ns). *)
+let load_baseline path : (string * float) list =
+  let src =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match Obs.Json.of_string src with
+  | Error m -> failwith (Printf.sprintf "cannot parse baseline %s: %s" path m)
+  | Ok doc ->
+    let experiments =
+      Option.bind (Obs.Json.member "experiments" doc) Obs.Json.to_list
+      |> Option.value ~default:[]
+    in
+    List.filter_map
+      (fun e ->
+        match
+          ( Option.bind (Obs.Json.member "name" e) Obs.Json.to_str,
+            Option.bind
+              (match Obs.Json.member "median_ns" e with
+              | Some j -> Some j
+              | None -> Obs.Json.member "wall_ns" e)
+              json_ns )
+        with
+        | Some n, Some ns -> Some (n, ns)
+        | _ -> None)
+      experiments
+
+(* Compare current records against a baseline; returns the regressed
+   experiment names.  Experiments present on only one side are reported
+   but never fail the gate (the set evolves across PRs). *)
+let compare_against ~threshold baseline records : string list =
+  section
+    (Printf.sprintf "Regression gate (median > %.2fx baseline and +%.0fms)"
+       threshold min_delta_ms);
+  let regressions = ref [] in
+  List.iter
+    (fun r ->
+      let cur = (record_stats r).ts_median in
+      match List.assoc_opt r.rec_name baseline with
+      | None -> row "  %-6s %10.1fms  (no baseline entry; skipped)\n" r.rec_name (cur /. 1e6)
+      | Some base ->
+        let ratio = if base > 0. then cur /. base else infinity in
+        let slow =
+          cur > threshold *. base && cur -. base > min_delta_ms *. 1e6
+        in
+        if slow then regressions := r.rec_name :: !regressions;
+        row "  %-6s %10.1fms vs %10.1fms  (%5.2fx)  %s\n" r.rec_name
+          (cur /. 1e6) (base /. 1e6) ratio
+          (if slow then "REGRESSION" else "ok"))
+    records;
+  List.iter
+    (fun (n, _) ->
+      if not (List.exists (fun r -> r.rec_name = n) records) then
+        row "  %-6s (baseline only; skipped)\n" n)
+    baseline;
+  List.rev !regressions
+
+(* ---------- entry point ---------- *)
 
 let () =
   let out = ref "BENCH_obs.json" in
+  let trials_opt = ref None in
+  let compare_path = ref None in
+  let save_baseline = ref None in
+  let threshold = ref 1.3 in
+  let usage () =
+    Printf.eprintf
+      "usage: %s [--quick] [--out=FILE] [--trials=N] [--compare=BASE.json] \
+       [--save-baseline=FILE] [--threshold=X] [--handicap=EXP:MS]\n"
+      Sys.argv.(0);
+    exit 2
+  in
+  let opt_val arg prefix =
+    let n = String.length prefix in
+    if String.length arg > n && String.sub arg 0 n = prefix then
+      Some (String.sub arg n (String.length arg - n))
+    else None
+  in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         if arg = "--quick" then quick := true
-        else if String.length arg > 6 && String.sub arg 0 6 = "--out=" then
-          out := String.sub arg 6 (String.length arg - 6)
-        else begin
-          Printf.eprintf "usage: %s [--quick] [--out=FILE]\n" Sys.argv.(0);
-          exit 2
-        end)
+        else
+          match
+            ( opt_val arg "--out=", opt_val arg "--trials=",
+              opt_val arg "--compare=", opt_val arg "--save-baseline=",
+              opt_val arg "--threshold=", opt_val arg "--handicap=" )
+          with
+          | Some f, _, _, _, _, _ -> out := f
+          | _, Some n, _, _, _, _ -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 -> trials_opt := Some n
+            | _ -> usage ())
+          | _, _, Some f, _, _, _ -> compare_path := Some f
+          | _, _, _, Some f, _, _ -> save_baseline := Some f
+          | _, _, _, _, Some x, _ -> (
+            match float_of_string_opt x with
+            | Some x when x > 0. -> threshold := x
+            | _ -> usage ())
+          | _, _, _, _, _, Some spec -> (
+            match String.index_opt spec ':' with
+            | Some i -> (
+              let e = String.sub spec 0 i in
+              let ms = String.sub spec (i + 1) (String.length spec - i - 1) in
+              match float_of_string_opt ms with
+              | Some ms when ms >= 0. -> handicap := Some (e, ms)
+              | None | Some _ -> usage ())
+            | None -> usage ())
+          | None, None, None, None, None, None -> usage ())
     Sys.argv;
+  (* Full mode reruns are expensive (e4 alone is tens of seconds), so
+     multi-trial statistics default on only for --quick; --trials=N
+     overrides either way. *)
+  let trials =
+    match !trials_opt with Some n -> n | None -> if !quick then 3 else 1
+  in
   row "Transfinite Iris, executable — experiment harness (see EXPERIMENTS.md)\n";
   let experiments =
     [
@@ -750,9 +955,27 @@ let () =
       ("e15", e15);
     ]
   in
-  let records = List.map (fun (name, f) -> observe name f) experiments in
+  let records = List.map (fun (name, f) -> observe ~trials name f) experiments in
   (* Bechamel timings run with metrics off so the measured loops see the
      near-free disabled path, matching production defaults. *)
   let timings = if !quick then [] else run_benches () in
-  write_obs_json !out records timings;
-  row "\nAll experiments executed.\n"
+  let doc = obs_doc ~trials records timings in
+  write_json !out doc;
+  row "\nWrote %s (%d experiments x %d trials, %d timings).\n" !out
+    (List.length records) trials (List.length timings);
+  (match !save_baseline with
+  | None -> ()
+  | Some path ->
+    write_json path doc;
+    row "Saved baseline %s.\n" path);
+  let regressed =
+    match !compare_path with
+    | None -> []
+    | Some base -> compare_against ~threshold:!threshold (load_baseline base) records
+  in
+  row "\nAll experiments executed.\n";
+  if regressed <> [] then begin
+    Printf.eprintf "bench: performance regression in: %s\n"
+      (String.concat ", " regressed);
+    exit 3
+  end

@@ -136,6 +136,36 @@ let obs_term =
   in
   Term.(const setup_obs $ trace $ metrics)
 
+(* ---- failure forensics (--explain) ---- *)
+
+let explain_term =
+  Arg.(
+    value
+    & opt
+        ~vopt:(Some `Text)
+        (some (enum [ ("text", `Text); ("json", `Json) ]))
+        None
+    & info [ "explain" ] ~docv:"FMT"
+        ~doc:
+          "On rejection, record the last steps of the run and print a \
+           structured post-mortem (the violated rule, the failing step, \
+           and the recent step window). $(docv) is text (default) or json.")
+
+(** Run [f] with forensics recording when [--explain] was given, and
+    print the post-mortem (if any) after it returns. *)
+let with_explain explain f =
+  (match explain with
+  | Some _ -> Obs.Forensics.set_enabled true
+  | None -> ());
+  let code = f () in
+  (match explain, Obs.Forensics.last () with
+  | Some `Text, Some r ->
+    Format.printf "%a@." Obs.Forensics.render_text r
+  | Some `Json, Some r ->
+    print_endline (Obs.Json.to_string (Obs.Forensics.to_json r))
+  | Some _, None | None, _ -> ());
+  code
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -331,15 +361,18 @@ let parse_credit s =
     | _ -> Error (Printf.sprintf "cannot parse credit %S (try: 100, w, w*2, w^2, w^w)" s))
 
 let check_term_cmd =
-  let action program credit =
+  let action program credit explain =
     let e = or_die (Result.bind program parse_program) in
     let credits = or_die (parse_credit credit) in
-    let v =
-      Termination.Wp.run ~credits (Termination.Wp.adaptive ())
-        (Shl.Step.config e)
-    in
-    Format.printf "%a@." Termination.Wp.pp_verdict v;
-    match v with Termination.Wp.Terminated _ -> 0 | Termination.Wp.Rejected _ -> 1
+    with_explain explain (fun () ->
+        let v =
+          Termination.Wp.run ~credits (Termination.Wp.adaptive ())
+            (Shl.Step.config e)
+        in
+        Format.printf "%a@." Termination.Wp.pp_verdict v;
+        match v with
+        | Termination.Wp.Terminated _ -> 0
+        | Termination.Wp.Rejected _ -> 1)
   in
   let credit =
     Arg.(
@@ -351,13 +384,13 @@ let check_term_cmd =
     (Cmd.info "check-term"
        ~doc:"Verify termination of an SHL program with transfinite time credits.")
     Term.(
-      const (fun () p c -> Stdlib.exit (action p c))
-      $ obs_term $ program_term $ credit)
+      const (fun () p c x -> Stdlib.exit (action p c x))
+      $ obs_term $ program_term $ credit $ explain_term)
 
 (* ---- refine ---- *)
 
 let refine_cmd =
-  let action target source fuel =
+  let action target source fuel explain =
     let parse_arg what = function
       | Some s -> parse_program s
       | None -> Error ("missing --" ^ what)
@@ -365,25 +398,26 @@ let refine_cmd =
     let t = or_die (parse_arg "target" target) in
     let s = or_die (parse_arg "source" source) in
     let tc = Shl.Step.config t and sc = Shl.Step.config s in
-    match Refinement.Strategy.oracle ~fuel ~target:tc ~source:sc () with
-    | Some strat -> (
-      let v = Refinement.Driver.run ~fuel ~target:tc ~source:sc strat in
-      Format.printf "%a@." Refinement.Driver.pp_verdict v;
-      match v with
-      | Refinement.Driver.Accepted _ -> 0
-      | Refinement.Driver.Rejected _ -> 1)
-    | None -> (
-      (* no oracle certificate: fall back to lockstep (handles the
-         diverging/diverging case) *)
-      let v =
-        Refinement.Driver.run ~fuel ~target:tc ~source:sc
-          Refinement.Strategy.lockstep
-      in
-      Format.printf "(no oracle certificate; lockstep attempt)@.%a@."
-        Refinement.Driver.pp_verdict v;
-      match v with
-      | Refinement.Driver.Accepted _ -> 0
-      | Refinement.Driver.Rejected _ -> 1)
+    with_explain explain (fun () ->
+        match Refinement.Strategy.oracle ~fuel ~target:tc ~source:sc () with
+        | Some strat -> (
+          let v = Refinement.Driver.run ~fuel ~target:tc ~source:sc strat in
+          Format.printf "%a@." Refinement.Driver.pp_verdict v;
+          match v with
+          | Refinement.Driver.Accepted _ -> 0
+          | Refinement.Driver.Rejected _ -> 1)
+        | None -> (
+          (* no oracle certificate: fall back to lockstep (handles the
+             diverging/diverging case) *)
+          let v =
+            Refinement.Driver.run ~fuel ~target:tc ~source:sc
+              Refinement.Strategy.lockstep
+          in
+          Format.printf "(no oracle certificate; lockstep attempt)@.%a@."
+            Refinement.Driver.pp_verdict v;
+          match v with
+          | Refinement.Driver.Accepted _ -> 0
+          | Refinement.Driver.Rejected _ -> 1))
   in
   let target =
     Arg.(
@@ -401,8 +435,8 @@ let refine_cmd =
     (Cmd.info "refine"
        ~doc:"Check a termination-preserving refinement between two SHL programs.")
     Term.(
-      const (fun () t s f -> Stdlib.exit (action t s f))
-      $ obs_term $ target $ source $ fuel_arg)
+      const (fun () t s f x -> Stdlib.exit (action t s f x))
+      $ obs_term $ target $ source $ fuel_arg $ explain_term)
 
 (* ---- prove ---- *)
 
@@ -518,6 +552,97 @@ let hydra_cmd =
       const (fun () w d r a -> Stdlib.exit (action w d r a))
       $ obs_term $ width $ depth $ regrow $ adversarial)
 
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let read_lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let action args depth collapsed keep_trace =
+    if args = [] then
+      or_die
+        (Error
+           "no command to profile: tfiris profile -- SUBCMD ARGS... (e.g. \
+            tfiris profile -- run examples/shl/memo_fib.shl)");
+    let tmp = Filename.temp_file "tfiris-profile-" ".jsonl" in
+    (* Subcommand actions exit the process, so the profiled run is a
+       child process with a JSONL trace sink; the profile is folded
+       from the trace file afterwards. *)
+    let cmd =
+      Filename.quote_command Sys.executable_name
+        (args @ [ "--trace=" ^ tmp ^ ":jsonl" ])
+    in
+    let code = Sys.command cmd in
+    let events = Obs.Profile.events_of_jsonl_lines (read_lines tmp) in
+    if keep_trace then Format.eprintf "trace kept at %s@." tmp
+    else Sys.remove tmp;
+    if events = [] then begin
+      Format.eprintf
+        "tfiris profile: the profiled command emitted no trace events@.";
+      if code = 0 then 1 else code
+    end
+    else begin
+      let p = Obs.Profile.of_events events in
+      Format.printf "%a" (Obs.Profile.render_tree ~max_depth:depth) p;
+      Format.printf "total: %.3f ms over %d spans@."
+        (Int64.to_float (Obs.Profile.total_ns p) /. 1e6)
+        (Obs.Profile.node_count p - 1);
+      (match collapsed with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        let ppf = Format.formatter_of_out_channel oc in
+        Obs.Profile.render_collapsed ppf p;
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        Format.printf "collapsed stacks written to %s@." file);
+      code
+    end
+  in
+  let args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CMD"
+          ~doc:
+            "The tfiris subcommand to profile, with its arguments (put -- \
+             before it so its flags are not parsed here).")
+  in
+  let depth =
+    Arg.(
+      value & opt int max_int
+      & info [ "depth" ] ~docv:"N" ~doc:"Truncate the printed tree at depth $(docv).")
+  in
+  let collapsed =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "collapsed" ] ~docv:"FILE"
+          ~doc:
+            "Also write collapsed stacks ($(b,stack value) lines, the \
+             flamegraph.pl / speedscope input format) to $(docv).")
+  in
+  let keep_trace =
+    Arg.(
+      value & flag
+      & info [ "keep-trace" ] ~doc:"Keep the intermediate JSONL trace file.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a tfiris subcommand under the tracer and print a hierarchical \
+          call-tree profile (cumulative/self wall time per span).")
+    Term.(
+      const (fun args d c k -> Stdlib.exit (action args d c k))
+      $ args $ depth $ collapsed $ keep_trace)
+
 (* ---- dilemma ---- *)
 
 let dilemma_cmd =
@@ -545,6 +670,7 @@ let () =
             analyze_cmd;
             check_term_cmd;
             refine_cmd;
+            profile_cmd;
             dilemma_cmd;
             prove_cmd;
             goodstein_cmd;

@@ -42,6 +42,8 @@ module Obs = struct
   module Trace = Tfiris_obs.Trace
   module Metrics = Tfiris_obs.Metrics
   module Json = Tfiris_obs.Json
+  module Profile = Tfiris_obs.Profile
+  module Forensics = Tfiris_obs.Forensics
 end
 
 module Index = Tfiris_sprop.Index

@@ -113,7 +113,10 @@ let expect_lhs rule seq lhs =
   if F.equal seq.lhs lhs then Ok ()
   else fail rule "expected lhs %a, found %a" F.pp lhs F.pp seq.lhs
 
+let c_check_nodes = Tfiris_obs.Metrics.counter "logic.proof.check_nodes"
+
 let rec check system (d : t) : (sequent, error) result =
+  Tfiris_obs.Metrics.incr c_check_nodes;
   match d with
   | Refl p -> Ok { lhs = p; rhs = p }
   | Cut (d1, d2) ->

@@ -10,6 +10,12 @@
 module Ord = Tfiris_ordinal.Ord
 module Height = Tfiris_sprop.Height
 module Fin_height = Tfiris_sprop.Fin_height
+module Metrics = Tfiris_obs.Metrics
+
+(* One bump per formula node interpreted, per model — the model-check
+   analogue of tauto's search_nodes counter. *)
+let c_trans_nodes = Metrics.counter "logic.eval_trans.nodes"
+let c_fin_nodes = Metrics.counter "logic.eval_fin.nodes"
 
 (* The infimum of an ℕ-family is attained; the formula carries a witness
    index, validated against [samples] other members. *)
@@ -29,6 +35,7 @@ let inf_family ~eval ~le (f : Formula.family) (w : int) =
   check 0
 
 let rec eval_trans (p : Formula.t) : Height.t =
+  Metrics.incr c_trans_nodes;
   match p with
   | True -> Height.tt
   | False -> Height.ff
@@ -44,6 +51,7 @@ let rec eval_trans (p : Formula.t) : Height.t =
   | Forall_nat (f, w) -> inf_family ~eval:eval_trans ~le:Height.le f w
 
 let rec eval_fin (p : Formula.t) : Fin_height.t =
+  Metrics.incr c_fin_nodes;
   match p with
   | True -> Fin_height.tt
   | False -> Fin_height.ff

@@ -15,7 +15,11 @@
     Histograms use base-2 exponential buckets: bucket [i] counts
     observations in [(2^(i-1), 2^i]] (bucket 0 is [[0,1]]), which is the
     right shape for step counts and budget descents that range over many
-    orders of magnitude. *)
+    orders of magnitude.  The boundaries are fixed by {!n_buckets},
+    {!bucket_of} and {!bucket_upper_bound} — see "Bucket boundaries"
+    below — so bucketed data (and the [hist_sums] of the bench schema,
+    which sum raw observations and never round through buckets) is
+    bit-for-bit reproducible across machines. *)
 
 let enabled = ref false
 
@@ -99,6 +103,25 @@ let add c n = if !enabled then c.c_value <- c.c_value + n
 
 let set g v = if !enabled then g.g_value <- v
 
+(** {2 Bucket boundaries}
+
+    The bucketing function is total and machine-independent (pure
+    float comparisons against exact powers of two):
+
+    - bucket [0] counts observations [v <= 1.] (including negatives
+      and [0.]);
+    - bucket [i] for [1 <= i < n_buckets - 1] counts
+      [2^(i-1) < v <= 2^i];
+    - the last bucket ([n_buckets - 1 = 31]) is the overflow bucket:
+      it counts everything above [2^(n_buckets-2) = 2^30] (≈ 1.07e9),
+      even though its nominal upper bound reads [2^31].
+
+    So the inclusive upper bound of bucket [i] is
+    [bucket_upper_bound i] = [1.] for [i = 0] and [2^i] otherwise,
+    with the caveat that the last bucket also absorbs the overflow.
+    Exactness at the boundaries: [bucket_of (2. ** float i) = i] and
+    [bucket_of (2. ** float i +. ulp) = i + 1] for [1 <= i < 30] —
+    golden-tested in [test_obs.ml]. *)
 let bucket_of (v : float) : int =
   if v <= 1. then 0
   else
@@ -106,6 +129,11 @@ let bucket_of (v : float) : int =
       if i >= n_buckets - 1 || v <= bound then i else go (i + 1) (bound *. 2.)
     in
     go 1 2.
+
+let bucket_upper_bound (i : int) : float =
+  if i < 0 || i >= n_buckets then invalid_arg "Metrics.bucket_upper_bound"
+  else if i = 0 then 1.
+  else Float.pow 2. (float_of_int i)
 
 let observe h v =
   if !enabled then begin
@@ -148,7 +176,7 @@ let snapshot () : snapshot =
         let buckets = ref [] in
         for i = n_buckets - 1 downto 0 do
           if h.h_buckets.(i) > 0 then
-            buckets := (Float.pow 2. (float_of_int i), h.h_buckets.(i)) :: !buckets
+            buckets := (bucket_upper_bound i, h.h_buckets.(i)) :: !buckets
         done;
         Histogram_v
           ( name,

@@ -1,0 +1,215 @@
+(** Hierarchical call-tree profiles from {!Trace} span streams.
+
+    A trace answers "what happened, in order"; a profile answers "where
+    did the time go".  [of_events] folds a span stream (as produced by
+    any {!Trace} sink — the memory ring, a JSONL file read back) into a
+    call tree: one node per distinct span-name {e path}, with call
+    counts and inclusive (cumulative) wall time; self time is derived
+    as cumulative minus the children's cumulative.
+
+    Two renderers:
+
+    - {!render_tree} — an indented text tree with cumulative/self
+      times, call counts and percentage of total, hottest subtree
+      first;
+    - {!render_collapsed} — the collapsed-stack format consumed by
+      Brendan Gregg's [flamegraph.pl] and by speedscope: one line per
+      stack, [root;parent;leaf <self_ns>].
+
+    Robustness: the stream may be truncated on either side (a ring
+    buffer keeps only the tail; a crash loses the final ends).  End
+    events with no matching open span are dropped; spans still open
+    when the stream ends are closed at the last timestamp seen.  The
+    conservation property tests rely on: for every node, the children's
+    cumulative times sum to at most the node's cumulative time, and the
+    self times of the whole tree sum to exactly the root's cumulative
+    time (the traced interval's wall time). *)
+
+type t = {
+  p_name : string;
+  p_calls : int;
+  p_cum_ns : int64;  (** inclusive: this span and everything below it *)
+  p_self_ns : int64;  (** exclusive: [cum - Σ children cum], clamped at 0 *)
+  p_children : t list;  (** hottest (largest cumulative) first *)
+}
+
+(* ---------- construction ---------- *)
+
+(* Mutable accumulator tree: children merged by span name. *)
+type acc = {
+  a_name : string;
+  mutable a_calls : int;
+  mutable a_cum : int64;
+  a_kids : (string, acc) Hashtbl.t;
+}
+
+let acc_node name =
+  { a_name = name; a_calls = 0; a_cum = 0L; a_kids = Hashtbl.create 4 }
+
+let acc_child parent name =
+  match Hashtbl.find_opt parent.a_kids name with
+  | Some n -> n
+  | None ->
+    let n = acc_node name in
+    Hashtbl.add parent.a_kids name n;
+    n
+
+let rec freeze (a : acc) : t =
+  let children =
+    Hashtbl.fold (fun _ kid l -> freeze kid :: l) a.a_kids []
+    |> List.sort (fun x y ->
+           match Int64.compare y.p_cum_ns x.p_cum_ns with
+           | 0 -> String.compare x.p_name y.p_name
+           | c -> c)
+  in
+  let kid_sum =
+    List.fold_left (fun s k -> Int64.add s k.p_cum_ns) 0L children
+  in
+  let self =
+    let d = Int64.sub a.a_cum kid_sum in
+    if Int64.compare d 0L < 0 then 0L else d
+  in
+  {
+    p_name = a.a_name;
+    p_calls = a.a_calls;
+    p_cum_ns = a.a_cum;
+    p_self_ns = self;
+    p_children = children;
+  }
+
+(** [of_events ?root_name events]: fold an event stream (oldest first)
+    into a profile.  The synthetic root spans the whole stream — its
+    cumulative time is [last ts - first ts] — so top-level spans plus
+    untraced gaps always account for the full interval. *)
+let of_events ?(root_name = "(root)") (events : Trace.event list) : t =
+  let root = acc_node root_name in
+  root.a_calls <- 1;
+  match events with
+  | [] -> freeze root
+  | first :: _ ->
+    let t0 = first.Trace.ts_ns in
+    let last_ts = ref t0 in
+    (* stack of open spans: (acc node, begin timestamp); the root is
+       the implicit bottom *)
+    let stack : (acc * int64) list ref = ref [] in
+    let top () = match !stack with (a, _) :: _ -> a | [] -> root in
+    let close ts =
+      match !stack with
+      | [] -> ()
+      | (a, t_begin) :: rest ->
+        a.a_cum <- Int64.add a.a_cum (Int64.sub ts t_begin);
+        stack := rest
+    in
+    List.iter
+      (fun (ev : Trace.event) ->
+        if Int64.compare ev.ts_ns !last_ts > 0 then last_ts := ev.ts_ns;
+        match ev.phase with
+        | Trace.Instant -> ()
+        | Trace.Span_begin ->
+          let node = acc_child (top ()) ev.name in
+          node.a_calls <- node.a_calls + 1;
+          stack := (node, ev.ts_ns) :: !stack
+        | Trace.Span_end ->
+          (* Close up to and including the matching open span; an end
+             with no open match (truncated head) is dropped. *)
+          if List.exists (fun (a, _) -> a.a_name = ev.name) !stack then begin
+            while
+              match !stack with
+              | (a, _) :: _ -> a.a_name <> ev.name
+              | [] -> false
+            do
+              close ev.ts_ns
+            done;
+            close ev.ts_ns
+          end)
+      events;
+    (* truncated tail: close whatever is still open at the last ts *)
+    while !stack <> [] do
+      close !last_ts
+    done;
+    root.a_cum <- Int64.sub !last_ts t0;
+    freeze root
+
+(** Reparse JSONL trace lines (as written by {!Trace.jsonl_sink}) into
+    events; unparseable or non-event lines are skipped. *)
+let events_of_jsonl_lines (lines : string list) : Trace.event list =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else
+        match Json.of_string line with
+        | Error _ -> None
+        | Ok j -> Trace.event_of_json j)
+    lines
+
+(* ---------- queries ---------- *)
+
+let total_ns (p : t) = p.p_cum_ns
+
+(** Walk a name path from the root (excluding the root's own name). *)
+let rec find (p : t) (path : string list) : t option =
+  match path with
+  | [] -> Some p
+  | name :: rest -> (
+    match List.find_opt (fun k -> k.p_name = name) p.p_children with
+    | Some k -> find k rest
+    | None -> None)
+
+(** Conservation: every node's children sum to at most the node's
+    cumulative time (no clamping was needed anywhere). *)
+let rec consistent (p : t) : bool =
+  let kid_sum =
+    List.fold_left (fun s k -> Int64.add s k.p_cum_ns) 0L p.p_children
+  in
+  Int64.compare kid_sum p.p_cum_ns <= 0 && List.for_all consistent p.p_children
+
+(** Σ self over the whole tree — equals [total_ns] when {!consistent}. *)
+let rec sum_self (p : t) : int64 =
+  List.fold_left (fun s k -> Int64.add s (sum_self k)) p.p_self_ns p.p_children
+
+let rec node_count (p : t) : int =
+  List.fold_left (fun n k -> n + node_count k) 1 p.p_children
+
+(* ---------- renderers ---------- *)
+
+let ms ns = Int64.to_float ns /. 1e6
+
+(** Indented text tree, hottest subtree first:
+    {v      cum_ms     self_ms    calls   %cum  name v} *)
+let render_tree ?(max_depth = max_int) ppf (p : t) =
+  let total = Int64.to_float (if p.p_cum_ns = 0L then 1L else p.p_cum_ns) in
+  Format.fprintf ppf "%10s %10s %8s %6s  %s@." "cum(ms)" "self(ms)" "calls"
+    "cum%" "span";
+  let rec go depth node =
+    if depth <= max_depth then begin
+      Format.fprintf ppf "%10.3f %10.3f %8d %5.1f%%  %s%s@." (ms node.p_cum_ns)
+        (ms node.p_self_ns) node.p_calls
+        (100. *. Int64.to_float node.p_cum_ns /. total)
+        (String.make (2 * depth) ' ')
+        node.p_name;
+      List.iter (go (depth + 1)) node.p_children
+    end
+  in
+  go 0 p
+
+(** Collapsed stacks: [(stack, self_ns)] with [stack] the
+    semicolon-joined path from the root.  Every node with a positive
+    self time contributes one line, so the values sum to the root's
+    cumulative time when the profile is {!consistent}. *)
+let to_collapsed (p : t) : (string * int64) list =
+  let lines = ref [] in
+  let rec go prefix node =
+    let stack =
+      if prefix = "" then node.p_name else prefix ^ ";" ^ node.p_name
+    in
+    if Int64.compare node.p_self_ns 0L > 0 then
+      lines := (stack, node.p_self_ns) :: !lines;
+    List.iter (go stack) node.p_children
+  in
+  go "" p;
+  List.rev !lines
+
+let render_collapsed ppf (p : t) =
+  List.iter
+    (fun (stack, self) -> Format.fprintf ppf "%s %Ld@." stack self)
+    (to_collapsed p)

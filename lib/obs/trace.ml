@@ -57,13 +57,17 @@ let enabled = ref false
 let on () = !enabled
 
 (* The clock is pluggable so a harness with a real monotonic clock
-   (e.g. Bechamel's) can substitute it; the default is gettimeofday
-   scaled to ns, which is monotonic enough for tracing purposes and
-   avoids a C-stub dependency. *)
-let clock : (unit -> int64) ref =
-  ref (fun () -> Int64.of_float (Unix.gettimeofday () *. 1e9))
+   (e.g. Bechamel's) can substitute it — and so the golden tests can
+   pin timestamps; the default is gettimeofday scaled to ns, which is
+   monotonic enough for tracing purposes and avoids a C-stub
+   dependency. *)
+let default_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let clock : (unit -> int64) ref = ref default_clock
 
 let set_clock f = clock := f
+
+let reset_clock () = clock := default_clock
 
 let now_ns () = !clock ()
 

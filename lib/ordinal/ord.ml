@@ -5,11 +5,26 @@
 
 type t = Cnf of (t * int) list
 
+(* Counters for the arithmetic/normal-form hot paths, so the ordinal
+   experiments aren't metric blind spots.  Entry points only: the
+   term-list recursions underneath are not separately counted. *)
+module Metrics = Tfiris_obs.Metrics
+
+let c_compare = Metrics.counter "ordinal.compare"
+let c_add = Metrics.counter "ordinal.add"
+let c_sub = Metrics.counter "ordinal.sub"
+let c_mul = Metrics.counter "ordinal.mul"
+let c_hsum = Metrics.counter "ordinal.hsum"
+let c_hprod = Metrics.counter "ordinal.hprod"
+let c_pow = Metrics.counter "ordinal.pow"
+let c_fundamental = Metrics.counter "ordinal.fundamental"
+let c_descend = Metrics.counter "ordinal.descend"
+
 let zero = Cnf []
 let terms (Cnf ts) = ts
 let is_zero (Cnf ts) = ts = []
 
-let rec compare (Cnf xs) (Cnf ys) = compare_terms xs ys
+let rec compare_aux (Cnf xs) (Cnf ys) = compare_terms xs ys
 
 and compare_terms xs ys =
   match xs, ys with
@@ -17,10 +32,14 @@ and compare_terms xs ys =
   | [], _ :: _ -> -1
   | _ :: _, [] -> 1
   | (e1, c1) :: r1, (e2, c2) :: r2 ->
-    let c = compare e1 e2 in
+    let c = compare_aux e1 e2 in
     if c <> 0 then c
     else if c1 <> c2 then Stdlib.compare c1 c2
     else compare_terms r1 r2
+
+let compare a b =
+  Metrics.incr c_compare;
+  compare_aux a b
 
 let equal a b = compare a b = 0
 let lt a b = compare a b < 0
@@ -67,6 +86,7 @@ let is_limit a = (not (is_zero a)) && nat_part a = 0
 (* Standard addition: drop the terms of [a] strictly below the leading
    exponent of [b]; merge coefficients on equality. *)
 let add (Cnf xs) (Cnf ys) =
+  Metrics.incr c_add;
   match ys with
   | [] -> Cnf xs
   | (e, d) :: ytl ->
@@ -97,6 +117,7 @@ let degree (Cnf ts) = match ts with [] -> zero | (e, _) :: _ -> e
    finite part m), α·β = Σ_j ω^{deg α + bj}·dj + α·m, where
    α·m = ω^{deg α}·(c1·m) + tail α for m ≥ 1. *)
 let mul (Cnf xs) (Cnf ys) =
+  Metrics.incr c_mul;
   match xs with
   | [] -> zero
   | (e1, c1) :: xtl ->
@@ -113,6 +134,7 @@ let mul (Cnf xs) (Cnf ys) =
 
 (* Left subtraction: the unique c with b + c = a, when b ≤ a. *)
 let sub (Cnf xs) (Cnf ys) =
+  Metrics.incr c_sub;
   let rec go xs ys =
     match xs, ys with
     | xs, [] -> xs
@@ -131,6 +153,7 @@ let sub (Cnf xs) (Cnf ys) =
 (* Hessenberg sum: merge term lists, adding coefficients on equal
    exponents. *)
 let hsum (Cnf xs) (Cnf ys) =
+  Metrics.incr c_hsum;
   let rec merge xs ys =
     match xs, ys with
     | xs, [] -> xs
@@ -147,6 +170,7 @@ let hsum_list l = List.fold_left hsum zero l
 
 (* Hessenberg product: distribute with ⊕ on exponents. *)
 let hprod (Cnf xs) (Cnf ys) =
+  Metrics.incr c_hprod;
   List.fold_left
     (fun acc (e1, c1) ->
       List.fold_left
@@ -159,6 +183,7 @@ let hprod (Cnf xs) (Cnf ys) =
        where e∸1 is e-1 for finite e and e itself for infinite e;
      - a^(λ + m) = ω^(deg a · λ) · a^m  for a ≥ ω, λ the limit part. *)
 let pow (Cnf xs as a) (Cnf ys as b) =
+  Metrics.incr c_pow;
   let rec pow_nat a m acc =
     (* repeated multiplication; m is small in practice *)
     if m = 0 then acc else pow_nat a (m - 1) (mul acc a)
@@ -194,6 +219,7 @@ let pow (Cnf xs as a) (Cnf ys as b) =
      (ω^{e'+1})[n]         = ω^{e'}·n
      (ω^{e})[n]            = ω^{e[n]}                      (e limit) *)
 let rec fundamental a n =
+  Metrics.incr c_fundamental;
   if not (is_limit a) then invalid_arg "Ord.fundamental: not a limit"
   else if n < 0 then invalid_arg "Ord.fundamental: negative index"
   else
@@ -218,6 +244,7 @@ let rec fundamental a n =
 let sup_list = List.fold_left max zero
 
 let descend a =
+  Metrics.incr c_descend;
   if is_zero a then invalid_arg "Ord.descend: zero"
   else
     match pred a with

@@ -17,6 +17,8 @@
 module Ord = Tfiris_ordinal.Ord
 module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
+module Forensics = Tfiris_obs.Forensics
+module Json = Tfiris_obs.Json
 open Tfiris_shl
 
 type sched_config = {
@@ -69,6 +71,29 @@ let c_stutters = Metrics.counter "refinement.conc.stutters"
 let c_rejections = Metrics.counter "refinement.conc.rejections"
 let h_stutter_run = Metrics.histogram "refinement.conc.stutter_run_len"
 
+(* ---------- forensics ---------- *)
+
+let forensic ring ~rule ~(stats : stats) msg =
+  match ring with
+  | None -> ()
+  | Some rg ->
+    Forensics.set_last
+      (Forensics.report ~component:"refinement.conc" ~rule
+         ~step:stats.target_steps ~reason:msg
+         ~attrs:
+           [
+             ("target_steps", Json.Int stats.target_steps);
+             ("source_steps", Json.Int stats.source_steps);
+             ("stutters", Json.Int stats.stutters);
+           ]
+         rg)
+
+let record ring ~step ~label data =
+  match ring with
+  | None -> ()
+  | Some rg ->
+    Forensics.push rg { Forensics.f_step = step; f_label = label; f_data = data }
+
 let publish (v : verdict) : verdict =
   if Metrics.on () then begin
     let st =
@@ -90,6 +115,11 @@ let publish (v : verdict) : verdict =
     {!Strategy.oracle}. *)
 let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
     ~(target : Ast.expr) ~(source : Ast.expr) () : verdict =
+  let ring = Forensics.with_ring () in
+  let reject rule msg st =
+    forensic ring ~rule ~stats:st msg;
+    Rejected (msg, st)
+  in
   (* pre-run both sides to pace the schedule *)
   let count_target () =
     let rec go sc n k =
@@ -114,10 +144,10 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
   match count_target (), count_source () with
   | None, _ | _, None ->
     publish
-      (Rejected
-         ( "no oracle pacing (a side is stuck or non-terminating under this \
-            scheduler)",
-           { target_steps = 0; source_steps = 0; stutters = 0 } ))
+      (reject "no_oracle_pacing"
+         "no oracle pacing (a side is stuck or non-terminating under this \
+          scheduler)"
+         { target_steps = 0; source_steps = 0; stutters = 0 })
   | Some t_total, Some s_total ->
     let scheduled i = if t_total = 0 then s_total else s_total * i / t_total in
     let stutter_run = ref 0 in
@@ -141,20 +171,21 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
                 if Ast.value_eq v v' = Some true then
                   Accepted
                     (v, { st with source_steps = st.source_steps + extra })
-                else Rejected ("value mismatch", st)
-              | _ -> Rejected ("source stuck", st))
-            | Error (Step.Stuck _) -> Rejected ("source stuck", st)
+                else reject "value_mismatch" "value mismatch" st
+              | _ -> reject "source_stuck" "source stuck" st)
+            | Error (Step.Stuck _) -> reject "source_stuck" "source stuck" st
             | Ok (cfg', _) ->
-              if k = 0 then Rejected ("source did not terminate", st)
+              if k = 0 then
+                reject "source_did_not_terminate" "source did not terminate" st
               else drain cfg' (k - 1) (extra + 1)
           in
           drain src fuel 0)
-        | _ -> Rejected ("non-value terminal state", st))
+        | _ -> reject "non_value_terminal" "non-value terminal state" st)
       | _ -> (
         if n = 0 then Still_running st
         else
           match sched_step tgt_sched tgt with
-          | Error (`Stuck _) -> Rejected ("target stuck", st)
+          | Error (`Stuck _) -> reject "target_stuck" "target stuck" st
           | Error (`Done _) -> Still_running st
           | Ok tgt' ->
             let st = { st with target_steps = st.target_steps + 1 } in
@@ -177,6 +208,13 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
                       ("src_steps", Trace.I (want - had));
                     ];
               flush_stutter_run ();
+              record ring ~step:st.target_steps ~label:"advance"
+                [
+                  ("src_steps", Json.Int (want - had));
+                  ( "source",
+                    Json.Str
+                      (Forensics.trunc (Pretty.expr_to_string src.Step.expr)) );
+                ];
               match adv src (want - had) with
               | Some src' ->
                 go tgt' src' (Ord.of_int t_total)
@@ -185,13 +223,15 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
                     source_steps = st.source_steps + (want - had);
                   }
                   (n - 1)
-              | None -> Rejected ("source stuck mid-game", st))
+              | None -> reject "source_stuck_mid_game" "source stuck mid-game" st)
             else if Ord.is_zero budget then
-              Rejected ("stutter budget exhausted", st)
+              reject "stutter_budget_exhausted" "stutter budget exhausted" st
             else begin
               if Trace.on () then
                 Trace.instant "conc.stutter"
                   ~attrs:[ ("step_no", Trace.I st.target_steps) ];
+              record ring ~step:st.target_steps ~label:"stutter"
+                [ ("budget", Json.Str (Ord.to_string budget)) ];
               incr stutter_run;
               go tgt' src (Ord.descend budget)
                 { st with stutters = st.stutters + 1 }

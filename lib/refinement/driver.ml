@@ -28,6 +28,8 @@
 module Ord = Tfiris_ordinal.Ord
 module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
+module Forensics = Tfiris_obs.Forensics
+module Json = Tfiris_obs.Json
 open Tfiris_shl
 
 type decision =
@@ -166,6 +168,71 @@ let verdict_name = function
   | Accepted (Fuel_exhausted, _) -> "fuel_exhausted"
   | Rejected _ -> "rejected"
 
+(* ---------- forensics ---------- *)
+
+(** The violated rule, as a stable identifier for post-mortems. *)
+let rule_name = function
+  | Budget_not_decreasing _ -> "budget_not_decreasing"
+  | Advance_needs_progress -> "advance_needs_progress"
+  | Source_stuck _ -> "source_stuck"
+  | Source_finished_early _ -> "source_finished_early"
+  | Target_stuck _ -> "target_stuck"
+  | Value_mismatch _ -> "value_mismatch"
+  | Result_not_ground _ -> "result_not_ground"
+  | Source_did_not_terminate -> "source_did_not_terminate"
+
+(* One recorded frame per strategy decision: both configurations, the
+   budget it was consulted with, and what it answered. *)
+let record_decision ring ~step_no ~(target : Step.config)
+    ~(source : Step.config) ~budget (d : decision) =
+  let decision_fields =
+    match d with
+    | Stutter b' ->
+      [
+        ("decision", Json.Str "stutter");
+        ("new_budget", Json.Str (Ord.to_string b'));
+      ]
+    | Advance { src_steps; budget = b' } ->
+      [
+        ("decision", Json.Str "advance");
+        ("src_steps", Json.Int src_steps);
+        ("new_budget", Json.Str (Ord.to_string b'));
+      ]
+  in
+  Forensics.push ring
+    {
+      Forensics.f_step = step_no;
+      f_label = "decide";
+      f_data =
+        [
+          ( "target",
+            Json.Str (Forensics.trunc (Pretty.expr_to_string target.Step.expr))
+          );
+          ( "source",
+            Json.Str (Forensics.trunc (Pretty.expr_to_string source.Step.expr))
+          );
+          ("tgt_heap", Json.Int (Heap.size target.Step.heap));
+          ("src_heap", Json.Int (Heap.size source.Step.heap));
+          ("budget", Json.Str (Ord.to_string budget));
+        ]
+        @ decision_fields;
+    }
+
+let forensic_report (s : strategy) ring (r : reject_reason) (st : stats) =
+  Forensics.set_last
+    (Forensics.report ~component:"refinement.driver" ~rule:(rule_name r)
+       ~step:st.target_steps
+       ~reason:(Format.asprintf "%a" pp_reject r)
+       ~attrs:
+         [
+           ("strategy", Json.Str s.name);
+           ("target_steps", Json.Int st.target_steps);
+           ("source_steps", Json.Int st.source_steps);
+           ("stutters", Json.Int st.stutters);
+           ("budget_resets", Json.Int st.budget_resets);
+         ]
+       ring)
+
 (* One bulk metrics update per game, derived from the verdict's own
    stats so the registry and the returned record cannot disagree. *)
 let publish (s : strategy) (v : verdict) : verdict =
@@ -208,30 +275,37 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
       stutter_run := 0
     end
   in
+  let ring = Forensics.with_ring () in
   let decide ~step_no ~target ~source ~budget =
-    if Trace.on () then
-      Trace.with_span "driver.decide"
-        ~attrs:
-          [
-            ("strategy", Trace.S s.name);
-            ("step_no", Trace.I step_no);
-            ("budget", Trace.S (Ord.to_string budget));
-          ]
-        (fun () ->
-          let d = s.decide ~step_no ~target ~source ~budget in
-          (match d with
-          | Stutter b' ->
-            Trace.instant "driver.stutter"
-              ~attrs:[ ("new_budget", Trace.S (Ord.to_string b')) ]
-          | Advance { src_steps; budget = b' } ->
-            Trace.instant "driver.advance"
-              ~attrs:
-                [
-                  ("src_steps", Trace.I src_steps);
-                  ("new_budget", Trace.S (Ord.to_string b'));
-                ]);
-          d)
-    else s.decide ~step_no ~target ~source ~budget
+    let d =
+      if Trace.on () then
+        Trace.with_span "driver.decide"
+          ~attrs:
+            [
+              ("strategy", Trace.S s.name);
+              ("step_no", Trace.I step_no);
+              ("budget", Trace.S (Ord.to_string budget));
+            ]
+          (fun () ->
+            let d = s.decide ~step_no ~target ~source ~budget in
+            (match d with
+            | Stutter b' ->
+              Trace.instant "driver.stutter"
+                ~attrs:[ ("new_budget", Trace.S (Ord.to_string b')) ]
+            | Advance { src_steps; budget = b' } ->
+              Trace.instant "driver.advance"
+                ~attrs:
+                  [
+                    ("src_steps", Trace.I src_steps);
+                    ("new_budget", Trace.S (Ord.to_string b'));
+                  ]);
+            d)
+      else s.decide ~step_no ~target ~source ~budget
+    in
+    (match ring with
+    | Some rg -> record_decision rg ~step_no ~target ~source ~budget d
+    | None -> ());
+    d
   in
   let rec go (t : Step.config) (src : Step.config) budget stats n =
     match t.Step.expr with
@@ -288,6 +362,9 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
     else go target source init_budget zero_stats fuel
   in
   flush_stutter_run ();
+  (match (ring, verdict) with
+  | Some rg, Rejected (r, st) -> forensic_report s rg r st
+  | _ -> ());
   publish s verdict
 
 (** Convenience wrapper on closed expressions with empty heaps. *)

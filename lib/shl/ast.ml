@@ -173,7 +173,11 @@ let is_closed e = Sset.is_empty (free_vars e)
     programs), so substitution never captures. *)
 let rec subst x v (e : expr) : expr =
   match e with
-  | Val _ -> e
+  (* value literals can contain open closure bodies (the generator and
+     parser both build them), and [free_vars] counts those occurrences —
+     substitution must reach them or a step on [let] leaks a free
+     variable *)
+  | Val w -> Val (subst_value x v w)
   | Var y -> if String.equal x y then Val v else e
   | Rec (f, y, body) ->
     if String.equal x y || f = Some x then e else Rec (f, y, subst x v body)
@@ -199,6 +203,16 @@ let rec subst x v (e : expr) : expr =
   | Seq (e1, e2) -> Seq (subst x v e1, subst x v e2)
   | Fork e1 -> Fork (subst x v e1)
   | Cas (e1, e2, e3) -> Cas (subst x v e1, subst x v e2, subst x v e3)
+
+and subst_value x v (w : value) : value =
+  match w with
+  | Unit | Bool _ | Int _ | Loc _ -> w
+  | Pair (v1, v2) -> Pair (subst_value x v v1, subst_value x v v2)
+  | Inj_l v1 -> Inj_l (subst_value x v v1)
+  | Inj_r v1 -> Inj_r (subst_value x v v1)
+  | Rec_fun (f, y, body) ->
+    if String.equal x y || f = Some x then w
+    else Rec_fun (f, y, subst x v body)
 
 (** Size of an expression (number of AST nodes) — used by tests and
     benchmarks. *)

@@ -59,12 +59,19 @@ and pp_prec prec ppf (e : expr) =
     paren 7 (fun ppf ->
         Format.fprintf ppf "@[<hov 2>%a@ %a@]" (pp_prec 7) e1 (pp_prec 8) e2)
   | Un_op (Neg, e1) -> paren 6 (fun ppf -> Format.fprintf ppf "not %a" (pp_prec 7) e1)
-  | Un_op (Minus, Val (Int n)) when n >= 0 ->
-    (* the parser folds [- <int literal>] into a negative literal;
-       parenthesize so this stays a [Un_op] redex *)
-    paren 6 (fun ppf -> Format.fprintf ppf "-(%d)" n)
   | Un_op (Minus, e1) ->
-    paren 6 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 7) e1)
+    (* the parser folds [- <int literal>] into a negative literal, so a
+       bare literal operand — including the head of an application
+       spine, as in [- (0 ())] — must be parenthesized to stay a
+       [Un_op] redex *)
+    let rec starts_with_int_literal = function
+      | Val (Int n) -> n >= 0
+      | App (e, _) -> starts_with_int_literal e
+      | _ -> false
+    in
+    if starts_with_int_literal e1 then
+      paren 6 (fun ppf -> Format.fprintf ppf "-(%a)" (pp_prec 0) e1)
+    else paren 6 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 7) e1)
   | Bin_op (op, e1, e2) ->
     let sym, p = bin_op_info op in
     (* comparisons are non-associative in the grammar: parenthesize a

@@ -3,7 +3,18 @@
     against which the transfinite model is compared. *)
 
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
 include Cut.Make (Index.Nat)
+
+let c_sup = Metrics.counter "sprop.fin_height.sup_family"
+let c_collapse = Metrics.counter "sprop.fin_height.collapses"
+let c_fix = Metrics.counter "sprop.fin_height.fixpoint"
+
+(* Count fixpoint solves in the finite model (the functor itself stays
+   uninstrumented). *)
+let fixpoint ?fuel f =
+  Metrics.incr c_fix;
+  fixpoint ?fuel f
 
 let of_int n = of_index n
 
@@ -15,9 +26,11 @@ let of_int n = of_index n
     ℕ is {e everything}: the supremum collapses to [Top].  This collapse
     is precisely why the finite model proves [∃n. ▷ⁿ False] (§2.7). *)
 let sup_family ?(samples = 24) ~limit f =
+  Metrics.incr c_sup;
   match Ord.to_int_opt limit with
   | None ->
     (* Transfinite declared supremum: unbounded below, so ⊤ here. *)
+    Metrics.incr c_collapse;
     ignore samples;
     Top
   | Some k ->

@@ -6,7 +6,17 @@
     existential property (Theorem 6.2). *)
 
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
 include Cut.Make (Index.Ordinal)
+
+let c_sup = Metrics.counter "sprop.height.sup_family"
+let c_fix = Metrics.counter "sprop.height.fixpoint"
+
+(* Count fixpoint solves in the transfinite model (the functor itself
+   stays uninstrumented). *)
+let fixpoint ?fuel f =
+  Metrics.incr c_fix;
+  fixpoint ?fuel f
 
 let of_ord a = of_index a
 
@@ -21,6 +31,7 @@ exception Bad_family of string
     (raises {!Bad_family} otherwise).  If any member is [Top] the
     supremum is [Top] regardless of the declaration. *)
 let sup_family ?(samples = 24) ~limit f =
+  Metrics.incr c_sup;
   let rec go n top =
     if n >= samples then top
     else

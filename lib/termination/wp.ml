@@ -24,6 +24,8 @@
 module Ord = Tfiris_ordinal.Ord
 module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
+module Forensics = Tfiris_obs.Forensics
+module Json = Tfiris_obs.Json
 open Tfiris_shl
 
 type strategy = {
@@ -75,6 +77,50 @@ let c_limit = Metrics.counter "termination.wp.limit_refinements"
 let c_rejections = Metrics.counter "termination.wp.rejections"
 let h_steps = Metrics.histogram "termination.wp.run_steps"
 
+(* ---------- forensics ---------- *)
+
+(** The violated rule, as a stable identifier for post-mortems. *)
+let rule_name = function
+  | Not_decreasing _ -> "credit_not_decreasing"
+  | Gave_up -> "gave_up"
+  | Stuck _ -> "stuck"
+
+let reason_text = function
+  | Not_decreasing (o, n) ->
+    Format.asprintf "credit must strictly decrease: %a not < %a" Ord.pp n Ord.pp
+      o
+  | Gave_up -> "strategy gave up"
+  | Stuck redex ->
+    Format.asprintf "program stuck at %s"
+      (Forensics.trunc (Pretty.expr_to_string redex))
+
+let kind_name = function
+  | Step.Pure -> "pure"
+  | Step.Alloc _ -> "alloc"
+  | Step.Load_of _ -> "load"
+  | Step.Store_to _ -> "store"
+
+(* One recorded frame per credit spend: the configuration the strategy
+   was consulted on, the step kind, and the credit before/after. *)
+let record_spend ring ~step_no ~(config : Step.config) ~kind ~credit res =
+  Forensics.push ring
+    {
+      Forensics.f_step = step_no;
+      f_label = "spend";
+      f_data =
+        [
+          ( "expr",
+            Json.Str (Forensics.trunc (Pretty.expr_to_string config.Step.expr))
+          );
+          ("step_kind", Json.Str (kind_name kind));
+          ("credit", Json.Str (Ord.to_string credit));
+          ( "new_credit",
+            match res with
+            | Some c -> Json.Str (Ord.to_string c)
+            | None -> Json.Null );
+        ];
+    }
+
 let publish (v : verdict) : verdict =
   if Metrics.on () then begin
     let st = match v with Terminated (_, _, st) | Rejected (_, st) -> st in
@@ -97,6 +143,14 @@ let publish (v : verdict) : verdict =
     learned" moments — is an instant event carrying the old and new
     credit. *)
 let run ~credits (s : strategy) (cfg : Step.config) : verdict =
+  let ring = Forensics.with_ring () in
+  let spend ~step_no ~config ~kind ~credit =
+    let res = s.spend ~step_no ~config ~kind ~credit in
+    (match ring with
+    | Some rg -> record_spend rg ~step_no ~config ~kind ~credit res
+    | None -> ());
+    res
+  in
   let rec go cfg credit stats =
     match cfg.Step.expr with
     | Ast.Val v -> Terminated (v, credit, stats)
@@ -106,7 +160,7 @@ let run ~credits (s : strategy) (cfg : Step.config) : verdict =
       | Error Step.Finished -> assert false
       | Ok (cfg', kind) -> (
         let step_no = stats.steps + 1 in
-        match s.spend ~step_no ~config:cfg' ~kind ~credit with
+        match spend ~step_no ~config:cfg' ~kind ~credit with
         | None -> Rejected (Gave_up, { stats with steps = step_no })
         | Some credit' ->
           if Ord.lt credit' credit then begin
@@ -143,6 +197,20 @@ let run ~credits (s : strategy) (cfg : Step.config) : verdict =
         (fun () -> go cfg credits { steps = 0; limit_refinements = 0 })
     else go cfg credits { steps = 0; limit_refinements = 0 }
   in
+  (match (ring, verdict) with
+  | Some rg, Rejected (r, st) ->
+    Forensics.set_last
+      (Forensics.report ~component:"termination.wp" ~rule:(rule_name r)
+         ~step:st.steps ~reason:(reason_text r)
+         ~attrs:
+           [
+             ("strategy", Json.Str s.name);
+             ("credits", Json.Str (Ord.to_string credits));
+             ("steps", Json.Int st.steps);
+             ("limit_refinements", Json.Int st.limit_refinements);
+           ]
+         rg)
+  | _ -> ());
   publish verdict
 
 let terminates ~credits s e =

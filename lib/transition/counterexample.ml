@@ -13,6 +13,14 @@
     The source is infinitely branching, so it is not a {!Ts.t}; we
     implement it directly. *)
 
+module Metrics = Tfiris_obs.Metrics
+
+(* e2's whole workload lives in this module (pure int games, no
+   interpreter underneath), so it carries its own counters. *)
+let c_runs = Metrics.counter "transition.cex.runs"
+let c_approx = Metrics.counter "transition.cex.approx_checks"
+let c_src_steps = Metrics.counter "transition.cex.source_steps"
+
 type source_state =
   | Pick  (** about to choose [n] *)
   | Run of int  (** [n] steps left before terminating *)
@@ -26,6 +34,7 @@ let source_result = function Pick | Run _ -> None | Done -> Some true
 (** Successors of a source state; [Pick] has countably many, which we
     expose as a function of the choice. *)
 let source_step_choice (s : source_state) (n : int) : source_state option =
+  Metrics.incr c_src_steps;
   match s with
   | Pick -> if n >= 0 then Some (Run n) else None
   | Run 0 -> if n = 0 then Some Done else None
@@ -39,6 +48,7 @@ let source_step_choice (s : source_state) (n : int) : source_state option =
     replays the definition of [⪯ᵢ] along this strategy and confirms
     every unfolding obligation. *)
 let check_approx (i : int) : bool =
+  Metrics.incr c_approx;
   (* After the pick, t∞ ⪯_k Run j must hold with k ≤ j + 1 obligations
      remaining; we verify the chain down to ⪯₀ (trivially true). *)
   let rec chain (s : source_state) (k : int) : bool =
@@ -133,6 +143,7 @@ type report = {
 }
 
 let run ?(indices = 64) ?(max_pick = 256) () : report =
+  Metrics.incr c_runs;
   let all_hold =
     let rec go i = i > indices || (check_approx i && go (i + 1)) in
     go 0

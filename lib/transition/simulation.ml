@@ -18,6 +18,11 @@
     brute-force checkers of {!Ts}. *)
 
 module Ord = Tfiris_ordinal.Ord
+module Metrics = Tfiris_obs.Metrics
+
+(* One bump per functor unfolding — the unit of work for every
+   approximation/gfp computation in this module. *)
+let c_unfolds = Metrics.counter "transition.sim.unfolds"
 
 type rel = bool array array
 (** [r.(t).(s)] — target state [t] is related to source state [s]. *)
@@ -31,6 +36,7 @@ let full ~(target : Ts.t) ~(source : Ts.t) : rel =
     [F(R)(t,s) = (∃b. t = s = b) ∨
                  ((∃t'. t → t') ∧ ∀t' ∈ step t. ∃s' ∈ step s. R(t',s'))] *)
 let unfold ~(target : Ts.t) ~(source : Ts.t) (r : rel) : rel =
+  Metrics.incr c_unfolds;
   Array.init target.num_states (fun t ->
       Array.init source.num_states (fun s ->
           let same_result =

@@ -16,4 +16,6 @@ let () =
       ("termination", Test_termination.suite);
       ("promises", Test_promises.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
+      ("forensics", Test_forensics.suite);
     ]

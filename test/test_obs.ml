@@ -136,6 +136,73 @@ let test_jsonl_sink_file () =
           Alcotest.failf "line is not an event: %s" line)
     lines
 
+(* ---------- sink goldens ----------
+
+   The serialized forms are consumed by external tools (flamegraph.pl
+   feeds, chrome://tracing, log processors), so the exact bytes are
+   golden-tested: string escaping per RFC 8259 (quotes, backslashes,
+   control characters, non-ASCII passthrough), nested and zero-duration
+   spans.  Timestamps are pinned via the pluggable clock. *)
+
+(* A deterministic clock: first reading is [start], then +[step] per
+   reading; restored afterwards. *)
+let with_pinned_clock ?(start = 0) ?(step = 1000) f =
+  let t = ref (Int64.of_int (start - step)) in
+  Trace.set_clock (fun () ->
+      t := Int64.add !t (Int64.of_int step);
+      !t);
+  Fun.protect f ~finally:Trace.reset_clock
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_json_escaping_golden () =
+  let ev =
+    Trace.
+      {
+        name = "q\"b\\s\nn\001c\t\xc3\xa9";
+        phase = Trace.Instant;
+        ts_ns = 5L;
+        depth = 1;
+        attrs = [ ("k\"", Trace.S "v\\") ];
+      }
+  in
+  let line = Json.to_string (Trace.json_of_event ev) in
+  Alcotest.(check string) "escaped exactly"
+    "{\"ev\":\"instant\",\"name\":\"q\\\"b\\\\s\\nn\\u0001c\\t\xc3\xa9\",\"ts\":5,\"depth\":1,\"attrs\":{\"k\\\"\":\"v\\\\\"}}"
+    line;
+  (* and the reader undoes every escape *)
+  match Result.map Trace.event_of_json (Json.of_string line) with
+  | Ok (Some ev') -> Alcotest.check ev_testable "round-trip" ev ev'
+  | Ok None -> Alcotest.fail "reparse lost the event"
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_jsonl_sink_golden () =
+  let path = Filename.temp_file "tfiris_jsonl" ".jsonl" in
+  let oc = open_out path in
+  let prev = Trace.install (Trace.jsonl_sink oc) in
+  with_pinned_clock ~start:1000 ~step:500 (fun () ->
+      Trace.with_span "outer"
+        ~attrs:[ ("s", Trace.S "a\"b\\c") ]
+        (fun () ->
+          Trace.instant "tick";
+          Trace.with_span "inner" (fun () -> ())));
+  Trace.restore prev;
+  close_out oc;
+  let got = read_file path in
+  Sys.remove path;
+  Alcotest.(check string) "jsonl bytes"
+    ("{\"ev\":\"begin\",\"name\":\"outer\",\"ts\":1000,\"depth\":0,\"attrs\":{\"s\":\"a\\\"b\\\\c\"}}\n"
+   ^ "{\"ev\":\"instant\",\"name\":\"tick\",\"ts\":1500,\"depth\":1,\"attrs\":{}}\n"
+   ^ "{\"ev\":\"begin\",\"name\":\"inner\",\"ts\":2000,\"depth\":1,\"attrs\":{}}\n"
+   ^ "{\"ev\":\"end\",\"name\":\"inner\",\"ts\":2500,\"depth\":1,\"attrs\":{}}\n"
+   ^ "{\"ev\":\"end\",\"name\":\"outer\",\"ts\":3000,\"depth\":0,\"attrs\":{}}\n")
+    got
+
 (* The Chrome [trace_event] array: produced by the same sink the CLI's
    --trace=FILE:chrome uses; must parse as a JSON array of objects with
    the fields chrome://tracing requires, with balanced B/E phases. *)
@@ -175,6 +242,32 @@ let has_event name events =
   List.exists
     (fun ev -> Option.bind (Json.member "name" ev) Json.to_str = Some name)
     events
+
+let test_chrome_sink_golden () =
+  (* a constant clock: nested spans collapse to zero duration, which
+     chrome://tracing must still accept (balanced B/E at equal ts) *)
+  let path = Filename.temp_file "tfiris_chrome" ".json" in
+  let oc = open_out path in
+  let prev = Trace.install (Trace.chrome_sink oc) in
+  with_pinned_clock ~start:7000 ~step:0 (fun () ->
+      Trace.span_begin "a";
+      Trace.span_begin "z";
+      Trace.span_end "z";
+      Trace.span_end "a";
+      Trace.instant "w" ~attrs:[ ("q", Trace.S "x\"y") ]);
+  Trace.restore prev;
+  close_out oc;
+  let got = read_file path in
+  Alcotest.(check string) "chrome bytes"
+    ("[{\"name\":\"a\",\"ph\":\"B\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
+   ^ "{\"name\":\"z\",\"ph\":\"B\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
+   ^ "{\"name\":\"z\",\"ph\":\"E\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
+   ^ "{\"name\":\"a\",\"ph\":\"E\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
+   ^ "{\"name\":\"w\",\"ph\":\"i\",\"ts\":7.0,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"q\":\"x\\\"y\"}}]\n")
+    got;
+  (* and the structural checker still accepts it *)
+  check_chrome_file ~ctx:"golden" path ~require:(has_event "w");
+  Sys.remove path
 
 let test_chrome_sink () =
   let path = Filename.temp_file "tfiris_trace" ".json" in
@@ -274,6 +367,65 @@ let test_metrics_json () =
           "value survives" (Some 7)
           (Option.bind (Json.member "test.obs.counter" j') Json.to_int))
 
+(* The documented bucket boundaries ("Bucket boundaries" in metrics.ml):
+   base-2 exponential, bucket 0 is (-inf, 1], bucket i is (2^(i-1), 2^i],
+   bucket 31 absorbs the overflow.  Exact at every power of two, so
+   [hist_sums]/bucketed data are bit-for-bit reproducible. *)
+let test_hist_bucket_boundaries () =
+  let check_b ctx exp v =
+    Alcotest.(check int) ctx exp (Metrics.bucket_of v)
+  in
+  check_b "negatives -> 0" 0 (-3.);
+  check_b "0 -> 0" 0 0.;
+  check_b "1 -> 0" 0 1.;
+  check_b "just above 1 -> 1" 1 (Float.succ 1.);
+  check_b "2 -> 1" 1 2.;
+  check_b "3 -> 2" 2 3.;
+  for i = 1 to 30 do
+    check_b (Printf.sprintf "2^%d lands in bucket %d" i i) i
+      (Float.pow 2. (float_of_int i))
+  done;
+  for i = 1 to 29 do
+    check_b
+      (Printf.sprintf "2^%d + ulp spills into bucket %d" i (i + 1))
+      (i + 1)
+      (Float.succ (Float.pow 2. (float_of_int i)))
+  done;
+  check_b "above 2^30 overflows into 31" 31 (Float.succ (Float.pow 2. 30.));
+  check_b "huge values stay in 31" 31 1e30;
+  Alcotest.(check (float 0.)) "bound of bucket 0" 1.
+    (Metrics.bucket_upper_bound 0);
+  Alcotest.(check (float 0.)) "bound of bucket 5" 32.
+    (Metrics.bucket_upper_bound 5);
+  Alcotest.(check (float 0.)) "bound of the overflow bucket"
+    (Float.pow 2. 31.)
+    (Metrics.bucket_upper_bound 31);
+  (match Metrics.bucket_upper_bound 32 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range bound not rejected");
+  match Metrics.bucket_upper_bound (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative bound not rejected"
+
+(* The snapshot reports each non-empty bucket under exactly
+   [bucket_upper_bound]. *)
+let test_hist_snapshot_bounds () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.obs.bounds" in
+      List.iter (Metrics.observe h) [ 1.; 2.; Float.succ 2. ];
+      match
+        List.find_map
+          (function
+            | Metrics.Histogram_v ("test.obs.bounds", d) -> Some d | _ -> None)
+          (Metrics.snapshot ())
+      with
+      | None -> Alcotest.fail "histogram missing"
+      | Some d ->
+        Alcotest.(check (list (pair (float 0.) int)))
+          "buckets keyed by inclusive upper bound"
+          [ (1., 1); (2., 1); (4., 1) ]
+          d.Metrics.buckets)
+
 (* The anti-drift property ISSUE.md asks for: on arbitrary generated
    programs, the per-kind step counters published to the registry sum to
    exactly [stats.steps], which in turn equals the step count implied by
@@ -323,6 +475,9 @@ let suite =
     Alcotest.test_case "disabled tracer is silent" `Quick test_disabled_is_silent;
     Alcotest.test_case "memory sink ring buffer" `Quick test_ring_buffer;
     Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "json escaping golden" `Quick test_json_escaping_golden;
+    Alcotest.test_case "jsonl sink golden" `Quick test_jsonl_sink_golden;
+    Alcotest.test_case "chrome sink golden" `Quick test_chrome_sink_golden;
     Alcotest.test_case "jsonl file sink" `Quick test_jsonl_sink_file;
     Alcotest.test_case "chrome sink (driver spans)" `Quick test_chrome_sink;
     Alcotest.test_case "cli --trace=chrome" `Quick test_cli_chrome_trace;
@@ -331,6 +486,10 @@ let suite =
     Alcotest.test_case "metrics registration" `Quick
       test_metrics_idempotent_registration;
     Alcotest.test_case "metrics JSON" `Quick test_metrics_json;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_hist_bucket_boundaries;
+    Alcotest.test_case "histogram snapshot bounds" `Quick
+      test_hist_snapshot_bounds;
     interp_counters_agree;
     Alcotest.test_case "fuel bound is exact" `Quick test_fuel_exact;
   ]

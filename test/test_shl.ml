@@ -326,6 +326,28 @@ let subst_closed_prop =
        ~print:Gen.print_shl Gen.shl_expr (fun e ->
          (not (Ast.is_closed e)) || Ast.subst "zzz" Ast.Unit e = e))
 
+(* regression: a [Val (Rec_fun ...)] literal with a free body occurrence
+   counts toward [free_vars], so [subst] must reach inside it — stepping
+   [let x = () in if () then <closure-value y. x> else ()] used to leak
+   the free [x] *)
+let test_subst_into_closure_value () =
+  let open Ast in
+  let clo = Val (Rec_fun (None, "y", Var "x")) in
+  let e = Let ("x", Val Unit, If (Val Unit, clo, Val Unit)) in
+  Alcotest.(check bool) "closed before" true (is_closed e);
+  Alcotest.(check bool)
+    "subst reaches closure body" true
+    (subst "x" Unit clo = Val (Rec_fun (None, "y", Val Unit)));
+  (match Step.prim_step (Step.config e) with
+  | Ok (cfg, _) ->
+    Alcotest.(check bool) "closed after step" true (is_closed cfg.Step.expr)
+  | Error _ -> Alcotest.fail "let should step");
+  (* binders still shadow: no substitution under a binder for [x] *)
+  let shadowed = Val (Rec_fun (Some "f", "x", Var "x")) in
+  Alcotest.(check bool)
+    "shadowed binder untouched" true
+    (subst "x" Unit shadowed = shadowed)
+
 let steps_preserve_closed_prop =
   QCheck_alcotest.to_alcotest
     (Q.Test.make ~count:300 ~name:"steps preserve closedness"
@@ -365,5 +387,7 @@ let suite =
     determinism_prop;
     decompose_fill_prop;
     subst_closed_prop;
+    Alcotest.test_case "substitution reaches closure-value bodies" `Quick
+      test_subst_into_closure_value;
     steps_preserve_closed_prop;
   ]

@@ -533,6 +533,73 @@ let e15 () =
   | [] -> ()
 
 (* ------------------------------------------------------------------ *)
+(* E16 — machine throughput: frame stack vs decompose/fill per step    *)
+(* ------------------------------------------------------------------ *)
+
+(* Steps/second of the frame-stack machine against a loop over the
+   reference stepper on the same interp-heavy workloads (the library's
+   consumers all run on the machine now, so the reference loop lives
+   here).  Both runners execute to completion and must agree on the
+   step count — the wall-clock ratio is pure refocusing overhead. *)
+let e16 () =
+  section "E16  machine throughput: frame stack vs decompose/fill per step";
+  let reference (cfg : Shl.Step.config) =
+    let rec go c n =
+      match Shl.Step.prim_step c with
+      | Ok (c', _) -> go c' (n + 1)
+      | Error _ -> n
+    in
+    go cfg 0
+  in
+  let machine (cfg : Shl.Step.config) =
+    let rec go c n =
+      match Shl.Machine.prim_step c with
+      | Ok (c', _) -> go c' (n + 1)
+      | Error _ -> n
+    in
+    go (Shl.Machine.of_config cfg) 0
+  in
+  let time runner cfg =
+    let t0 = Obs.Trace.now_ns () in
+    let steps = runner cfg in
+    let t1 = Obs.Trace.now_ns () in
+    (steps, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+  in
+  let workloads =
+    let fib n =
+      ( Printf.sprintf "memo_fib(%d)" n,
+        Shl.Step.config (Shl.Ast.App (Shl.Prog.memo_of Shl.Prog.fib_template,
+                                      Shl.Ast.int_ n)) )
+    in
+    let lev a b =
+      (Printf.sprintf "memo_lev(%S,%S)" a b,
+       (Ref.Memo_spec.lev_instance a b).Ref.Memo_spec.target)
+    in
+    let eloop n m =
+      ( Printf.sprintf "event_loop(%d,%d)" n m,
+        Shl.Step.config (Term.Event_loop.reentrant_client ~n ~m) )
+    in
+    if !quick then [ fib 12; lev "cat" "hat"; eloop 6 6 ]
+    else [ fib 18; lev "kitten" "sitting"; eloop 20 20 ]
+  in
+  List.iter
+    (fun (label, cfg) ->
+      let ms, tm = time machine cfg in
+      let rs, tr = time reference cfg in
+      if ms <> rs then
+        row "  %-26s STEP-COUNT MISMATCH: machine %d vs reference %d\n" label
+          ms rs
+      else
+        row
+          "  %-26s %8d steps | machine %7.2f Msteps/s | reference %7.2f \
+           Msteps/s | %5.2fx\n"
+          label ms
+          (float_of_int ms /. tm /. 1e6)
+          (float_of_int rs /. tr /. 1e6)
+          (tr /. tm))
+    workloads
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -952,7 +1019,7 @@ let () =
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
       ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-      ("e15", e15);
+      ("e15", e15); ("e16", e16);
     ]
   in
   let records = List.map (fun (name, f) -> observe ~trials name f) experiments in

@@ -168,31 +168,89 @@ let with_explain explain f =
 
 (* ---- run ---- *)
 
+(* The same outcome/stats as Interp.exec, but looping over the reference
+   stepper's whole-program decompose/fill — kept for comparison against
+   the frame-stack machine the library runs on (--engine). *)
+let reference_exec ~fuel e : Shl.Interp.outcome * Shl.Interp.stats =
+  let rec go cfg n (pure, heap_s) =
+    match Shl.Step.prim_step cfg with
+    | Error Shl.Step.Finished -> (
+      match cfg.Shl.Step.expr with
+      | Shl.Ast.Val v -> (Shl.Interp.Value (v, cfg.Shl.Step.heap), (pure, heap_s))
+      | _ -> assert false)
+    | Error (Shl.Step.Stuck redex) ->
+      (Shl.Interp.Stuck (cfg, redex), (pure, heap_s))
+    | Ok (cfg', kind) ->
+      if n = 0 then (Shl.Interp.Out_of_fuel cfg, (pure, heap_s))
+      else
+        go cfg' (n - 1)
+          (if Shl.Step.kind_is_pure kind then (pure + 1, heap_s)
+           else (pure, heap_s + 1))
+  in
+  let outcome, (pure, heap_s) = go (Shl.Step.config e) fuel (0, 0) in
+  ( outcome,
+    {
+      Shl.Interp.steps = pure + heap_s;
+      pure_steps = pure;
+      heap_steps = heap_s;
+    } )
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("machine", `Machine); ("reference", `Reference);
+             ("lockstep", `Lockstep);
+           ])
+        `Machine
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: the frame-stack $(b,machine) (default), the \
+           $(b,reference) decompose/fill stepper, or $(b,lockstep) — run \
+           both side by side and report any observational disagreement \
+           (exit 2).")
+
 let run_cmd =
-  let action program fuel stats =
+  let action program fuel stats engine =
     let e = or_die (Result.bind program parse_program) in
-    match Shl.Interp.exec ~fuel e with
-    | Shl.Interp.Value (v, _), st ->
-      Format.printf "%s@." (Shl.Pretty.value_to_string v);
-      if stats then
-        Format.printf "steps: %d (pure %d, heap %d)@." st.Shl.Interp.steps
-          st.Shl.Interp.pure_steps st.Shl.Interp.heap_steps;
-      0
-    | Shl.Interp.Stuck (_, redex), st ->
-      Format.eprintf "stuck after %d steps on: %s@." st.Shl.Interp.steps
-        (Shl.Pretty.expr_to_string redex);
-      1
-    | Shl.Interp.Out_of_fuel _, _ ->
-      Format.eprintf "out of fuel (%d steps)@." fuel;
-      1
+    match engine with
+    | `Lockstep -> (
+      let o = Shl.Machine.lockstep ~fuel e in
+      Format.printf "%a@." Shl.Machine.pp_lockstep o;
+      match o with
+      | Shl.Machine.Agree_value _ -> 0
+      | Shl.Machine.Agree_stuck _ | Shl.Machine.Agree_out_of_fuel _ -> 1
+      | Shl.Machine.Disagree _ -> 2)
+    | (`Machine | `Reference) as engine -> (
+      let exec =
+        match engine with
+        | `Machine -> fun e -> Shl.Interp.exec ~fuel e
+        | `Reference -> fun e -> reference_exec ~fuel e
+      in
+      match exec e with
+      | Shl.Interp.Value (v, _), st ->
+        Format.printf "%s@." (Shl.Pretty.value_to_string v);
+        if stats then
+          Format.printf "steps: %d (pure %d, heap %d)@." st.Shl.Interp.steps
+            st.Shl.Interp.pure_steps st.Shl.Interp.heap_steps;
+        0
+      | Shl.Interp.Stuck (_, redex), st ->
+        Format.eprintf "stuck after %d steps on: %s@." st.Shl.Interp.steps
+          (Shl.Pretty.expr_to_string redex);
+        1
+      | Shl.Interp.Out_of_fuel _, _ ->
+        Format.eprintf "out of fuel (%d steps)@." fuel;
+        1)
   in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print step statistics.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an SHL program.")
     Term.(
-      const (fun () p f s -> Stdlib.exit (action p f s))
-      $ obs_term $ program_term $ fuel_arg $ stats)
+      const (fun () p f s g -> Stdlib.exit (action p f s g))
+      $ obs_term $ program_term $ fuel_arg $ stats $ engine_arg)
 
 (* ---- stats ---- *)
 

@@ -319,10 +319,13 @@ type dyn_race = {
   k2 : dyn_kind;
 }
 
-let redex_access (e : expr) : (Ast.loc * dyn_kind) option =
-  match Ctx.decompose e with
-  | None -> None
-  | Some (_, redex) -> (
+(* The machine keeps each thread focused on its head redex, so the
+   next access is an O(1) view instead of a decompose per thread per
+   explored state. *)
+let redex_access (th : Machine.t) : (Ast.loc * dyn_kind) option =
+  match Machine.view th with
+  | Machine.V_value _ -> None
+  | Machine.V_redex redex -> (
     match redex with
     | Load (Val (Loc l)) -> Some (l, D_read)
     | Store (Val (Loc l), Val _) -> Some (l, D_write)
@@ -336,7 +339,7 @@ let redex_access (e : expr) : (Ast.loc * dyn_kind) option =
 let dynamic_races ?(max_states = 20_000) (e : expr) : dyn_race list =
   let seen = Hashtbl.create 256 in
   let out = Hashtbl.create 16 in
-  let key (c : Conc.cfg) = (c.Conc.threads, Heap.bindings c.Conc.heap) in
+  let key (c : Conc.cfg) = (Conc.thread_exprs c, Heap.bindings c.Conc.heap) in
   let q = Queue.create () in
   Queue.add (Conc.init e) q;
   Hashtbl.replace seen (key (Conc.init e)) ();

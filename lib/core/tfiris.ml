@@ -68,6 +68,7 @@ module Shl = struct
   module Heap = Tfiris_shl.Heap
   module Ctx = Tfiris_shl.Ctx
   module Step = Tfiris_shl.Step
+  module Machine = Tfiris_shl.Machine
   module Interp = Tfiris_shl.Interp
   module Lexer = Tfiris_shl.Lexer
   module Parser = Tfiris_shl.Parser

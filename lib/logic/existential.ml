@@ -28,26 +28,30 @@ let pp_verdict ppf = function
   | Witness n -> Format.fprintf ppf "witness n = %d" n
   | No_witness -> Format.pp_print_string ppf "valid \xe2\x88\x83 with no valid member"
 
-(** Search for a valid member of the family, in the given model. *)
-let find_witness ~valid_member ~bound (fam : Formula.family) =
+(** Search for a valid member of the family, in the given model.
+    [valid_member n] is consulted per index so the search can run on the
+    memoised member evaluators of {!Semantics}. *)
+let find_witness ~valid_member ~bound (_fam : Formula.family) =
   let rec go n =
-    if n >= bound then None
-    else if valid_member (fam.member n) then Some n
-    else go (n + 1)
+    if n >= bound then None else if valid_member n then Some n else go (n + 1)
   in
   go 0
 
 let check_trans ?(bound = 1024) fam =
   if not (Semantics.valid_trans (Exists_nat fam)) then Premise_invalid
   else
-    match find_witness ~valid_member:Semantics.valid_trans ~bound fam with
+    let valid_member n =
+      Height.valid (Semantics.eval_trans_member fam n)
+    in
+    match find_witness ~valid_member ~bound fam with
     | Some n -> Witness n
     | None -> No_witness
 
 let check_fin ?(bound = 1024) fam =
   if not (Semantics.valid_fin (Exists_nat fam)) then Premise_invalid
   else
-    match find_witness ~valid_member:Semantics.valid_fin ~bound fam with
+    let valid_member n = Fin_height.valid (Semantics.eval_fin_member fam n) in
+    match find_witness ~valid_member ~bound fam with
     | Some n -> Witness n
     | None -> No_witness
 

@@ -17,14 +17,46 @@ module Metrics = Tfiris_obs.Metrics
 let c_trans_nodes = Metrics.counter "logic.eval_trans.nodes"
 let c_fin_nodes = Metrics.counter "logic.eval_fin.nodes"
 
+(* Memoised family-member evaluations.  Family members are closed
+   formulas determined by the family's identity and the index, and
+   {!Formula.family_equal} already identifies families by (name, sup) —
+   so caching on (name, sup, index) is exactly as fine-grained as
+   formula equality itself.  This is where the node-count blowup lived:
+   every [sup_family] sample, every [inf_family] check, and every
+   witness-search probe re-evaluated members from scratch. *)
+let trans_member_cache : (string * string * int, Height.t) Hashtbl.t =
+  Hashtbl.create 256
+
+let fin_member_cache : (string * string * int, Fin_height.t) Hashtbl.t =
+  Hashtbl.create 256
+
+(* Backstop against unbounded growth on adversarial index streams. *)
+let cache_cap = 1 lsl 16
+
+let clear_member_caches () =
+  Hashtbl.reset trans_member_cache;
+  Hashtbl.reset fin_member_cache
+
+let memo_key (f : Formula.family) n =
+  (f.Formula.name, Ord.to_string f.Formula.sup, n)
+
+let memo cache key compute =
+  match Hashtbl.find_opt cache key with
+  | Some h -> h
+  | None ->
+    let h = compute () in
+    if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+    Hashtbl.add cache key h;
+    h
+
 (* The infimum of an ℕ-family is attained; the formula carries a witness
    index, validated against [samples] other members. *)
-let inf_family ~eval ~le (f : Formula.family) (w : int) =
+let inf_family ~eval_member ~le (f : Formula.family) (w : int) =
   let samples = 24 in
-  let hw = eval (f.Formula.member w) in
+  let hw = eval_member f w in
   let rec check n =
     if n >= samples then hw
-    else if le hw (eval (f.member n)) then check (n + 1)
+    else if le hw (eval_member f n) then check (n + 1)
     else
       raise
         (Height.Bad_family
@@ -47,8 +79,13 @@ let rec eval_trans (p : Formula.t) : Height.t =
   | Exists_fin ps -> Height.exists_fin (List.map eval_trans ps)
   | Forall_fin ps -> Height.forall_fin (List.map eval_trans ps)
   | Exists_nat f ->
-    Height.sup_family ~limit:f.Formula.sup (fun n -> eval_trans (f.member n))
-  | Forall_nat (f, w) -> inf_family ~eval:eval_trans ~le:Height.le f w
+    Height.sup_family ~limit:f.Formula.sup (eval_trans_member f)
+  | Forall_nat (f, w) ->
+    inf_family ~eval_member:eval_trans_member ~le:Height.le f w
+
+and eval_trans_member (f : Formula.family) (n : int) : Height.t =
+  memo trans_member_cache (memo_key f n) (fun () ->
+      eval_trans (f.Formula.member n))
 
 let rec eval_fin (p : Formula.t) : Fin_height.t =
   Metrics.incr c_fin_nodes;
@@ -67,8 +104,13 @@ let rec eval_fin (p : Formula.t) : Fin_height.t =
   | Exists_fin ps -> Fin_height.exists_fin (List.map eval_fin ps)
   | Forall_fin ps -> Fin_height.forall_fin (List.map eval_fin ps)
   | Exists_nat f ->
-    Fin_height.sup_family ~limit:f.Formula.sup (fun n -> eval_fin (f.member n))
-  | Forall_nat (f, w) -> inf_family ~eval:eval_fin ~le:Fin_height.le f w
+    Fin_height.sup_family ~limit:f.Formula.sup (eval_fin_member f)
+  | Forall_nat (f, w) ->
+    inf_family ~eval_member:eval_fin_member ~le:Fin_height.le f w
+
+and eval_fin_member (f : Formula.family) (n : int) : Fin_height.t =
+  memo fin_member_cache (memo_key f n) (fun () ->
+      eval_fin (f.Formula.member n))
 
 (** [⊨ P] in each model. *)
 let valid_trans p = Height.valid (eval_trans p)

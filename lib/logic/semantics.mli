@@ -10,6 +10,17 @@ module Fin_height = Tfiris_sprop.Fin_height
 val eval_trans : Formula.t -> Height.t
 val eval_fin : Formula.t -> Fin_height.t
 
+val eval_trans_member : Formula.family -> int -> Height.t
+(** Memoised evaluation of one family member.  Keyed on the family's
+    identity (name, sup) — the same identity {!Formula.family_equal}
+    uses — plus the index, so repeated samples of the same member
+    (sup/inf sampling, witness searches) evaluate it once. *)
+
+val eval_fin_member : Formula.family -> int -> Fin_height.t
+
+val clear_member_caches : unit -> unit
+(** Drop both member caches — for deterministic node-count tests. *)
+
 val valid_trans : Formula.t -> bool
 (** [⊨ P] transfinitely. *)
 

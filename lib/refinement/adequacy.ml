@@ -22,17 +22,17 @@ open Tfiris_shl
 (** Independent re-execution of the source, confirming the terminated
     verdict. *)
 let replay_result ~(source : Step.config) (v : Ast.value) ~fuel =
-  let rec go cfg n =
-    match cfg.Step.expr with
-    | Ast.Val v' -> Ast.value_eq v v' = Some true
-    | _ -> (
+  let rec go (cfg : Machine.config) n =
+    match Machine.view cfg.Machine.thread with
+    | Machine.V_value v' -> Ast.value_eq v v' = Some true
+    | Machine.V_redex _ -> (
       if n = 0 then false
       else
-        match Step.prim_step cfg with
+        match Machine.prim_step cfg with
         | Ok (cfg', _) -> go cfg' (n - 1)
         | Error (Step.Finished | Step.Stuck _) -> false)
   in
-  go source fuel
+  go (Machine.of_config source) fuel
 
 (** [divergence_transfer ~fuels ~target ~source strategy]: run the game
     at each fuel; all runs must be accepted ([Fuel_exhausted]) and the

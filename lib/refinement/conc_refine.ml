@@ -31,9 +31,9 @@ let sched_step (sched : Conc.scheduler) (sc : sched_config) :
     (sched_config, [ `Done of Ast.value | `Stuck of Ast.expr ]) result =
   match Conc.runnable sc.cfg with
   | [] -> (
-    match sc.cfg.Conc.threads with
-    | Ast.Val v :: _ -> Error (`Done v)
-    | _ -> Error (`Stuck Ast.unit_))
+    match Conc.main_value sc.cfg with
+    | Some v -> Error (`Done v)
+    | None -> Error (`Stuck Ast.unit_))
   | rs -> (
     let i = sched ~step_no:sc.step_no ~runnable:rs sc.cfg in
     match Conc.step_thread sc.cfg i with
@@ -134,12 +134,12 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
   in
   let count_source () =
     let rec go cfg n k =
-      match Step.prim_step cfg with
+      match Machine.prim_step cfg with
       | Error Step.Finished -> Some k
       | Error (Step.Stuck _) -> None
       | Ok (cfg', _) -> if n = 0 then None else go cfg' (n - 1) (k + 1)
     in
-    go (Step.config source) fuel 0
+    go (Machine.config source) fuel 0
   in
   match count_target (), count_source () with
   | None, _ | _, None ->
@@ -157,22 +157,22 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
         stutter_run := 0
       end
     in
-    let rec go tgt (src : Step.config) budget st n =
+    let rec go tgt (src : Machine.config) budget st n =
       match Conc.runnable tgt.cfg with
       | [] -> (
-        match tgt.cfg.Conc.threads with
-        | Ast.Val v :: _ -> (
+        match Conc.main_value tgt.cfg with
+        | Some v -> (
           (* drain the source *)
           let rec drain cfg k extra =
-            match Step.prim_step cfg with
+            match Machine.prim_step cfg with
             | Error Step.Finished -> (
-              match cfg.Step.expr with
-              | Ast.Val v' ->
+              match Machine.view cfg.Machine.thread with
+              | Machine.V_value v' ->
                 if Ast.value_eq v v' = Some true then
                   Accepted
                     (v, { st with source_steps = st.source_steps + extra })
                 else reject "value_mismatch" "value mismatch" st
-              | _ -> reject "source_stuck" "source stuck" st)
+              | Machine.V_redex _ -> reject "source_stuck" "source stuck" st)
             | Error (Step.Stuck _) -> reject "source_stuck" "source stuck" st
             | Ok (cfg', _) ->
               if k = 0 then
@@ -180,7 +180,7 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
               else drain cfg' (k - 1) (extra + 1)
           in
           drain src fuel 0)
-        | _ -> reject "non_value_terminal" "non-value terminal state" st)
+        | None -> reject "non_value_terminal" "non-value terminal state" st)
       | _ -> (
         if n = 0 then Still_running st
         else
@@ -196,7 +196,7 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
               let rec adv cfg k =
                 if k = 0 then Some cfg
                 else
-                  match Step.prim_step cfg with
+                  match Machine.prim_step cfg with
                   | Ok (cfg', _) -> adv cfg' (k - 1)
                   | Error _ -> None
               in
@@ -208,13 +208,17 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
                       ("src_steps", Trace.I (want - had));
                     ];
               flush_stutter_run ();
-              record ring ~step:st.target_steps ~label:"advance"
-                [
-                  ("src_steps", Json.Int (want - had));
-                  ( "source",
-                    Json.Str
-                      (Forensics.trunc (Pretty.expr_to_string src.Step.expr)) );
-                ];
+              (match ring with
+              | None -> ()
+              | Some _ ->
+                record ring ~step:st.target_steps ~label:"advance"
+                  [
+                    ("src_steps", Json.Int (want - had));
+                    ( "source",
+                      Json.Str
+                        (Forensics.trunc
+                           (Pretty.expr_to_string (Machine.plug src.Machine.thread))) );
+                  ]);
               match adv src (want - had) with
               | Some src' ->
                 go tgt' src' (Ord.of_int t_total)
@@ -241,7 +245,7 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
     let v =
       go
         { cfg = Conc.init target; step_no = 0 }
-        (Step.config source)
+        (Machine.config source)
         (Ord.of_int (t_total + 1))
         { target_steps = 0; source_steps = 0; stutters = 0 }
         fuel

@@ -121,31 +121,36 @@ let rec is_ground (v : Ast.value) =
   | Ast.Inj_l v | Ast.Inj_r v -> is_ground v
   | Ast.Rec_fun _ -> false
 
+(* Both sides run on the frame-stack machine; whole [Step.config]s are
+   materialised only where the public API demands them (strategy
+   decisions, forensic frames, rejection payloads).  Advance batches and
+   the final drain in particular never plug. *)
+
 (** Run the source for [k] steps. *)
-let src_advance (cfg : Step.config) k :
-    (Step.config, reject_reason) result =
+let src_advance (cfg : Machine.config) k :
+    (Machine.config, reject_reason) result =
   let rec go cfg k =
     if k = 0 then Ok cfg
     else
-      match Step.prim_step cfg with
+      match Machine.prim_step cfg with
       | Ok (cfg', _) -> go cfg' (k - 1)
       | Error Step.Finished -> (
-        match cfg.Step.expr with
-        | Ast.Val v -> Error (Source_finished_early v)
-        | _ -> Error (Source_stuck cfg))
-      | Error (Step.Stuck _) -> Error (Source_stuck cfg)
+        match Machine.view cfg.Machine.thread with
+        | Machine.V_value v -> Error (Source_finished_early v)
+        | Machine.V_redex _ -> Error (Source_stuck (Machine.to_config cfg)))
+      | Error (Step.Stuck _) -> Error (Source_stuck (Machine.to_config cfg))
   in
   go cfg k
 
 (** Drain the source to a value once the target has terminated. *)
-let src_drain ~fuel (cfg : Step.config) =
+let src_drain ~fuel (cfg : Machine.config) =
   let rec go cfg n k =
-    match Step.prim_step cfg with
+    match Machine.prim_step cfg with
     | Error Step.Finished -> (
-      match cfg.Step.expr with
-      | Ast.Val v -> Ok (v, k)
-      | _ -> Error (Source_stuck cfg))
-    | Error (Step.Stuck _) -> Error (Source_stuck cfg)
+      match Machine.view cfg.Machine.thread with
+      | Machine.V_value v -> Ok (v, k)
+      | Machine.V_redex _ -> Error (Source_stuck (Machine.to_config cfg)))
+    | Error (Step.Stuck _) -> Error (Source_stuck (Machine.to_config cfg))
     | Ok (cfg', _) ->
       if n = 0 then Error Source_did_not_terminate else go cfg' (n - 1) (k + 1)
   in
@@ -307,9 +312,13 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
     | None -> ());
     d
   in
-  let rec go (t : Step.config) (src : Step.config) budget stats n =
-    match t.Step.expr with
-    | Ast.Val v ->
+  (* [src_conf] memoises the plugged source configuration: the source
+     only moves on an advance, so one materialisation serves a whole
+     stutter run of decisions. *)
+  let rec go (t : Machine.config) (src : Machine.config)
+      (src_conf : Step.config Lazy.t) budget stats n =
+    match Machine.view t.Machine.thread with
+    | Machine.V_value v ->
       if not (is_ground v) then Rejected (Result_not_ground v, stats)
       else (
         match src_drain ~fuel src with
@@ -319,21 +328,23 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
           match Ast.value_eq v v' with
           | Some true -> Accepted (Terminated v, stats)
           | Some false | None -> Rejected (Value_mismatch (v, v'), stats)))
-    | _ ->
+    | Machine.V_redex _ ->
       if n = 0 then Accepted (Fuel_exhausted, stats)
       else (
-        match Step.prim_step t with
+        match Machine.prim_step t with
         | Error (Step.Stuck redex) -> Rejected (Target_stuck redex, stats)
         | Error Step.Finished -> assert false
         | Ok (t', _) -> (
           let stats = { stats with target_steps = stats.target_steps + 1 } in
           match
-            decide ~step_no:stats.target_steps ~target:t' ~source:src ~budget
+            decide ~step_no:stats.target_steps
+              ~target:(Machine.to_config t')
+              ~source:(Lazy.force src_conf) ~budget
           with
           | Stutter b' ->
             if Ord.lt b' budget then begin
               incr stutter_run;
-              go t' src b'
+              go t' src src_conf b'
                 { stats with stutters = stats.stutters + 1 }
                 (n - 1)
             end
@@ -346,7 +357,9 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
               | Ok src' ->
                 flush_stutter_run ();
                 Metrics.observe_int h_advance_batch src_steps;
-                go t' src' b'
+                go t' src'
+                  (lazy (Machine.to_config src'))
+                  b'
                   {
                     stats with
                     source_steps = stats.source_steps + src_steps;
@@ -354,12 +367,15 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
                   }
                   (n - 1))))
   in
+  let source_m = Machine.of_config source in
+  let target_m = Machine.of_config target in
+  let src_conf0 = lazy (Machine.to_config source_m) in
   let verdict =
     if Trace.on () then
       Trace.with_span "driver.run"
         ~attrs:[ ("strategy", Trace.S s.name); ("fuel", Trace.I fuel) ]
-        (fun () -> go target source init_budget zero_stats fuel)
-    else go target source init_budget zero_stats fuel
+        (fun () -> go target_m source_m src_conf0 init_budget zero_stats fuel)
+    else go target_m source_m src_conf0 init_budget zero_stats fuel
   in
   flush_stutter_run ();
   (match (ring, verdict) with

@@ -63,13 +63,16 @@ let stutter_only (b0 : Ord.t) : Driver.strategy =
 let oracle ?(fuel = 10_000_000) ~(target : Step.config)
     ~(source : Step.config) () : Driver.strategy option =
   let count cfg =
+    (* the pre-runs go through the frame-stack machine: on deep-context
+       programs (exactly the memoization targets) the reference
+       stepper's per-step decompose/fill is quadratic *)
     let rec go cfg n k =
-      match Step.prim_step cfg with
+      match Machine.prim_step cfg with
       | Error Step.Finished -> Some k
       | Error (Step.Stuck _) -> None
       | Ok (cfg', _) -> if n = 0 then None else go cfg' (n - 1) (k + 1)
     in
-    go cfg fuel 0
+    go (Machine.of_config cfg) fuel 0
   in
   match count target, count source with
   | Some t_total, Some s_total when t_total > 0 ->

@@ -51,21 +51,24 @@ let monitor ?(fuel = 1_000_000) ~(pool : pool) (cfg : Step.config) :
     List.find_opt (fun (name, _) -> not (holds pool name h)) pool
     |> Option.map (fun (name, _) -> { step; name })
   in
-  let rec go cfg n k =
-    match check_all k cfg.Step.heap with
+  (* The run goes through the frame-stack machine; only the boundary
+     outcomes (out of fuel, stuck) materialise a whole [Step.config]. *)
+  let rec go (cfg : Machine.config) n k =
+    match check_all k cfg.Machine.heap with
     | Some v -> Error v
     | None -> (
-      if n = 0 then Ok (Interp.Out_of_fuel cfg)
+      if n = 0 then Ok (Interp.Out_of_fuel (Machine.to_config cfg))
       else
-        match Step.prim_step cfg with
+        match Machine.prim_step cfg with
         | Error Step.Finished -> (
-          match cfg.Step.expr with
-          | Ast.Val v -> Ok (Interp.Value (v, cfg.Step.heap))
-          | _ -> assert false)
-        | Error (Step.Stuck redex) -> Ok (Interp.Stuck (cfg, redex))
+          match Machine.view cfg.Machine.thread with
+          | Machine.V_value v -> Ok (Interp.Value (v, cfg.Machine.heap))
+          | Machine.V_redex _ -> assert false)
+        | Error (Step.Stuck redex) ->
+          Ok (Interp.Stuck (Machine.to_config cfg, redex))
         | Ok (cfg', _) -> go cfg' (n - 1) (k + 1))
   in
-  go cfg fuel 0
+  go (Machine.of_config cfg) fuel 0
 
 (** [preserved ~fuel ~pool cfg]: the run completes to a value with every
     invariant holding throughout. *)

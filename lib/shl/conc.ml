@@ -21,52 +21,62 @@
 open Ast
 
 type cfg = {
-  threads : expr list;  (** thread 0 is the main thread *)
+  threads : Machine.t list;  (** thread 0 is the main thread *)
   heap : Heap.t;
 }
 
-let init ?(heap = Heap.empty) (e : expr) : cfg = { threads = [ e ]; heap }
+let init ?(heap = Heap.empty) (e : expr) : cfg =
+  { threads = [ Machine.inject e ]; heap }
+
+let thread_exprs (c : cfg) : expr list = List.map Machine.plug c.threads
+
+(** The main thread's value, once it has one. *)
+let main_value (c : cfg) : value option =
+  match c.threads with
+  | th :: _ -> (
+    match Machine.view th with
+    | Machine.V_value v -> Some v
+    | Machine.V_redex _ -> None)
+  | [] -> None
 
 type thread_step =
   | T_progress of cfg
   | T_value  (** the thread is already a value (no step taken) *)
   | T_stuck of expr
 
-(** Step thread [i] once.  A [fork e'] redex spawns a new thread at the
-    end of the pool and fills the hole with [()]. *)
+let set_thread (c : cfg) (i : int) (th : Machine.t) : Machine.t list =
+  List.mapi (fun j t -> if j = i then th else t) c.threads
+
+(** Step thread [i] once.  Each thread carries its own frame stack, so
+    a scheduling step costs one head step plus O(1) refocusing — the
+    scheduler no longer re-decomposes every thread it touches.  A
+    [fork e'] redex spawns a new thread at the end of the pool and
+    fills the hole with [()]. *)
 let step_thread (c : cfg) (i : int) : thread_step =
   match List.nth_opt c.threads i with
   | None -> T_stuck (Val Unit)
-  | Some e -> (
-    if is_value e then T_value
-    else
-      match Ctx.decompose e with
-      | None -> T_value
-      | Some (k, Fork body) ->
-        let e' = Ctx.fill k unit_ in
-        T_progress
-          {
-            threads =
-              List.mapi (fun j t -> if j = i then e' else t) c.threads
-              @ [ body ];
-            heap = c.heap;
-          }
-      | Some (_, redex) -> (
-        match Step.head_step c.heap redex with
-        | Some (r', h', _) ->
-          let k, _ = Option.get (Ctx.decompose e) in
-          T_progress
-            {
-              threads =
-                List.mapi (fun j t -> if j = i then Ctx.fill k r' else t) c.threads;
-              heap = h';
-            }
-        | None -> T_stuck redex))
+  | Some th -> (
+    match Machine.step_fork th with
+    | Some (body, th') ->
+      T_progress
+        {
+          threads = set_thread c i th' @ [ Machine.inject body ];
+          heap = c.heap;
+        }
+    | None -> (
+      match Machine.step c.heap th with
+      | Machine.Final _ -> T_value
+      | Machine.Stuck_redex redex -> T_stuck redex
+      | Machine.Stepped (th', h', _) ->
+        T_progress { threads = set_thread c i th'; heap = h' }))
 
 (** Threads that can currently take a step. *)
 let runnable (c : cfg) : int list =
-  List.mapi (fun i e -> (i, e)) c.threads
-  |> List.filter_map (fun (i, e) -> if is_value e then None else Some i)
+  List.mapi (fun i th -> (i, th)) c.threads
+  |> List.filter_map (fun (i, th) ->
+         match Machine.view th with
+         | Machine.V_value _ -> None
+         | Machine.V_redex _ -> Some i)
 
 type outcome =
   | All_done of value * Heap.t  (** main thread's value; all threads finished *)
@@ -96,9 +106,9 @@ let run_stats ?(fuel = 1_000_000) ~(sched : scheduler) (c : cfg) :
   let rec go c n step_no =
     match runnable c with
     | [] -> (
-      match c.threads with
-      | Val v :: _ -> (All_done (v, c.heap), step_no)
-      | _ -> assert false)
+      match main_value c with
+      | Some v -> (All_done (v, c.heap), step_no)
+      | None -> assert false)
     | rs -> (
       if n = 0 then (Out_of_fuel c, step_no)
       else
@@ -124,8 +134,20 @@ type exploration = {
   states : int;  (** distinct configurations visited *)
 }
 
+(** Canonical visited-set key.  Keying the table on raw [cfg] values is
+    wrong: [Heap.t] is an AVL map (plus an allocation counter), so
+    semantically equal heaps built in different insertion orders have
+    different tree shapes and hash/compare unequal — the exhaustive
+    oracle then re-explores states it has already seen.
+    [Heap.bindings] is sorted and [Machine.plug] rebuilds the program
+    text, so equal states collide exactly. *)
+let canon_key (c : cfg) : (expr list * (loc * value) list) =
+  (thread_exprs c, Heap.bindings c.heap)
+
 let explore ?(max_states = 200_000) (c : cfg) : exploration =
-  let visited : (cfg, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let visited : (expr list * (loc * value) list, unit) Hashtbl.t =
+    Hashtbl.create 1024
+  in
   let finals = ref [] in
   let stucks = ref [] in
   let capped = ref false in
@@ -135,23 +157,24 @@ let explore ?(max_states = 200_000) (c : cfg) : exploration =
   in
   let queue = Queue.create () in
   Queue.add c queue;
-  Hashtbl.replace visited c ();
+  Hashtbl.replace visited (canon_key c) ();
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
     match runnable c with
     | [] -> (
-      match c.threads with
-      | Val v :: _ -> add_final (v, c.heap)
-      | _ -> ())
+      match main_value c with
+      | Some v -> add_final (v, c.heap)
+      | None -> ())
     | rs ->
       List.iter
         (fun i ->
           match step_thread c i with
           | T_progress c' ->
-            if not (Hashtbl.mem visited c') then
+            let k = canon_key c' in
+            if not (Hashtbl.mem visited k) then
               if Hashtbl.length visited >= max_states then capped := true
               else begin
-                Hashtbl.replace visited c' ();
+                Hashtbl.replace visited k ();
                 Queue.add c' queue
               end
           | T_value -> ()

@@ -10,11 +10,21 @@
 open Ast
 
 type cfg = {
-  threads : expr list;  (** thread 0 is the main thread *)
+  threads : Machine.t list;
+      (** thread 0 is the main thread; each thread carries its own
+          frame stack ({!Machine.t}) so scheduling steps never
+          re-decompose the thread's program *)
   heap : Heap.t;
 }
 
 val init : ?heap:Heap.t -> expr -> cfg
+
+val thread_exprs : cfg -> expr list
+(** The threads as whole programs (plugged) — canonical form for keys
+    and debugging; O(frame-stack depth) each. *)
+
+val main_value : cfg -> value option
+(** The main thread's value, once it has one. *)
 
 type thread_step =
   | T_progress of cfg
@@ -52,7 +62,10 @@ type exploration = {
 
 val explore : ?max_states:int -> cfg -> exploration
 (** All interleavings, by memoized reachability over configurations
-    (finite for the spin-loop programs here). *)
+    (finite for the spin-loop programs here).  The visited set is keyed
+    on a canonical form — plugged thread programs plus sorted heap
+    bindings — so states whose heaps were built in different insertion
+    orders are recognised as equal. *)
 
 (** {1 Classic concurrent programs} *)
 

@@ -2,42 +2,52 @@
 
     Allocation is deterministic (next unused location) so that whole
     executions are reproducible and source/target runs can be compared
-    step by step. *)
+    step by step.
+
+    The map carries a next-location counter so [fresh] is O(1) instead
+    of a [max_binding] walk per allocation — the allocation hot path of
+    the frame-stack machine ({!Machine}) and the reference stepper alike.
+    The counter is an upper bound maintained by every constructor:
+    [next > l] for every bound location [l].  It never decreases (in
+    particular [diff] keeps it), which preserves the invariant and keeps
+    allocation deterministic along an execution; observational equality
+    ({!equal}) compares bindings only. *)
 
 module M = Map.Make (Int)
 
-type t = Ast.value M.t
+type t = {
+  map : Ast.value M.t;
+  next : int;  (** strictly above every bound location *)
+}
 
-let empty : t = M.empty
-let lookup l (h : t) = M.find_opt l h
-let store l v (h : t) : t = M.add l v h
-let mem l (h : t) = M.mem l h
-let size (h : t) = M.cardinal h
-let bindings (h : t) = M.bindings h
+let empty : t = { map = M.empty; next = 0 }
+let lookup l (h : t) = M.find_opt l h.map
 
-let fresh (h : t) =
-  match M.max_binding_opt h with None -> 0 | Some (l, _) -> l + 1
+let store l v (h : t) : t =
+  { map = M.add l v h.map; next = Stdlib.max h.next (l + 1) }
+
+let mem l (h : t) = M.mem l h.map
+let size (h : t) = M.cardinal h.map
+let bindings (h : t) = M.bindings h.map
+let fresh (h : t) = h.next
 
 (** [alloc v h] returns the fresh location and the extended heap. *)
 let alloc v (h : t) =
-  let l = fresh h in
-  (l, M.add l v h)
+  let l = h.next in
+  (l, { map = M.add l v h.map; next = l + 1 })
 
 (** [alloc_block vs h] lays out the values [vs] at consecutive
     locations, returning the first one — used to build the
     null-terminated strings of the Levenshtein case study. *)
 let alloc_block vs (h : t) =
-  let l0 = fresh h in
-  let h =
-    List.fold_left
-      (fun (h, l) v -> (M.add l v h, l + 1))
-      (h, l0) vs
-    |> fst
+  let l0 = h.next in
+  let map, next =
+    List.fold_left (fun (m, l) v -> (M.add l v m, l + 1)) (h.map, l0) vs
   in
-  (l0, h)
+  (l0, { map; next })
 
 let equal (a : t) (b : t) =
-  M.equal (fun v1 v2 -> Ast.value_eq v1 v2 = Some true) a b
+  M.equal (fun v1 v2 -> Ast.value_eq v1 v2 = Some true) a.map b.map
 
 (** [disjoint_union a b]: the union of two heaps with disjoint domains,
     or [None] on overlap — heap composition in the separation-logic
@@ -49,18 +59,20 @@ let disjoint_union (a : t) (b : t) : t option =
       (fun _ _ _ ->
         clash := true;
         None)
-      a b
+      a.map b.map
   in
-  if !clash then None else Some merged
+  if !clash then None
+  else Some { map = merged; next = Stdlib.max a.next b.next }
 
 (** [subheap a b]: every binding of [a] occurs in [b]. *)
 let subheap (a : t) (b : t) : bool =
   M.for_all
     (fun l v ->
-      match M.find_opt l b with
+      match M.find_opt l b.map with
       | Some v' -> Ast.value_eq v v' = Some true || v = v'
       | None -> false)
-    a
+    a.map
 
 (** [diff b a]: remove [a]'s domain from [b]. *)
-let diff (b : t) (a : t) : t = M.filter (fun l _ -> not (M.mem l a)) b
+let diff (b : t) (a : t) : t =
+  { b with map = M.filter (fun l _ -> not (M.mem l a.map)) b.map }

@@ -16,7 +16,8 @@ val size : t -> int
 val bindings : t -> (Ast.loc * Ast.value) list
 
 val fresh : t -> Ast.loc
-(** The next unused location (max + 1). *)
+(** The next unused location — an O(1) counter strictly above every
+    bound location, maintained by every heap constructor. *)
 
 val alloc : Ast.value -> t -> Ast.loc * t
 

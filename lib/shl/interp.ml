@@ -1,6 +1,10 @@
-(** Executing SHL programs: a fueled driver over {!Step.prim_step} with
-    step accounting and optional tracing.  This is the "run the target"
-    half of every experiment harness.
+(** Executing SHL programs: a fueled driver over the frame-stack
+    {!Machine} with step accounting and optional tracing.  This is the
+    "run the target" half of every experiment harness.  The machine is
+    observationally identical to {!Step.prim_step} (differentially
+    tested), so the outcomes below are still stated in terms of
+    {!Step.config}; whole configurations are only materialised at run
+    boundaries, never per step.
 
     Step accounting feeds the {!Tfiris_obs} metrics registry: the
     per-kind counters ([shl.interp.steps.*]) are bumped once per run
@@ -87,25 +91,23 @@ let publish (c : counts) (outcome : outcome) : stats =
 let exec ?(fuel = 1_000_000) ?(heap = Heap.empty) (e : expr) :
     outcome * stats =
   let counts = fresh_counts () in
-  let rec go (cfg : Step.config) n =
-    match Step.prim_step cfg with
-    | Error Step.Finished -> (
-      match cfg.expr with
-      | Val v -> Value (v, cfg.heap)
-      | _ -> assert false)
-    | Error (Step.Stuck redex) -> Stuck (cfg, redex)
-    | Ok (cfg', kind) ->
-      if n = 0 then Out_of_fuel cfg
+  let rec go (th : Machine.t) (h : Heap.t) n =
+    match Machine.step h th with
+    | Machine.Final v -> Value (v, h)
+    | Machine.Stuck_redex redex ->
+      Stuck ({ Step.expr = Machine.plug th; heap = h }, redex)
+    | Machine.Stepped (th', h', kind) ->
+      if n = 0 then Out_of_fuel { Step.expr = Machine.plug th; heap = h }
       else begin
         bump counts kind;
-        go cfg' (n - 1)
+        go th' h' (n - 1)
       end
   in
   let outcome =
     if Trace.on () then
       Trace.with_span "shl.exec" ~attrs:[ ("fuel", Trace.I fuel) ] (fun () ->
-          go { expr = e; heap } fuel)
-    else go { expr = e; heap } fuel
+          go (Machine.inject e) heap fuel)
+    else go (Machine.inject e) heap fuel
   in
   (outcome, publish counts outcome)
 
@@ -127,13 +129,16 @@ let steps_to_value ?fuel ?heap e =
     bound is exact: a program that terminates in exactly [fuel] steps
     yields its complete trace. *)
 let trace ?(fuel = 1000) ?(heap = Heap.empty) (e : expr) : Step.config list =
-  let rec go cfg acc n =
-    match Step.prim_step cfg with
+  (* Tracing materialises a whole configuration per step by design —
+     the trace *is* the list of plugged configurations. *)
+  let rec go (c : Machine.config) acc n =
+    let cfg = Machine.to_config c in
+    match Machine.prim_step c with
     | Error (Step.Finished | Step.Stuck _) -> List.rev (cfg :: acc)
-    | Ok (cfg', _) ->
-      if n = 0 then List.rev (cfg :: acc) else go cfg' (cfg :: acc) (n - 1)
+    | Ok (c', _) ->
+      if n = 0 then List.rev (cfg :: acc) else go c' (cfg :: acc) (n - 1)
   in
-  go { Step.expr = e; heap } [] fuel
+  go (Machine.config ~heap e) [] fuel
 
 (** [diverges_beyond n e]: [e] runs for {e more than} [n] steps without
     finishing — the bounded, executable face of "e diverges".  (True

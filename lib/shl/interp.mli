@@ -1,4 +1,5 @@
-(** Executing SHL programs: a fueled driver over {!Step.prim_step} with
+(** Executing SHL programs: a fueled driver over the frame-stack
+    {!Machine} (observationally identical to {!Step.prim_step}) with
     step accounting and tracing — the "run the target" half of every
     experiment harness. *)
 

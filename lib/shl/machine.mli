@@ -1,0 +1,84 @@
+(** Frame-stack (CEK-style) execution engine for SHL.
+
+    Keeps the CBV decomposition [K[e]] as machine state, so one step is
+    one head step plus O(1) amortised refocusing — no whole-program
+    {!Ctx.decompose}/{!Ctx.fill} per step.  Observationally identical to
+    {!Step.prim_step}: same step count, same {!Step.kind} per step, same
+    final value and heap, same stuck redex; {!lockstep} checks this
+    online and the differential property suite checks it on random
+    programs. *)
+
+type t = private {
+  focus : Ast.expr;
+  ctx : Ctx.t;
+}
+(** A machine thread: the focused expression and its surrounding frame
+    stack, heap kept separate so concurrent threads can share one.
+    Normalised: [focus] is either a head redex, or a value with empty
+    [ctx]. *)
+
+type view =
+  | V_value of Ast.value  (** the whole thread is this value *)
+  | V_redex of Ast.expr  (** the head redex in focus *)
+
+val inject : Ast.expr -> t
+(** Focus an arbitrary expression (O(depth of the leftmost redex)). *)
+
+val plug : t -> Ast.expr
+(** Rebuild the whole program — O(context depth).  Run boundaries and
+    strategy callbacks only, never the per-step path. *)
+
+val view : t -> view
+(** What the thread is about to do — O(1). *)
+
+type step_result =
+  | Stepped of t * Heap.t * Step.kind
+  | Final of Ast.value  (** the thread is a value (no step taken) *)
+  | Stuck_redex of Ast.expr  (** the head redex cannot step *)
+
+val step : Heap.t -> t -> step_result
+(** One genuine head step of a thread in a heap; refocusing is
+    administrative and never counted. *)
+
+val step_fork : t -> (Ast.expr * t) option
+(** If the focus is a [fork body] redex: the spawned body and the parent
+    thread with the hole filled by [()].  Consumed only by the
+    {!Conc} scheduler — [fork] is not a sequential head step. *)
+
+(** {1 Whole-configuration driving} *)
+
+type config = {
+  thread : t;
+  heap : Heap.t;
+}
+(** Machine counterpart of {!Step.config}. *)
+
+val config : ?heap:Heap.t -> Ast.expr -> config
+val of_config : Step.config -> config
+val to_config : config -> Step.config
+
+val prim_step : config -> (config * Step.kind, Step.error) result
+(** Drop-in machine replacement for {!Step.prim_step}. *)
+
+(** {1 Differential (lockstep) mode} *)
+
+type mismatch = {
+  at_step : int;
+  what : string;  (** which observation disagreed *)
+}
+
+type lockstep_outcome =
+  | Agree_value of Ast.value * Heap.t * int
+      (** final value, final heap, steps taken *)
+  | Agree_stuck of Ast.expr * int  (** stuck redex, steps taken before *)
+  | Agree_out_of_fuel of int
+  | Disagree of mismatch
+
+val kind_eq : Step.kind -> Step.kind -> bool
+
+val lockstep : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> lockstep_outcome
+(** Run machine and reference stepper side by side, comparing plugged
+    expression, heap, and step kind after every step, and the outcome at
+    the end. *)
+
+val pp_lockstep : Format.formatter -> lockstep_outcome -> unit

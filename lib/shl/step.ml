@@ -58,9 +58,12 @@ let head_step (h : Heap.t) (e : expr) : (expr * Heap.t * kind) option =
   match e with
   | Rec (f, x, body) -> pure (Val (Rec_fun (f, x, body)))
   | App (Val (Rec_fun (f, x, body) as fv), Val v) ->
-    let body = subst x v body in
+    (* One simultaneous pass for named recursion instead of two
+       sequential ones — β is the hot path of every [rec] loop. *)
     let body =
-      match f with None -> body | Some fname -> subst fname fv body
+      match f with
+      | None -> subst x v body
+      | Some fname -> subst2 (x, v) (fname, fv) body
     in
     pure body
   | Un_op (op, Val v) ->

@@ -151,16 +151,20 @@ let run ~credits (s : strategy) (cfg : Step.config) : verdict =
     | None -> ());
     res
   in
-  let rec go cfg credit stats =
-    match cfg.Step.expr with
-    | Ast.Val v -> Terminated (v, credit, stats)
-    | _ -> (
-      match Step.prim_step cfg with
+  (* The program runs on the frame-stack machine; the whole
+     [Step.config] the strategy's [spend] is consulted on is
+     materialised per spend — the strategies genuinely inspect it
+     (e.g. [measured] reads the heap, [adaptive] re-runs the rest). *)
+  let rec go (cfg : Machine.config) credit stats =
+    match Machine.view cfg.Machine.thread with
+    | Machine.V_value v -> Terminated (v, credit, stats)
+    | Machine.V_redex _ -> (
+      match Machine.prim_step cfg with
       | Error (Step.Stuck redex) -> Rejected (Stuck redex, stats)
       | Error Step.Finished -> assert false
       | Ok (cfg', kind) -> (
         let step_no = stats.steps + 1 in
-        match spend ~step_no ~config:cfg' ~kind ~credit with
+        match spend ~step_no ~config:(Machine.to_config cfg') ~kind ~credit with
         | None -> Rejected (Gave_up, { stats with steps = step_no })
         | Some credit' ->
           if Ord.lt credit' credit then begin
@@ -194,8 +198,9 @@ let run ~credits (s : strategy) (cfg : Step.config) : verdict =
             ("strategy", Trace.S s.name);
             ("credits", Trace.S (Ord.to_string credits));
           ]
-        (fun () -> go cfg credits { steps = 0; limit_refinements = 0 })
-    else go cfg credits { steps = 0; limit_refinements = 0 }
+        (fun () ->
+          go (Machine.of_config cfg) credits { steps = 0; limit_refinements = 0 })
+    else go (Machine.of_config cfg) credits { steps = 0; limit_refinements = 0 }
   in
   (match (ring, verdict) with
   | Some rg, Rejected (r, st) ->
@@ -233,12 +238,12 @@ let countdown : strategy =
 (** Count the steps a configuration needs to terminate, within fuel. *)
 let remaining_steps ?(fuel = 10_000_000) (cfg : Step.config) : int option =
   let rec go cfg n k =
-    match Step.prim_step cfg with
+    match Machine.prim_step cfg with
     | Error Step.Finished -> Some k
     | Error (Step.Stuck _) -> None
     | Ok (cfg', _) -> if n = 0 then None else go cfg' (n - 1) (k + 1)
   in
-  go cfg fuel 0
+  go (Machine.of_config cfg) fuel 0
 
 (** Transfinite credits with dynamic instantiation: spend successor
     credit by decrementing; when the finite part is exhausted and a

@@ -186,6 +186,61 @@ let test_conc_refinement_divergence_rejected () =
   | CR.Accepted _ -> Alcotest.fail "diverging target certified!"
   | CR.Still_running _ | CR.Rejected _ -> ()
 
+(* ---------- the canonical visited-set key ---------- *)
+
+(* explore's visited set must key on a canonical form (plugged threads
+   + sorted heap bindings), not on raw configurations: Heap.t is an AVL
+   map, so equal heaps built in different insertion orders are
+   different trees and hash/compare unequal.  This test demonstrates
+   the raw-keying failure directly, then checks the explorer is immune:
+   the same program explored from the two representations of one heap
+   sees the same state space. *)
+let test_canonical_visited_key () =
+  let open Shl in
+  let build order =
+    List.fold_left (fun h l -> Heap.store l (Ast.Int l) h) Heap.empty order
+  in
+  let keys = [ 0; 1; 2; 3 ] in
+  let h_asc = build keys and h_desc = build (List.rev keys) in
+  Alcotest.(check bool) "same bindings" true
+    (Heap.bindings h_asc = Heap.bindings h_desc);
+  Alcotest.(check bool) "observationally equal" true (Heap.equal h_asc h_desc);
+  Alcotest.(check bool) "structurally distinct trees" true (h_asc <> h_desc);
+  let raw_keyed = Hashtbl.create 8 in
+  Hashtbl.replace raw_keyed h_asc ();
+  Alcotest.(check bool) "a raw-keyed table misses the equal heap" false
+    (Hashtbl.mem raw_keyed h_desc);
+  let store l n = Ast.Store (Ast.Val (Ast.Loc l), Ast.Val (Ast.Int n)) in
+  let prog = Ast.Seq (Ast.Fork (store 0 10), Ast.Seq (store 3 13, store 1 11)) in
+  let r_asc = Conc.explore (Conc.init ~heap:h_asc prog)
+  and r_desc = Conc.explore (Conc.init ~heap:h_desc prog) in
+  Alcotest.(check int) "same distinct-state count" r_asc.Conc.states
+    r_desc.Conc.states;
+  Alcotest.(check int) "same outcomes" 1 (List.length r_asc.Conc.final_values);
+  match (r_asc.Conc.final_values, r_desc.Conc.final_values) with
+  | [ (_, ha) ], [ (_, hd) ] ->
+    Alcotest.(check bool) "same final heap" true
+      (Shl.Heap.bindings ha = Shl.Heap.bindings hd)
+  | _ -> Alcotest.fail "expected a unique final heap on both sides"
+
+let test_interleaving_diamond_dedup () =
+  (* two threads store into distinct pre-existing cells: both orders
+     reach the same configuration, which must be visited once — the
+     state space is the 7-state diamond, not a tree of schedules *)
+  let open Shl in
+  let h0 = Heap.store 1 (Ast.Int 0) (Heap.store 0 (Ast.Int 0) Heap.empty) in
+  let store l n = Ast.Store (Ast.Val (Ast.Loc l), Ast.Val (Ast.Int n)) in
+  let prog = Ast.Seq (Ast.Fork (store 0 1), store 1 2) in
+  let r = Conc.explore (Conc.init ~heap:h0 prog) in
+  Alcotest.(check int) "one deduplicated final" 1
+    (List.length r.Conc.final_values);
+  (match r.Conc.final_values with
+  | [ (Ast.Unit, h) ] ->
+    Alcotest.(check bool) "both writes landed" true
+      (Heap.bindings h = [ (0, Ast.Int 1); (1, Ast.Int 2) ])
+  | _ -> Alcotest.fail "expected main to finish with ()");
+  Alcotest.(check int) "diamond, not a schedule tree" 7 r.Conc.states
+
 let suite =
   [
     Alcotest.test_case "racy counter loses updates" `Quick test_racy_counter;
@@ -211,4 +266,8 @@ let suite =
       test_conc_refinement_racy;
     Alcotest.test_case "conc TP-refinement: divergence rejected" `Quick
       test_conc_refinement_divergence_rejected;
+    Alcotest.test_case "explore keys states canonically" `Quick
+      test_canonical_visited_key;
+    Alcotest.test_case "explore dedups commuting interleavings" `Quick
+      test_interleaving_diamond_dedup;
   ]

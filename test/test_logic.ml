@@ -281,6 +281,43 @@ let exists_heights_prop =
          | Existential.No_witness -> false
          | Existential.Witness _ | Existential.Premise_invalid -> true))
 
+(* ---------- member memoization ---------- *)
+
+let test_member_memoization () =
+  (* Family members are memoized on (name, sup, index): re-evaluating a
+     quantified formula must hit the cache and interpret (almost) no
+     formula nodes — the node counter is the regression oracle. *)
+  let module M = Tfiris.Obs.Metrics in
+  S.clear_member_caches ();
+  M.reset ();
+  M.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled false;
+      M.reset ();
+      S.clear_member_caches ())
+    (fun () ->
+      let fml = F.Exists_nat F.later_bot_family in
+      let nodes () =
+        Option.value ~default:0
+          (M.counter_value (M.snapshot ()) "logic.eval_trans.nodes")
+      in
+      let first = ignore (S.eval_trans fml); nodes () in
+      let second = ignore (S.eval_trans fml); nodes () - first in
+      Alcotest.(check bool)
+        (Printf.sprintf "first evaluation interprets the members (%d nodes)"
+           first)
+        true (first > 20);
+      Alcotest.(check bool)
+        (Printf.sprintf "re-evaluation is cache hits (%d vs %d nodes)" first
+           second)
+        true
+        (second >= 1 && second * 10 <= first);
+      (* clearing the caches restores the full cost *)
+      S.clear_member_caches ();
+      let third = ignore (S.eval_trans fml); nodes () - first - second in
+      Alcotest.(check int) "cleared caches re-do the work" first third)
+
 let suite =
   [
     Alcotest.test_case "model agreement on simple formulas" `Quick
@@ -308,4 +345,6 @@ let suite =
         test_dilemma_transfinite;
       existential_property_prop;
       exists_heights_prop;
+      Alcotest.test_case "family members are memoized" `Quick
+        test_member_memoization;
     ]

@@ -7,6 +7,7 @@ let () =
       ("logic", Test_logic.suite);
       ("tauto", Test_tauto.suite);
       ("shl", Test_shl.suite);
+      ("machine", Test_machine.suite);
       ("safety", Test_safety.suite);
       ("types", Test_types.suite);
       ("concurrent", Test_conc.suite);

@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make verify` is the one-shot
 # pre-push check (build + tests + CLI smoke + quick bench + perf gate).
 
-.PHONY: all build test bench baseline verify clean
+.PHONY: all build test bench baseline chaos verify clean
 
 all: build
 
@@ -19,6 +19,11 @@ baseline:
 	dune exec bench/main.exe -- --quick --out=BENCH_obs.json \
 	  --save-baseline=BENCH_history/baseline-quick.json
 
+# Seeded fault-injection sweep; deterministic, so any failure is
+# reproducible from the seed printed in the report.
+chaos: build
+	dune exec bin/tfiris_cli.exe -- chaos --seeds=50 --out=CHAOS_report.json
+
 # The perf gate compares against a baseline usually recorded on a
 # different machine, so the threshold is deliberately loose (4x); use
 # `bench --compare` against a locally saved baseline (threshold 1.3x)
@@ -28,6 +33,7 @@ verify: build test
 	dune exec bin/tfiris_cli.exe -- analyze --fail-on=error examples/shl/*.shl
 	dune exec bin/tfiris_cli.exe -- profile --collapsed=PROFILE.collapsed -- \
 	  run examples/shl/memo_fib.shl
+	dune exec bin/tfiris_cli.exe -- chaos --seeds=10 --out=CHAOS_report.json
 	dune exec bench/main.exe -- --quick --out=BENCH_obs.json \
 	  --compare=BENCH_history/baseline-quick.json --threshold=4
 	@echo "verify: OK"

@@ -458,7 +458,9 @@ let e14 () =
          (List.map
             (fun (v, _) -> Shl.Pretty.value_to_string v)
             r.Conc.final_values))
-      (if r.Conc.capped then " CAPPED" else "")
+      (match r.Conc.exhausted with
+         | Some res -> Printf.sprintf " CAPPED(%s)" (Tfiris.Robust.Budget.resource_name res)
+         | None -> "")
       r.Conc.states
       (List.length r.Conc.stuck)
   in
@@ -597,6 +599,102 @@ let e16 () =
           (float_of_int ms /. tm /. 1e6)
           (float_of_int rs /. tr /. 1e6)
           (tr /. tm))
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* E17 — budget-meter overhead on the interpreter hot path             *)
+(* ------------------------------------------------------------------ *)
+
+(* The budget refactor replaced the drivers' bare [fuel - 1] integer
+   countdown with a [Robust.Budget.meter] charge on every step.  This
+   experiment isolates exactly that swap: two machine loops identical
+   except for the accounting — one decrements an int (the pre-refactor
+   style), one charges a fully-bounded four-resource meter (steps,
+   states, wall clock, heap cells all finite, so no fast path can skip
+   a check).  Each measurement replays the workload enough times to
+   get off the microsecond floor, and we keep the best of five. *)
+let e17 () =
+  section "E17  budget-meter overhead: int fuel countdown vs Budget.meter";
+  let module Budget = Robust.Budget in
+  let fueled (cfg : Shl.Step.config) =
+    let rec go c n fuel =
+      if fuel = 0 then n
+      else
+        match Shl.Machine.prim_step c with
+        | Ok (c', _) -> go c' (n + 1) (fuel - 1)
+        | Error _ -> n
+    in
+    go (Shl.Machine.of_config cfg) 0 max_int
+  in
+  let budget =
+    {
+      Budget.steps = Some max_int;
+      states = Some max_int;
+      wall_ms = Some 3_600_000;
+      heap_cells = Some max_int;
+    }
+  in
+  let metered (cfg : Shl.Step.config) =
+    let meter = Budget.meter budget in
+    let rec go c n =
+      if not (Budget.step meter) then n
+      else
+        match Shl.Machine.prim_step c with
+        | Ok (c', _) -> go c' (n + 1)
+        | Error _ -> n
+    in
+    go (Shl.Machine.of_config cfg) 0
+  in
+  let reps = if !quick then 60 else 20 in
+  (* best-of-5 over [reps] replays: the effect we are after is a few
+     percent, well under the run-to-run noise of a single replay *)
+  let time runner cfg =
+    let once () =
+      let t0 = Obs.Trace.now_ns () in
+      let steps = ref 0 in
+      for _ = 1 to reps do
+        steps := runner cfg
+      done;
+      let t1 = Obs.Trace.now_ns () in
+      (!steps, Int64.to_float (Int64.sub t1 t0) /. 1e9 /. float_of_int reps)
+    in
+    ignore (once ());
+    (* warm-up *)
+    let steps, t0 = once () in
+    let best = ref t0 in
+    for _ = 2 to 5 do
+      let _, t = once () in
+      if t < !best then best := t
+    done;
+    (steps, !best)
+  in
+  let workloads =
+    let fib n =
+      ( Printf.sprintf "memo_fib(%d)" n,
+        Shl.Step.config (Shl.Ast.App (Shl.Prog.memo_of Shl.Prog.fib_template,
+                                      Shl.Ast.int_ n)) )
+    in
+    let eloop n m =
+      ( Printf.sprintf "event_loop(%d,%d)" n m,
+        Shl.Step.config (Term.Event_loop.reentrant_client ~n ~m) )
+    in
+    if !quick then [ fib 15; eloop 12 12 ] else [ fib 18; eloop 20 20 ]
+  in
+  List.iter
+    (fun (label, cfg) ->
+      let fs, tf = time fueled cfg in
+      let ms, tm = time metered cfg in
+      if fs <> ms then
+        row "  %-26s STEP-COUNT MISMATCH: fueled %d vs metered %d\n" label fs
+          ms
+      else
+        row
+          "  %-26s %8d steps | fueled %7.2f Msteps/s | metered %7.2f \
+           Msteps/s | overhead %+5.1f%%\n"
+          label fs
+          (float_of_int fs /. tf /. 1e6)
+          (float_of_int ms /. tm /. 1e6)
+          ((tm /. tf -. 1.) *. 100.))
     workloads
 
 (* ------------------------------------------------------------------ *)
@@ -1019,7 +1117,7 @@ let () =
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
       ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-      ("e15", e15); ("e16", e16);
+      ("e15", e15); ("e16", e16); ("e17", e17);
     ]
   in
   let records = List.map (fun (name, f) -> observe ~trials name f) experiments in

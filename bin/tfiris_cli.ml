@@ -57,11 +57,39 @@ let or_die = function
     Format.eprintf "tfiris: %s@." m;
     exit 2
 
+(** Every subcommand action runs inside this: an exception that escapes
+    is classified by the structured-failure taxonomy and reported as a
+    one-line error (exit 2) rather than a backtrace (cmdliner's exit
+    125). *)
+let protect (f : unit -> int) : int =
+  match Robust.Failure.guard f with
+  | Ok code -> code
+  | Error fl ->
+    Format.eprintf "tfiris: %s@." (Robust.Failure.to_string fl);
+    2
+
 let fuel_arg =
   Arg.(
     value
     & opt int 10_000_000
     & info [ "fuel" ] ~docv:"N" ~doc:"Maximum number of steps.")
+
+let budget_conv =
+  Arg.conv ~docv:"SPEC"
+    ( (fun s ->
+        match Robust.Budget.parse s with
+        | Ok b -> Ok b
+        | Error m -> Error (`Msg m)),
+      Robust.Budget.pp )
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some budget_conv) None
+    & info [ "budget" ] ~docv:"SPEC"
+        ~doc:
+          "Resource budget: comma-separated steps:N, states:N, ms:N, \
+           cells:N (a bare N means steps:N). Overrides $(b,--fuel).")
 
 (* ---- observability flags (shared by every subcommand) ---- *)
 
@@ -171,8 +199,12 @@ let with_explain explain f =
 (* The same outcome/stats as Interp.exec, but looping over the reference
    stepper's whole-program decompose/fill — kept for comparison against
    the frame-stack machine the library runs on (--engine). *)
-let reference_exec ~fuel e : Shl.Interp.outcome * Shl.Interp.stats =
-  let rec go cfg n (pure, heap_s) =
+let reference_exec ?fuel ?budget e : Shl.Interp.outcome * Shl.Interp.stats =
+  let module Budget = Robust.Budget in
+  let m =
+    Budget.(meter (resolve ?fuel ?budget ~default_steps:10_000_000 ()))
+  in
+  let rec go cfg (pure, heap_s) =
     match Shl.Step.prim_step cfg with
     | Error Shl.Step.Finished -> (
       match cfg.Shl.Step.expr with
@@ -181,13 +213,14 @@ let reference_exec ~fuel e : Shl.Interp.outcome * Shl.Interp.stats =
     | Error (Shl.Step.Stuck redex) ->
       (Shl.Interp.Stuck (cfg, redex), (pure, heap_s))
     | Ok (cfg', kind) ->
-      if n = 0 then (Shl.Interp.Out_of_fuel cfg, (pure, heap_s))
+      if not (Budget.step m) then
+        (Shl.Interp.Out_of_fuel (Budget.tripped m, cfg), (pure, heap_s))
       else
-        go cfg' (n - 1)
+        go cfg'
           (if Shl.Step.kind_is_pure kind then (pure + 1, heap_s)
            else (pure, heap_s + 1))
   in
-  let outcome, (pure, heap_s) = go (Shl.Step.config e) fuel (0, 0) in
+  let outcome, (pure, heap_s) = go (Shl.Step.config e) (0, 0) in
   ( outcome,
     {
       Shl.Interp.steps = pure + heap_s;
@@ -213,11 +246,11 @@ let engine_arg =
            (exit 2).")
 
 let run_cmd =
-  let action program fuel stats engine =
+  let action program fuel budget stats engine =
     let e = or_die (Result.bind program parse_program) in
     match engine with
     | `Lockstep -> (
-      let o = Shl.Machine.lockstep ~fuel e in
+      let o = Shl.Machine.lockstep ~fuel ?budget e in
       Format.printf "%a@." Shl.Machine.pp_lockstep o;
       match o with
       | Shl.Machine.Agree_value _ -> 0
@@ -226,8 +259,8 @@ let run_cmd =
     | (`Machine | `Reference) as engine -> (
       let exec =
         match engine with
-        | `Machine -> fun e -> Shl.Interp.exec ~fuel e
-        | `Reference -> fun e -> reference_exec ~fuel e
+        | `Machine -> fun e -> Shl.Interp.exec ~fuel ?budget e
+        | `Reference -> fun e -> reference_exec ~fuel ?budget e
       in
       match exec e with
       | Shl.Interp.Value (v, _), st ->
@@ -240,8 +273,10 @@ let run_cmd =
         Format.eprintf "stuck after %d steps on: %s@." st.Shl.Interp.steps
           (Shl.Pretty.expr_to_string redex);
         1
-      | Shl.Interp.Out_of_fuel _, _ ->
-        Format.eprintf "out of fuel (%d steps)@." fuel;
+      | Shl.Interp.Out_of_fuel (r, _), st ->
+        Format.eprintf "out of %s budget (%d steps taken)@."
+          (Robust.Budget.resource_name r)
+          st.Shl.Interp.steps;
         1)
   in
   let stats =
@@ -249,8 +284,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an SHL program.")
     Term.(
-      const (fun () p f s g -> Stdlib.exit (action p f s g))
-      $ obs_term $ program_term $ fuel_arg $ stats $ engine_arg)
+      const (fun () p f b s g -> Stdlib.exit (protect (fun () -> action p f b s g)))
+      $ obs_term $ program_term $ fuel_arg $ budget_arg $ stats $ engine_arg)
 
 (* ---- stats ---- *)
 
@@ -264,7 +299,10 @@ let stats_cmd =
       Format.printf "value: %s@." (Shl.Pretty.value_to_string v)
     | Shl.Interp.Stuck (_, redex) ->
       Format.printf "stuck on: %s@." (Shl.Pretty.expr_to_string redex)
-    | Shl.Interp.Out_of_fuel _ -> Format.printf "out of fuel (%d steps)@." fuel);
+    | Shl.Interp.Out_of_fuel (r, _) ->
+      Format.printf "out of %s budget (%d steps)@."
+        (Robust.Budget.resource_name r)
+        st.Shl.Interp.steps);
     Format.printf "steps: %d (pure %d, heap %d)@." st.Shl.Interp.steps
       st.Shl.Interp.pure_steps st.Shl.Interp.heap_steps;
     print_metrics_snapshot ();
@@ -276,7 +314,7 @@ let stats_cmd =
          "Run an SHL program with metrics enabled and print the full \
           observability snapshot.")
     Term.(
-      const (fun () p f -> Stdlib.exit (action p f))
+      const (fun () p f -> Stdlib.exit (protect (fun () -> action p f)))
       $ obs_term $ program_term $ fuel_arg)
 
 (* ---- trace ---- *)
@@ -297,7 +335,7 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc:"Print the small-step trace of an SHL program.")
     Term.(
-      const (fun () p n -> Stdlib.exit (action p n))
+      const (fun () p n -> Stdlib.exit (protect (fun () -> action p n)))
       $ obs_term $ program_term $ steps)
 
 (* ---- analyze ---- *)
@@ -401,7 +439,8 @@ let analyze_cmd =
           intervals, termination measures, race detection) over SHL \
           programs.")
     Term.(
-      const (fun () e fs fmt fo po sk t -> Stdlib.exit (action e fs fmt fo po sk t))
+      const (fun () e fs fmt fo po sk t ->
+          Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t)))
       $ obs_term $ expr $ files $ fmt $ fail_on $ only $ skip $ timings)
 
 (* ---- check-term ---- *)
@@ -419,12 +458,12 @@ let parse_credit s =
     | _ -> Error (Printf.sprintf "cannot parse credit %S (try: 100, w, w*2, w^2, w^w)" s))
 
 let check_term_cmd =
-  let action program credit explain =
+  let action program credit budget explain =
     let e = or_die (Result.bind program parse_program) in
     let credits = or_die (parse_credit credit) in
     with_explain explain (fun () ->
         let v =
-          Termination.Wp.run ~credits (Termination.Wp.adaptive ())
+          Termination.Wp.run ?budget ~credits (Termination.Wp.adaptive ())
             (Shl.Step.config e)
         in
         Format.printf "%a@." Termination.Wp.pp_verdict v;
@@ -442,13 +481,13 @@ let check_term_cmd =
     (Cmd.info "check-term"
        ~doc:"Verify termination of an SHL program with transfinite time credits.")
     Term.(
-      const (fun () p c x -> Stdlib.exit (action p c x))
-      $ obs_term $ program_term $ credit $ explain_term)
+      const (fun () p c b x -> Stdlib.exit (protect (fun () -> action p c b x)))
+      $ obs_term $ program_term $ credit $ budget_arg $ explain_term)
 
 (* ---- refine ---- *)
 
 let refine_cmd =
-  let action target source fuel explain =
+  let action target source fuel budget explain =
     let parse_arg what = function
       | Some s -> parse_program s
       | None -> Error ("missing --" ^ what)
@@ -459,7 +498,9 @@ let refine_cmd =
     with_explain explain (fun () ->
         match Refinement.Strategy.oracle ~fuel ~target:tc ~source:sc () with
         | Some strat -> (
-          let v = Refinement.Driver.run ~fuel ~target:tc ~source:sc strat in
+          let v =
+            Refinement.Driver.run ~fuel ?budget ~target:tc ~source:sc strat
+          in
           Format.printf "%a@." Refinement.Driver.pp_verdict v;
           match v with
           | Refinement.Driver.Accepted _ -> 0
@@ -468,7 +509,7 @@ let refine_cmd =
           (* no oracle certificate: fall back to lockstep (handles the
              diverging/diverging case) *)
           let v =
-            Refinement.Driver.run ~fuel ~target:tc ~source:sc
+            Refinement.Driver.run ~fuel ?budget ~target:tc ~source:sc
               Refinement.Strategy.lockstep
           in
           Format.printf "(no oracle certificate; lockstep attempt)@.%a@."
@@ -493,8 +534,8 @@ let refine_cmd =
     (Cmd.info "refine"
        ~doc:"Check a termination-preserving refinement between two SHL programs.")
     Term.(
-      const (fun () t s f x -> Stdlib.exit (action t s f x))
-      $ obs_term $ target $ source $ fuel_arg $ explain_term)
+      const (fun () t s f b x -> Stdlib.exit (protect (fun () -> action t s f b x)))
+      $ obs_term $ target $ source $ fuel_arg $ budget_arg $ explain_term)
 
 (* ---- prove ---- *)
 
@@ -535,7 +576,7 @@ let prove_cmd =
   Cmd.v
     (Cmd.info "prove"
        ~doc:"Search for an intuitionistic proof (G4ip) and evaluate in both models.")
-    Term.(const (fun () s -> Stdlib.exit (action s)) $ obs_term $ goal)
+    Term.(const (fun () s -> Stdlib.exit (protect (fun () -> action s))) $ obs_term $ goal)
 
 (* ---- goodstein ---- *)
 
@@ -565,7 +606,7 @@ let goodstein_cmd =
     (Cmd.info "goodstein"
        ~doc:"Print a Goodstein sequence with its descending ordinal certificate.")
     Term.(
-      const (fun () n k -> Stdlib.exit (action n k))
+      const (fun () n k -> Stdlib.exit (protect (fun () -> action n k)))
       $ obs_term $ seed $ max_len)
 
 (* ---- hydra ---- *)
@@ -607,7 +648,7 @@ let hydra_cmd =
     (Cmd.info "hydra"
        ~doc:"Play the Kirby\xe2\x80\x93Paris hydra game to the death by ordinal descent.")
     Term.(
-      const (fun () w d r a -> Stdlib.exit (action w d r a))
+      const (fun () w d r a -> Stdlib.exit (protect (fun () -> action w d r a)))
       $ obs_term $ width $ depth $ regrow $ adversarial)
 
 (* ---- profile ---- *)
@@ -698,8 +739,48 @@ let profile_cmd =
          "Run a tfiris subcommand under the tracer and print a hierarchical \
           call-tree profile (cumulative/self wall time per span).")
     Term.(
-      const (fun args d c k -> Stdlib.exit (action args d c k))
+      const (fun args d c k -> Stdlib.exit (protect (fun () -> action args d c k)))
       $ args $ depth $ collapsed $ keep_trace)
+
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let action seeds out =
+    if seeds <= 0 then or_die (Error "--seeds must be positive");
+    let r = Robust.Chaos.run ~seeds () in
+    Format.printf "%a@." Robust.Chaos.pp_report r;
+    (match out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.Json.to_string (Robust.Chaos.report_to_json r));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "report written to %s@." file);
+    if Robust.Chaos.passed r then 0 else 1
+  in
+  let seeds =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of seeded fault plans to replay the battery under.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay the soundness battery (the existential dilemma, the \
+          refinement counterexamples, credit cheaters, the locked counter) \
+          under seeded fault injection: hostile schedulers, failing \
+          allocations, throwing trace sinks, skewed clocks.")
+    Term.(
+      const (fun () s o -> Stdlib.exit (protect (fun () -> action s o)))
+      $ obs_term $ seeds $ out)
 
 (* ---- dilemma ---- *)
 
@@ -713,7 +794,7 @@ let dilemma_cmd =
   in
   Cmd.v
     (Cmd.info "dilemma" ~doc:"Run the §2.7 / Theorem 7.1 demonstration.")
-    Term.(const (fun () () -> Stdlib.exit (action ())) $ obs_term $ const ())
+    Term.(const (fun () () -> Stdlib.exit (protect action)) $ obs_term $ const ())
 
 let () =
   let doc = "Transfinite Iris, executable — SHL runner and liveness checkers" in
@@ -728,6 +809,7 @@ let () =
             analyze_cmd;
             check_term_cmd;
             refine_cmd;
+            chaos_cmd;
             profile_cmd;
             dilemma_cmd;
             prove_cmd;

@@ -46,6 +46,17 @@ module Obs = struct
   module Forensics = Tfiris_obs.Forensics
 end
 
+(** Resource governance and robustness (see DESIGN.md, "Robustness"):
+    composable execution budgets with deterministic accounting
+    ({!Robust.Budget}), the structured failure taxonomy every public
+    entry point reports through ({!Robust.Failure}), and the seeded
+    fault-injection harness ({!Robust.Chaos}). *)
+module Robust = struct
+  module Budget = Tfiris_robust.Budget
+  module Failure = Tfiris_robust.Failure
+  module Chaos = Tfiris_robust_chaos.Chaos
+end
+
 module Index = Tfiris_sprop.Index
 module Cut = Tfiris_sprop.Cut
 module Height = Tfiris_sprop.Height

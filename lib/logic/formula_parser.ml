@@ -70,7 +70,11 @@ let number st =
     st.pos <- st.pos + 1
   done;
   if st.pos = start then fail st "expected number"
-  else int_of_string (String.sub st.src start (st.pos - start))
+  else
+    let lit = String.sub st.src start (st.pos - start) in
+    match int_of_string_opt lit with
+    | Some v -> v
+    | None -> fail st (Printf.sprintf "number %s out of range" lit)
 
 let atom_formula st (name : string) : F.t =
   match List.assoc_opt name st.atoms with
@@ -128,3 +132,8 @@ let parse (src : string) : (F.t, string) result =
 
 let parse_exn src =
   match parse src with Ok f -> f | Error m -> failwith m
+
+let () =
+  Tfiris_robust.Failure.register (function
+    | Error msg -> Some (Tfiris_robust.Failure.Ill_formed { pos = None; msg })
+    | _ -> None)

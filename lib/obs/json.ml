@@ -125,7 +125,11 @@ let parse_string_body c =
             | Some ch -> advance c; ch
             | None -> fail c "truncated \\u escape")
         in
-        let code = int_of_string ("0x" ^ hex) in
+        let code =
+          match int_of_string_opt ("0x" ^ hex) with
+          | Some code -> code
+          | None -> fail c (Printf.sprintf "bad \\u escape %S" hex)
+        in
         (* only BMP codepoints ≤ 0x7f are emitted unescaped by us; decode
            the rest as UTF-8 for completeness *)
         if code < 0x80 then Buffer.add_char b (Char.chr code)

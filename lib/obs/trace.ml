@@ -77,8 +77,24 @@ let sink = ref null_sink
 
 let depth = ref 0
 
+(* A sink that throws (full disk, closed channel, an injected fault
+   from the chaos harness) must never take the traced program down:
+   tracing is an observer.  Failures are swallowed and counted — into a
+   plain counter (always) and the [robust.trace.sink_errors] metric
+   (when metrics are on). *)
+let sink_errors_ = ref 0
+let sink_errors () = !sink_errors_
+let reset_sink_errors () = sink_errors_ := 0
+let c_sink_errors = Metrics.counter "robust.trace.sink_errors"
+
+let note_sink_error () =
+  incr sink_errors_;
+  if Metrics.on () then Metrics.incr c_sink_errors
+
+let flush_sink s = try s.flush () with _ -> note_sink_error ()
+
 let set_sink s =
-  !sink.flush ();
+  flush_sink !sink;
   sink := s
 
 let set_enabled b = enabled := b
@@ -92,16 +108,17 @@ let install s =
   prev
 
 let restore (s, e) =
-  !sink.flush ();
+  flush_sink !sink;
   sink := s;
   enabled := e
 
-let flush () = !sink.flush ()
+let flush () = flush_sink !sink
 
 (* ---------- emission ---------- *)
 
 let emit phase name attrs =
-  !sink.emit { name; phase; ts_ns = now_ns (); depth = !depth; attrs }
+  try !sink.emit { name; phase; ts_ns = now_ns (); depth = !depth; attrs }
+  with _ -> note_sink_error ()
 
 let instant ?(attrs = []) name = if !enabled then emit Instant name attrs
 

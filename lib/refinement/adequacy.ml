@@ -44,7 +44,7 @@ let divergence_transfer ~(fuels : int list) ~target ~source
     List.map
       (fun fuel ->
         match Driver.run ~fuel ~target ~source strategy with
-        | Driver.Accepted (Driver.Fuel_exhausted, st) -> Some st.source_steps
+        | Driver.Accepted (Driver.Fuel_exhausted _, st) -> Some st.source_steps
         | Driver.Accepted (Driver.Terminated _, _) | Driver.Rejected _ -> None)
       fuels
   in
@@ -67,4 +67,4 @@ let verdict_adequate ~target ~source ~fuel (v : Driver.verdict) : bool =
       | (Interp.Stuck _ | Interp.Out_of_fuel _), _ -> false
     in
     tgt_ok && replay_result ~source value ~fuel
-  | Driver.Accepted (Driver.Fuel_exhausted, _) | Driver.Rejected _ -> true
+  | Driver.Accepted (Driver.Fuel_exhausted _, _) | Driver.Rejected _ -> true

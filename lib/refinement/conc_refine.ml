@@ -19,6 +19,7 @@ module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
 module Forensics = Tfiris_obs.Forensics
 module Json = Tfiris_obs.Json
+module Budget = Tfiris_robust.Budget
 open Tfiris_shl
 
 type sched_config = {
@@ -49,16 +50,17 @@ type stats = {
 
 type verdict =
   | Accepted of Ast.value * stats  (** both sides reached this ground value *)
-  | Still_running of stats  (** fuel exhausted with the game healthy *)
+  | Still_running of Budget.resource * stats
+      (** the named budget resource ran out with the game healthy *)
   | Rejected of string * stats
 
 let pp_verdict ppf = function
   | Accepted (v, st) ->
     Format.fprintf ppf "accepted: both sides reach %a (tgt %d / src %d steps)"
       Pretty.pp_value v st.target_steps st.source_steps
-  | Still_running st ->
-    Format.fprintf ppf "still running (tgt %d / src %d steps)" st.target_steps
-      st.source_steps
+  | Still_running (r, st) ->
+    Format.fprintf ppf "still running, %a budget spent (tgt %d / src %d steps)"
+      Budget.pp_resource r st.target_steps st.source_steps
   | Rejected (m, st) ->
     Format.fprintf ppf "rejected after %d target steps: %s" st.target_steps m
 
@@ -97,7 +99,8 @@ let record ring ~step ~label data =
 let publish (v : verdict) : verdict =
   if Metrics.on () then begin
     let st =
-      match v with Accepted (_, st) | Still_running st | Rejected (_, st) -> st
+      match v with
+      | Accepted (_, st) | Still_running (_, st) | Rejected (_, st) -> st
     in
     Metrics.incr c_runs;
     Metrics.add c_tgt st.target_steps;
@@ -113,8 +116,14 @@ let publish (v : verdict) : verdict =
     the source strictly spends the budget; a source step resets it.
     The built-in strategy is oracle pacing, mirroring
     {!Strategy.oracle}. *)
-let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
+let certify ?fuel ?budget ~(tgt_sched : Conc.scheduler)
     ~(target : Ast.expr) ~(source : Ast.expr) () : verdict =
+  let b = Budget.resolve ?fuel ?budget ~default_steps:1_000_000 () in
+  (* one meter per phase: the pre-runs, the target's game steps, and
+     the source (advances + drain) each get the full allowance, like
+     the separate [fuel] applications they replace *)
+  let tm = Budget.meter b in
+  let sm = Budget.meter b in
   let ring = Forensics.with_ring () in
   let reject rule msg st =
     forensic ring ~rule ~stats:st msg;
@@ -122,24 +131,26 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
   in
   (* pre-run both sides to pace the schedule *)
   let count_target () =
-    let rec go sc n k =
-      if n = 0 then None
+    let m = Budget.meter b in
+    let rec go sc k =
+      if not (Budget.step m) then None
       else
         match sched_step tgt_sched sc with
         | Error (`Done _) -> Some k
         | Error (`Stuck _) -> None
-        | Ok sc' -> go sc' (n - 1) (k + 1)
+        | Ok sc' -> go sc' (k + 1)
     in
-    go { cfg = Conc.init target; step_no = 0 } fuel 0
+    go { cfg = Conc.init target; step_no = 0 } 0
   in
   let count_source () =
-    let rec go cfg n k =
+    let m = Budget.meter b in
+    let rec go cfg k =
       match Machine.prim_step cfg with
       | Error Step.Finished -> Some k
       | Error (Step.Stuck _) -> None
-      | Ok (cfg', _) -> if n = 0 then None else go cfg' (n - 1) (k + 1)
+      | Ok (cfg', _) -> if not (Budget.step m) then None else go cfg' (k + 1)
     in
-    go (Machine.config source) fuel 0
+    go (Machine.config source) 0
   in
   match count_target (), count_source () with
   | None, _ | _, None ->
@@ -157,13 +168,13 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
         stutter_run := 0
       end
     in
-    let rec go tgt (src : Machine.config) budget st n =
+    let rec go tgt (src : Machine.config) budget st =
       match Conc.runnable tgt.cfg with
       | [] -> (
         match Conc.main_value tgt.cfg with
         | Some v -> (
-          (* drain the source *)
-          let rec drain cfg k extra =
+          (* drain the source, on the source meter *)
+          let rec drain cfg extra =
             match Machine.prim_step cfg with
             | Error Step.Finished -> (
               match Machine.view cfg.Machine.thread with
@@ -175,26 +186,28 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
               | Machine.V_redex _ -> reject "source_stuck" "source stuck" st)
             | Error (Step.Stuck _) -> reject "source_stuck" "source stuck" st
             | Ok (cfg', _) ->
-              if k = 0 then
+              if not (Budget.step sm) then
                 reject "source_did_not_terminate" "source did not terminate" st
-              else drain cfg' (k - 1) (extra + 1)
+              else drain cfg' (extra + 1)
           in
-          drain src fuel 0)
+          drain src 0)
         | None -> reject "non_value_terminal" "non-value terminal state" st)
       | _ -> (
-        if n = 0 then Still_running st
+        if not (Budget.step tm) then Still_running (Budget.tripped tm, st)
         else
           match sched_step tgt_sched tgt with
           | Error (`Stuck _) -> reject "target_stuck" "target stuck" st
-          | Error (`Done _) -> Still_running st
+          | Error (`Done _) -> Still_running (Budget.tripped tm, st)
           | Ok tgt' ->
             let st = { st with target_steps = st.target_steps + 1 } in
             let want = scheduled st.target_steps in
             let had = scheduled (st.target_steps - 1) in
             if want > had then (
-              (* advance the source [want-had] steps; budget resets *)
+              (* advance the source [want-had] steps on the source
+                 meter; budget resets *)
               let rec adv cfg k =
                 if k = 0 then Some cfg
+                else if not (Budget.step sm) then None
                 else
                   match Machine.prim_step cfg with
                   | Ok (cfg', _) -> adv cfg' (k - 1)
@@ -226,8 +239,10 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
                     st with
                     source_steps = st.source_steps + (want - had);
                   }
-                  (n - 1)
-              | None -> reject "source_stuck_mid_game" "source stuck mid-game" st)
+              | None ->
+                if Budget.exhausted sm <> None then
+                  Still_running (Budget.tripped sm, st)
+                else reject "source_stuck_mid_game" "source stuck mid-game" st)
             else if Ord.is_zero budget then
               reject "stutter_budget_exhausted" "stutter budget exhausted" st
             else begin
@@ -239,7 +254,6 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
               incr stutter_run;
               go tgt' src (Ord.descend budget)
                 { st with stutters = st.stutters + 1 }
-                (n - 1)
             end)
     in
     let v =
@@ -248,7 +262,6 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
         (Machine.config source)
         (Ord.of_int (t_total + 1))
         { target_steps = 0; source_steps = 0; stutters = 0 }
-        fuel
     in
     flush_stutter_run ();
     publish v
@@ -256,13 +269,14 @@ let certify ?(fuel = 1_000_000) ~(tgt_sched : Conc.scheduler)
 (** Replay the certificate under many seeded schedulers: the bounded
     face of "for all fair schedules".  Returns the seeds that passed
     and failed. *)
-let certify_all_seeds ?fuel ?(seeds = 16) ~(target : Ast.expr)
+let certify_all_seeds ?fuel ?budget ?(seeds = 16) ~(target : Ast.expr)
     ~(source : Ast.expr) () : (int list * int list) =
   let rec go s ok bad =
     if s >= seeds then (List.rev ok, List.rev bad)
     else
       match
-        certify ?fuel ~tgt_sched:(Conc.seeded (s * 37)) ~target ~source ()
+        certify ?fuel ?budget ~tgt_sched:(Conc.seeded (s * 37)) ~target ~source
+          ()
       with
       | Accepted _ -> go (s + 1) (s :: ok) bad
       | Still_running _ | Rejected _ -> go (s + 1) ok (s :: bad)

@@ -30,6 +30,7 @@ module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
 module Forensics = Tfiris_obs.Forensics
 module Json = Tfiris_obs.Json
+module Budget = Tfiris_robust.Budget
 open Tfiris_shl
 
 type decision =
@@ -76,10 +77,11 @@ type reject_reason =
 
 type outcome =
   | Terminated of Ast.value  (** both sides reached this ground value *)
-  | Fuel_exhausted
-      (** the target is still running after [fuel] steps; [stats] then
-          reports how far the source was driven — the adequacy harness
-          checks this grows without bound for diverging targets *)
+  | Fuel_exhausted of Budget.resource
+      (** the named budget resource ran out with the game healthy;
+          [stats] then reports how far the source was driven — the
+          adequacy harness checks this grows without bound for
+          diverging targets *)
 
 type verdict =
   | Accepted of outcome * stats
@@ -106,10 +108,11 @@ let pp_verdict ppf = function
   | Accepted (Terminated v, st) ->
     Format.fprintf ppf "accepted: both sides evaluate to %a (tgt %d / src %d steps)"
       Pretty.pp_value v st.target_steps st.source_steps
-  | Accepted (Fuel_exhausted, st) ->
+  | Accepted (Fuel_exhausted r, st) ->
     Format.fprintf ppf
-      "accepted so far: target still running (tgt %d / src %d steps)"
-      st.target_steps st.source_steps
+      "accepted so far: target still running, %a budget spent (tgt %d / src %d \
+       steps)"
+      Budget.pp_resource r st.target_steps st.source_steps
   | Rejected (r, st) ->
     Format.fprintf ppf "rejected after %d target steps: %a" st.target_steps
       pp_reject r
@@ -126,25 +129,32 @@ let rec is_ground (v : Ast.value) =
    decisions, forensic frames, rejection payloads).  Advance batches and
    the final drain in particular never plug. *)
 
-(** Run the source for [k] steps. *)
-let src_advance (cfg : Machine.config) k :
-    (Machine.config, reject_reason) result =
+(** Run the source for [k] steps, charging the source meter — an
+    adversarial strategy claiming an enormous advance runs out of gas
+    instead of hanging the driver. *)
+let src_advance m (cfg : Machine.config) k :
+    (Machine.config, [ `Reject of reject_reason | `Gas of Budget.resource ])
+    result =
   let rec go cfg k =
     if k = 0 then Ok cfg
+    else if not (Budget.step m) then Error (`Gas (Budget.tripped m))
     else
       match Machine.prim_step cfg with
       | Ok (cfg', _) -> go cfg' (k - 1)
       | Error Step.Finished -> (
         match Machine.view cfg.Machine.thread with
-        | Machine.V_value v -> Error (Source_finished_early v)
-        | Machine.V_redex _ -> Error (Source_stuck (Machine.to_config cfg)))
-      | Error (Step.Stuck _) -> Error (Source_stuck (Machine.to_config cfg))
+        | Machine.V_value v -> Error (`Reject (Source_finished_early v))
+        | Machine.V_redex _ ->
+          Error (`Reject (Source_stuck (Machine.to_config cfg))))
+      | Error (Step.Stuck _) ->
+        Error (`Reject (Source_stuck (Machine.to_config cfg)))
   in
   go cfg k
 
-(** Drain the source to a value once the target has terminated. *)
-let src_drain ~fuel (cfg : Machine.config) =
-  let rec go cfg n k =
+(** Drain the source to a value once the target has terminated, on the
+    same source meter. *)
+let src_drain m (cfg : Machine.config) =
+  let rec go cfg k =
     match Machine.prim_step cfg with
     | Error Step.Finished -> (
       match Machine.view cfg.Machine.thread with
@@ -152,9 +162,10 @@ let src_drain ~fuel (cfg : Machine.config) =
       | Machine.V_redex _ -> Error (Source_stuck (Machine.to_config cfg)))
     | Error (Step.Stuck _) -> Error (Source_stuck (Machine.to_config cfg))
     | Ok (cfg', _) ->
-      if n = 0 then Error Source_did_not_terminate else go cfg' (n - 1) (k + 1)
+      if not (Budget.step m) then Error Source_did_not_terminate
+      else go cfg' (k + 1)
   in
-  go cfg fuel 0
+  go cfg 0
 
 (* ---------- observability ---------- *)
 
@@ -170,7 +181,7 @@ let h_budget_descents = Metrics.histogram "refinement.driver.descent_len"
 
 let verdict_name = function
   | Accepted (Terminated _, _) -> "accepted"
-  | Accepted (Fuel_exhausted, _) -> "fuel_exhausted"
+  | Accepted (Fuel_exhausted _, _) -> "fuel_exhausted"
   | Rejected _ -> "rejected"
 
 (* ---------- forensics ---------- *)
@@ -260,17 +271,24 @@ let publish (s : strategy) (v : verdict) : verdict =
 
 (** [run ~fuel ~target ~source strategy]: execute the refinement game.
 
-    [fuel] bounds the number of target steps (and the source drain at
-    the end); the initial stutter budget is taken from the strategy's
-    first decision by starting from a maximal sentinel.
+    [fuel] bounds the number of target steps; the source gets a meter
+    of its own from the same budget, covering advances {e and} the
+    final drain (so a strategy claiming an absurd advance runs out of
+    gas instead of hanging the driver).  An explicit [?budget] replaces
+    [fuel] and may additionally bound wall-clock time.  The initial
+    stutter budget is taken from the strategy's first decision by
+    starting from a maximal sentinel.
 
     When tracing is enabled every strategy decision is a span
     ([driver.decide], with the step number, budget and outcome as
     attributes); every game additionally batches its counters into the
     [refinement.driver.*] metrics, including histograms of stutter-run
     lengths and advance batch sizes. *)
-let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
+let run ?fuel ?budget ?(init_budget = Ord.omega_pow Ord.omega) ~target
     ~source (s : strategy) : verdict =
+  let b = Budget.resolve ?fuel ?budget ~default_steps:1_000_000 () in
+  let tm = Budget.meter b in
+  let sm = Budget.meter b in
   (* length of the current maximal run of consecutive stutters; flushed
      into the histogram at each advance and at game end *)
   let stutter_run = ref 0 in
@@ -316,12 +334,12 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
      only moves on an advance, so one materialisation serves a whole
      stutter run of decisions. *)
   let rec go (t : Machine.config) (src : Machine.config)
-      (src_conf : Step.config Lazy.t) budget stats n =
+      (src_conf : Step.config Lazy.t) budget stats =
     match Machine.view t.Machine.thread with
     | Machine.V_value v ->
       if not (is_ground v) then Rejected (Result_not_ground v, stats)
       else (
-        match src_drain ~fuel src with
+        match src_drain sm src with
         | Error r -> Rejected (r, stats)
         | Ok (v', extra) -> (
           let stats = { stats with source_steps = stats.source_steps + extra } in
@@ -329,7 +347,8 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
           | Some true -> Accepted (Terminated v, stats)
           | Some false | None -> Rejected (Value_mismatch (v, v'), stats)))
     | Machine.V_redex _ ->
-      if n = 0 then Accepted (Fuel_exhausted, stats)
+      if not (Budget.step tm) then
+        Accepted (Fuel_exhausted (Budget.tripped tm), stats)
       else (
         match Machine.prim_step t with
         | Error (Step.Stuck redex) -> Rejected (Target_stuck redex, stats)
@@ -346,14 +365,14 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
               incr stutter_run;
               go t' src src_conf b'
                 { stats with stutters = stats.stutters + 1 }
-                (n - 1)
             end
             else Rejected (Budget_not_decreasing (budget, b'), stats)
           | Advance { src_steps; budget = b' } ->
             if src_steps < 1 then Rejected (Advance_needs_progress, stats)
             else (
-              match src_advance src src_steps with
-              | Error r -> Rejected (r, stats)
+              match src_advance sm src src_steps with
+              | Error (`Reject r) -> Rejected (r, stats)
+              | Error (`Gas r) -> Accepted (Fuel_exhausted r, stats)
               | Ok src' ->
                 flush_stutter_run ();
                 Metrics.observe_int h_advance_batch src_steps;
@@ -364,8 +383,7 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
                     stats with
                     source_steps = stats.source_steps + src_steps;
                     budget_resets = stats.budget_resets + 1;
-                  }
-                  (n - 1))))
+                  })))
   in
   let source_m = Machine.of_config source in
   let target_m = Machine.of_config target in
@@ -373,9 +391,11 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
   let verdict =
     if Trace.on () then
       Trace.with_span "driver.run"
-        ~attrs:[ ("strategy", Trace.S s.name); ("fuel", Trace.I fuel) ]
-        (fun () -> go target_m source_m src_conf0 init_budget zero_stats fuel)
-    else go target_m source_m src_conf0 init_budget zero_stats fuel
+        ~attrs:
+          [ ("strategy", Trace.S s.name);
+            ("budget", Trace.S (Budget.to_string b)) ]
+        (fun () -> go target_m source_m src_conf0 init_budget zero_stats)
+    else go target_m source_m src_conf0 init_budget zero_stats
   in
   flush_stutter_run ();
   (match (ring, verdict) with
@@ -384,6 +404,6 @@ let run ?(fuel = 1_000_000) ?(init_budget = Ord.omega_pow Ord.omega) ~target
   publish s verdict
 
 (** Convenience wrapper on closed expressions with empty heaps. *)
-let refine ?fuel ?init_budget ~target ~source strategy =
-  run ?fuel ?init_budget ~target:(Step.config target)
+let refine ?fuel ?budget ?init_budget ~target ~source strategy =
+  run ?fuel ?budget ?init_budget ~target:(Step.config target)
     ~source:(Step.config source) strategy

@@ -59,10 +59,10 @@ type reject_reason =
 
 type outcome =
   | Terminated of Ast.value  (** both sides reached this ground value *)
-  | Fuel_exhausted
-      (** target still running after [fuel] steps; the adequacy harness
-          checks the source step count grows without bound for diverging
-          targets *)
+  | Fuel_exhausted of Tfiris_robust.Budget.resource
+      (** the named budget resource ran out with the game healthy; the
+          adequacy harness checks the source step count grows without
+          bound for diverging targets *)
 
 type verdict =
   | Accepted of outcome * stats
@@ -75,16 +75,19 @@ val is_ground : Ast.value -> bool
 
 val run :
   ?fuel:int ->
+  ?budget:Tfiris_robust.Budget.t ->
   ?init_budget:Ord.t ->
   target:Step.config ->
   source:Step.config ->
   strategy ->
   verdict
-(** Execute the refinement game; [fuel] bounds target steps and the
-    final source drain. *)
+(** Execute the refinement game; [fuel] bounds target steps, and the
+    source (advances plus the final drain) gets a meter of its own from
+    the same budget.  An explicit [budget] wins over [fuel]. *)
 
 val refine :
   ?fuel:int ->
+  ?budget:Tfiris_robust.Budget.t ->
   ?init_budget:Ord.t ->
   target:Ast.expr ->
   source:Ast.expr ->

@@ -45,19 +45,24 @@ type violation = {
 (** [monitor ~fuel ~pool cfg]: run the configuration, checking every
     pool invariant after every step.  Returns the final outcome or the
     first violation. *)
-let monitor ?(fuel = 1_000_000) ~(pool : pool) (cfg : Step.config) :
+let monitor ?fuel ?budget ~(pool : pool) (cfg : Step.config) :
     (Interp.outcome, violation) result =
+  let module Budget = Tfiris_robust.Budget in
+  let meter =
+    Budget.(meter (resolve ?fuel ?budget ~default_steps:1_000_000 ()))
+  in
   let check_all step h =
     List.find_opt (fun (name, _) -> not (holds pool name h)) pool
     |> Option.map (fun (name, _) -> { step; name })
   in
   (* The run goes through the frame-stack machine; only the boundary
      outcomes (out of fuel, stuck) materialise a whole [Step.config]. *)
-  let rec go (cfg : Machine.config) n k =
+  let rec go (cfg : Machine.config) k =
     match check_all k cfg.Machine.heap with
     | Some v -> Error v
     | None -> (
-      if n = 0 then Ok (Interp.Out_of_fuel (Machine.to_config cfg))
+      if not (Budget.step meter) then
+        Ok (Interp.Out_of_fuel (Budget.tripped meter, Machine.to_config cfg))
       else
         match Machine.prim_step cfg with
         | Error Step.Finished -> (
@@ -66,13 +71,13 @@ let monitor ?(fuel = 1_000_000) ~(pool : pool) (cfg : Step.config) :
           | Machine.V_redex _ -> assert false)
         | Error (Step.Stuck redex) ->
           Ok (Interp.Stuck (Machine.to_config cfg, redex))
-        | Ok (cfg', _) -> go cfg' (n - 1) (k + 1))
+        | Ok (cfg', _) -> go cfg' (k + 1))
   in
-  go (Machine.of_config cfg) fuel 0
+  go (Machine.of_config cfg) 0
 
 (** [preserved ~fuel ~pool cfg]: the run completes to a value with every
     invariant holding throughout. *)
-let preserved ?fuel ~pool cfg =
-  match monitor ?fuel ~pool cfg with
+let preserved ?fuel ?budget ~pool cfg =
+  match monitor ?fuel ?budget ~pool cfg with
   | Ok (Interp.Value _) -> true
   | Ok (Interp.Stuck _ | Interp.Out_of_fuel _) | Error _ -> false

@@ -25,10 +25,16 @@ type violation = {
 }
 
 val monitor :
-  ?fuel:int -> pool:pool -> Step.config -> (Interp.outcome, violation) result
+  ?fuel:int ->
+  ?budget:Tfiris_robust.Budget.t ->
+  pool:pool ->
+  Step.config ->
+  (Interp.outcome, violation) result
 (** Run, checking every pool invariant after every step; returns the
-    first violation if any. *)
+    first violation if any.  An explicit [budget] wins over [fuel]
+    (default 10⁶ steps). *)
 
-val preserved : ?fuel:int -> pool:pool -> Step.config -> bool
+val preserved :
+  ?fuel:int -> ?budget:Tfiris_robust.Budget.t -> pool:pool -> Step.config -> bool
 (** The run completes to a value with every invariant holding
     throughout. *)

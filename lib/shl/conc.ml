@@ -19,6 +19,7 @@
       CAS-locked version is correct on {e all} of them. *)
 
 open Ast
+module Budget = Tfiris_robust.Budget
 
 type cfg = {
   threads : Machine.t list;  (** thread 0 is the main thread *)
@@ -81,7 +82,7 @@ let runnable (c : cfg) : int list =
 type outcome =
   | All_done of value * Heap.t  (** main thread's value; all threads finished *)
   | Thread_stuck of int * expr
-  | Out_of_fuel of cfg
+  | Out_of_fuel of Budget.resource * cfg
 
 type scheduler = step_no:int -> runnable:int list -> cfg -> int
 
@@ -100,37 +101,46 @@ let seeded (seed : int) : scheduler =
     state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
     List.nth runnable (!state lsr 16 mod List.length runnable)
 
-(** Run under a scheduler, counting the scheduling decisions taken. *)
-let run_stats ?(fuel = 1_000_000) ~(sched : scheduler) (c : cfg) :
-    outcome * int =
-  let rec go c n step_no =
+(** Run under a scheduler, counting the scheduling decisions taken.
+    Steps charge the budget meter per scheduling decision; heap cells
+    are charged from the O(1) allocation counter, so the accounting is
+    deterministic. *)
+let run_stats ?fuel ?budget ~(sched : scheduler) (c : cfg) : outcome * int =
+  let m =
+    Budget.meter (Budget.resolve ?fuel ?budget ~default_steps:1_000_000 ())
+  in
+  let rec go c step_no =
     match runnable c with
     | [] -> (
       match main_value c with
       | Some v -> (All_done (v, c.heap), step_no)
       | None -> assert false)
     | rs -> (
-      if n = 0 then (Out_of_fuel c, step_no)
+      if not (Budget.step m) then (Out_of_fuel (Budget.tripped m, c), step_no)
       else
         let i = sched ~step_no ~runnable:rs c in
         match step_thread c i with
-        | T_progress c' -> go c' (n - 1) (step_no + 1)
-        | T_value -> go c (n - 1) (step_no + 1)
+        | T_progress c' ->
+          let fresh_cells = Heap.fresh c'.heap - Heap.fresh c.heap in
+          if fresh_cells > 0 && not (Budget.cells m fresh_cells) then
+            (Out_of_fuel (Budget.tripped m, c), step_no)
+          else go c' (step_no + 1)
+        | T_value -> go c (step_no + 1)
         | T_stuck redex -> (Thread_stuck (i, redex), step_no))
   in
-  go c fuel 0
+  go c 0
 
-let run ?fuel ~sched c = fst (run_stats ?fuel ~sched c)
+let run ?fuel ?budget ~sched c = fst (run_stats ?fuel ?budget ~sched c)
 
 (** Exhaustively explore {b all} interleavings by memoized reachability
     over configurations (spin loops revisit states, so the state space
     is finite for the programs here).  Returns the distinct terminal
-    outcomes; [capped] reports whether the state budget was exhausted
-    before the frontier emptied. *)
+    outcomes; [exhausted] reports which budget resource (if any) ran
+    out before the frontier emptied. *)
 type exploration = {
   final_values : (value * Heap.t) list;  (** deduplicated *)
   stuck : (int * expr) list;
-  capped : bool;
+  exhausted : Budget.resource option;
   states : int;  (** distinct configurations visited *)
 }
 
@@ -144,13 +154,23 @@ type exploration = {
 let canon_key (c : cfg) : (expr list * (loc * value) list) =
   (thread_exprs c, Heap.bindings c.heap)
 
-let explore ?(max_states = 200_000) (c : cfg) : exploration =
+let explore ?max_states ?budget (c : cfg) : exploration =
+  let b =
+    match budget with
+    | Some b -> b
+    | None -> Budget.of_states (Option.value max_states ~default:200_000)
+  in
+  let m = Budget.meter b in
   let visited : (expr list * (loc * value) list, unit) Hashtbl.t =
     Hashtbl.create 1024
   in
   let finals = ref [] in
   let stucks = ref [] in
-  let capped = ref false in
+  (* state-budget exhaustion stops the frontier from growing but drains
+     what was already enqueued (the classic [max_states] behaviour);
+     step/wall exhaustion aborts the sweep outright. *)
+  let out_of_states = ref false in
+  let aborted = ref false in
   let add_final (v, h) =
     if not (List.exists (fun (v', h') -> v = v' && Heap.equal h h') !finals)
     then finals := (v, h) :: !finals
@@ -158,35 +178,42 @@ let explore ?(max_states = 200_000) (c : cfg) : exploration =
   let queue = Queue.create () in
   Queue.add c queue;
   Hashtbl.replace visited (canon_key c) ();
-  while not (Queue.is_empty queue) do
+  let _ = Budget.state m in
+  while not (Queue.is_empty queue || !aborted) do
     let c = Queue.pop queue in
-    match runnable c with
-    | [] -> (
-      match main_value c with
-      | Some v -> add_final (v, c.heap)
-      | None -> ())
-    | rs ->
-      List.iter
-        (fun i ->
-          match step_thread c i with
-          | T_progress c' ->
-            let k = canon_key c' in
-            if not (Hashtbl.mem visited k) then
-              if Hashtbl.length visited >= max_states then capped := true
-              else begin
-                Hashtbl.replace visited k ();
-                Queue.add c' queue
-              end
-          | T_value -> ()
-          | T_stuck redex ->
-            if not (List.mem (i, redex) !stucks) then
-              stucks := (i, redex) :: !stucks)
-        rs
+    if not (Budget.step m) && Budget.exhausted m <> Some Budget.States then
+      aborted := true
+    else
+      match runnable c with
+      | [] -> (
+        match main_value c with
+        | Some v -> add_final (v, c.heap)
+        | None -> ())
+      | rs ->
+        List.iter
+          (fun i ->
+            match step_thread c i with
+            | T_progress c' ->
+              let k = canon_key c' in
+              if not (Hashtbl.mem visited k) then
+                if not (Budget.state m) then out_of_states := true
+                else begin
+                  Hashtbl.replace visited k ();
+                  Queue.add c' queue
+                end
+            | T_value -> ()
+            | T_stuck redex ->
+              if not (List.mem (i, redex) !stucks) then
+                stucks := (i, redex) :: !stucks)
+          rs
   done;
   {
     final_values = !finals;
     stuck = !stucks;
-    capped = !capped;
+    exhausted =
+      (if !aborted || !out_of_states then
+         Some (match Budget.exhausted m with Some r -> r | None -> Budget.States)
+       else None);
     states = Hashtbl.length visited;
   }
 

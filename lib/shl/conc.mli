@@ -37,7 +37,8 @@ val runnable : cfg -> int list
 type outcome =
   | All_done of value * Heap.t  (** all threads finished; main's value *)
   | Thread_stuck of int * expr
-  | Out_of_fuel of cfg
+  | Out_of_fuel of Tfiris_robust.Budget.resource * cfg
+      (** which budget resource ran out, and the configuration reached *)
 
 type scheduler = step_no:int -> runnable:int list -> cfg -> int
 
@@ -46,21 +47,30 @@ val round_robin : scheduler
 val seeded : int -> scheduler
 (** Deterministic pseudo-random scheduler: reproducible per seed. *)
 
-val run : ?fuel:int -> sched:scheduler -> cfg -> outcome
+val run :
+  ?fuel:int -> ?budget:Tfiris_robust.Budget.t -> sched:scheduler -> cfg ->
+  outcome
 
-val run_stats : ?fuel:int -> sched:scheduler -> cfg -> outcome * int
+val run_stats :
+  ?fuel:int -> ?budget:Tfiris_robust.Budget.t -> sched:scheduler -> cfg ->
+  outcome * int
 (** Like {!run}, also returning the number of scheduling decisions
     taken; with a deterministic scheduler both components are
-    reproducible (tested). *)
+    reproducible (tested).  An explicit [budget] wins over [fuel]
+    (default 10⁶ scheduling decisions); heap-cell charges use the O(1)
+    allocation counter, so they are deterministic too. *)
 
 type exploration = {
   final_values : (value * Heap.t) list;  (** deduplicated terminals *)
   stuck : (int * expr) list;
-  capped : bool;  (** state budget exhausted before the frontier emptied *)
+  exhausted : Tfiris_robust.Budget.resource option;
+      (** the budget resource that ran out before the frontier emptied,
+          if any ([States] for the classic [max_states] cap) *)
   states : int;  (** distinct configurations visited *)
 }
 
-val explore : ?max_states:int -> cfg -> exploration
+val explore :
+  ?max_states:int -> ?budget:Tfiris_robust.Budget.t -> cfg -> exploration
 (** All interleavings, by memoized reachability over configurations
     (finite for the spin-loop programs here).  The visited set is keyed
     on a canonical form — plugged thread programs plus sorted heap

@@ -31,8 +31,22 @@ let size (h : t) = M.cardinal h.map
 let bindings (h : t) = M.bindings h.map
 let fresh (h : t) = h.next
 
+exception Alloc_failure
+
+(* The chaos harness's allocation-fault hook.  [None] in normal
+   operation, so the hot path pays one load and branch. *)
+let alloc_fault : (int -> bool) option ref = ref None
+let set_alloc_fault f = alloc_fault := Some f
+let clear_alloc_fault () = alloc_fault := None
+
+let check_fault cells =
+  match !alloc_fault with
+  | Some f when f cells -> raise Alloc_failure
+  | Some _ | None -> ()
+
 (** [alloc v h] returns the fresh location and the extended heap. *)
 let alloc v (h : t) =
+  check_fault 1;
   let l = h.next in
   (l, { map = M.add l v h.map; next = l + 1 })
 
@@ -40,6 +54,7 @@ let alloc v (h : t) =
     locations, returning the first one — used to build the
     null-terminated strings of the Levenshtein case study. *)
 let alloc_block vs (h : t) =
+  check_fault (List.length vs);
   let l0 = h.next in
   let map, next =
     List.fold_left (fun (m, l) v -> (M.add l v m, l + 1)) (h.map, l0) vs
@@ -76,3 +91,9 @@ let subheap (a : t) (b : t) : bool =
 (** [diff b a]: remove [a]'s domain from [b]. *)
 let diff (b : t) (a : t) : t =
   { b with map = M.filter (fun l _ -> not (M.mem l a.map)) b.map }
+
+let () =
+  Tfiris_robust.Failure.register (function
+    | Alloc_failure ->
+      Some (Tfiris_robust.Failure.Fault_injected "heap allocation failure")
+    | _ -> None)

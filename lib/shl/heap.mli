@@ -25,6 +25,19 @@ val alloc_block : Ast.value list -> t -> Ast.loc * t
 (** Lay out the values at consecutive locations, returning the first —
     used for the null-terminated strings of the Levenshtein study. *)
 
+(** {1 Fault injection}
+
+    A process-global allocation-fault hook, for the {!Tfiris} chaos
+    harness: when set, every allocation consults it (with the number of
+    cells requested) and raises {!Alloc_failure} when it answers [true].
+    Classified as a structured [Fault_injected] failure by
+    {!Tfiris_robust.Failure.of_exn}. *)
+
+exception Alloc_failure
+
+val set_alloc_fault : (int -> bool) -> unit
+val clear_alloc_fault : unit -> unit
+
 val equal : t -> t -> bool
 
 val disjoint_union : t -> t -> t option

@@ -15,11 +15,13 @@
 open Ast
 module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
+module Budget = Tfiris_robust.Budget
 
 type outcome =
   | Value of value * Heap.t
   | Stuck of Step.config * expr  (** configuration and its stuck redex *)
-  | Out_of_fuel of Step.config
+  | Out_of_fuel of Budget.resource * Step.config
+      (** which budget resource ran out, and where *)
 
 type stats = {
   steps : int;  (** total primitive steps *)
@@ -82,39 +84,50 @@ let publish (c : counts) (outcome : outcome) : stats =
   end;
   st
 
-(** [exec ?fuel ?heap e]: run [e] to completion (or until the fuel runs
-    out), returning the outcome and step statistics.
+(** [exec ?fuel ?budget ?heap e]: run [e] to completion (or until the
+    budget runs out), returning the outcome and step statistics.  An
+    explicit [budget] wins over [fuel]; plain [fuel] is the steps-only
+    budget it always was.
 
-    Fuel accounting is exact: a configuration that {e finishes} (or gets
-    stuck) after exactly [fuel] steps is reported as such — [Out_of_fuel]
-    means the program would genuinely have taken a further step. *)
-let exec ?(fuel = 1_000_000) ?(heap = Heap.empty) (e : expr) :
-    outcome * stats =
+    Budget accounting is exact: a configuration that {e finishes} (or
+    gets stuck) after exactly [fuel] steps is reported as such —
+    [Out_of_fuel] means the program would genuinely have taken a
+    further step (or allocated a further cell, or run past the wall
+    deadline). *)
+let exec ?fuel ?budget ?(heap = Heap.empty) (e : expr) : outcome * stats =
+  let b = Budget.resolve ?fuel ?budget ~default_steps:1_000_000 () in
+  let m = Budget.meter b in
   let counts = fresh_counts () in
-  let rec go (th : Machine.t) (h : Heap.t) n =
+  let rec go (th : Machine.t) (h : Heap.t) =
     match Machine.step h th with
     | Machine.Final v -> Value (v, h)
     | Machine.Stuck_redex redex ->
       Stuck ({ Step.expr = Machine.plug th; heap = h }, redex)
     | Machine.Stepped (th', h', kind) ->
-      if n = 0 then Out_of_fuel { Step.expr = Machine.plug th; heap = h }
+      let within =
+        Budget.step m
+        && (match kind with Step.Alloc _ -> Budget.cells m 1 | _ -> true)
+      in
+      if not within then
+        Out_of_fuel (Budget.tripped m, { Step.expr = Machine.plug th; heap = h })
       else begin
         bump counts kind;
-        go th' h' (n - 1)
+        go th' h'
       end
   in
   let outcome =
     if Trace.on () then
-      Trace.with_span "shl.exec" ~attrs:[ ("fuel", Trace.I fuel) ] (fun () ->
-          go (Machine.inject e) heap fuel)
-    else go (Machine.inject e) heap fuel
+      Trace.with_span "shl.exec"
+        ~attrs:[ ("budget", Trace.S (Budget.to_string b)) ]
+        (fun () -> go (Machine.inject e) heap)
+    else go (Machine.inject e) heap
   in
   (outcome, publish counts outcome)
 
 (** [eval e]: the result value, or [None] on stuck/diverging (within
     fuel) executions. *)
-let eval ?fuel ?heap e =
-  match exec ?fuel ?heap e with
+let eval ?fuel ?budget ?heap e =
+  match exec ?fuel ?budget ?heap e with
   | Value (v, _), _ -> Some v
   | (Stuck _ | Out_of_fuel _), _ -> None
 

@@ -6,7 +6,8 @@
 type outcome =
   | Value of Ast.value * Heap.t
   | Stuck of Step.config * Ast.expr  (** configuration and stuck redex *)
-  | Out_of_fuel of Step.config
+  | Out_of_fuel of Tfiris_robust.Budget.resource * Step.config
+      (** which budget resource ran out, and where *)
 
 type stats = {
   steps : int;
@@ -16,11 +17,23 @@ type stats = {
 
 val no_stats : stats
 
-val exec : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> outcome * stats
-(** Run to completion or until the fuel runs out (default 10⁶ steps). *)
+val exec :
+  ?fuel:int ->
+  ?budget:Tfiris_robust.Budget.t ->
+  ?heap:Heap.t ->
+  Ast.expr ->
+  outcome * stats
+(** Run to completion or until the budget runs out.  An explicit
+    [budget] wins over [fuel]; plain [fuel] (default 10⁶) is a
+    steps-only budget, exactly the old behaviour. *)
 
-val eval : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> Ast.value option
-(** The result value; [None] on stuck or fuel-exhausted runs. *)
+val eval :
+  ?fuel:int ->
+  ?budget:Tfiris_robust.Budget.t ->
+  ?heap:Heap.t ->
+  Ast.expr ->
+  Ast.value option
+(** The result value; [None] on stuck or budget-exhausted runs. *)
 
 val steps_to_value : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> int option
 

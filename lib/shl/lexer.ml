@@ -64,7 +64,10 @@ let tokenize (s : string) : located list =
         while !j < n && is_digit s.[!j] do
           incr j
         done;
-        emit i (Int (int_of_string (String.sub s i (!j - i))));
+        let lit = String.sub s i (!j - i) in
+        (match int_of_string_opt lit with
+        | Some v -> emit i (Int v)
+        | None -> error i "integer literal %s out of range" lit);
         go !j
       end
       else if is_ident_start c then begin
@@ -85,6 +88,11 @@ let tokenize (s : string) : located list =
         | "->" ->
           emit i Arrow;
           go (i + 2)
+        | "+l" when i + 2 < n && is_ident_char s.[i + 2] ->
+          (* [x+len] is [x + len]: the pointer-add operator only claims
+             its [l] when no identifier continues it *)
+          emit i (Op "+");
+          go (i + 1)
         | "<=" | "&&" | "||" | "+l" ->
           emit i (Op two);
           go (i + 2)
@@ -138,3 +146,9 @@ let pp_token ppf = function
   | Bar -> Format.pp_print_string ppf "|"
   | Op o -> Format.fprintf ppf "operator %s" o
   | Eof -> Format.pp_print_string ppf "end of input"
+
+let () =
+  Tfiris_robust.Failure.register (function
+    | Error (msg, pos) ->
+      Some (Tfiris_robust.Failure.Ill_formed { pos = Some pos; msg })
+    | _ -> None)

@@ -184,14 +184,18 @@ let kind_eq (a : Step.kind) (b : Step.kind) =
     l = l'
   | (Step.Pure | Step.Alloc _ | Step.Load_of _ | Step.Store_to _), _ -> false
 
-let lockstep ?(fuel = 10_000) ?(heap = Heap.empty) (e : expr) :
+let lockstep ?fuel ?budget ?(heap = Heap.empty) (e : expr) :
     lockstep_outcome =
+  let meter =
+    Tfiris_robust.Budget.(
+      meter (resolve ?fuel ?budget ~default_steps:10_000 ()))
+  in
   (* Structural identity of the two runs' heaps — deliberately not
      {!Heap.equal}, whose [value_eq] treats closures as incomparable:
      here both heaps come from the same execution, so stored closures
      must be syntactically the very same term. *)
   let same_heap a b = Heap.bindings a = Heap.bindings b in
-  let rec go (m : config) (r : Step.config) n steps =
+  let rec go (m : config) (r : Step.config) steps =
     match prim_step m, Step.prim_step r with
     | Error Step.Finished, Error Step.Finished -> (
       match plug m.thread with
@@ -202,20 +206,20 @@ let lockstep ?(fuel = 10_000) ?(heap = Heap.empty) (e : expr) :
       if a = b && plug m.thread = r.Step.expr then Agree_stuck (a, steps)
       else Disagree { at_step = steps; what = "stuck redex" }
     | Ok (m', ka), Ok (r', kb) ->
-      if n = 0 then Agree_out_of_fuel steps
+      if not (Tfiris_robust.Budget.step meter) then Agree_out_of_fuel steps
       else if not (kind_eq ka kb) then
         Disagree { at_step = steps + 1; what = "step kind" }
       else if not (same_heap m'.heap r'.Step.heap) then
         Disagree { at_step = steps + 1; what = "heap" }
       else if plug m'.thread <> r'.Step.expr then
         Disagree { at_step = steps + 1; what = "expression" }
-      else go m' r' (n - 1) (steps + 1)
+      else go m' r' (steps + 1)
     | Error Step.Finished, _ | _, Error Step.Finished ->
       Disagree { at_step = steps; what = "termination" }
     | Error (Step.Stuck _), _ | _, Error (Step.Stuck _) ->
       Disagree { at_step = steps; what = "stuckness" }
   in
-  go (config ~heap e) (Step.config ~heap e) fuel 0
+  go (config ~heap e) (Step.config ~heap e) 0
 
 let pp_lockstep ppf = function
   | Agree_value (v, _, n) ->

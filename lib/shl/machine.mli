@@ -76,9 +76,15 @@ type lockstep_outcome =
 
 val kind_eq : Step.kind -> Step.kind -> bool
 
-val lockstep : ?fuel:int -> ?heap:Heap.t -> Ast.expr -> lockstep_outcome
+val lockstep :
+  ?fuel:int ->
+  ?budget:Tfiris_robust.Budget.t ->
+  ?heap:Heap.t ->
+  Ast.expr ->
+  lockstep_outcome
 (** Run machine and reference stepper side by side, comparing plugged
     expression, heap, and step kind after every step, and the outcome at
-    the end. *)
+    the end.  An explicit [budget] wins over [fuel] (default 10⁴
+    steps). *)
 
 val pp_lockstep : Format.formatter -> lockstep_outcome -> unit

@@ -320,3 +320,8 @@ let parse (src : string) : (expr, string) result =
     examples and tests. *)
 let parse_exn src =
   match parse src with Ok e -> e | Error m -> failwith m
+
+let () =
+  Tfiris_robust.Failure.register (function
+    | Error msg -> Some (Tfiris_robust.Failure.Ill_formed { pos = None; msg })
+    | _ -> None)

@@ -26,6 +26,7 @@ module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
 module Forensics = Tfiris_obs.Forensics
 module Json = Tfiris_obs.Json
+module Budget = Tfiris_robust.Budget
 open Tfiris_shl
 
 type strategy = {
@@ -51,6 +52,9 @@ type reason =
   | Not_decreasing of Ord.t * Ord.t
   | Gave_up
   | Stuck of Ast.expr
+  | Out_of_budget of Budget.resource
+      (** an optional caller-supplied budget ran out — the ordinal
+          descent itself needs none *)
 
 type verdict =
   | Terminated of Ast.value * Ord.t * stats
@@ -68,6 +72,9 @@ let pp_verdict ppf = function
     Format.fprintf ppf "strategy gave up at step %d" st.steps
   | Rejected (Stuck _, st) ->
     Format.fprintf ppf "program stuck at step %d" st.steps
+  | Rejected (Out_of_budget r, st) ->
+    Format.fprintf ppf "%a budget exhausted at step %d" Budget.pp_resource r
+      st.steps
 
 (* ---------- observability ---------- *)
 
@@ -84,6 +91,7 @@ let rule_name = function
   | Not_decreasing _ -> "credit_not_decreasing"
   | Gave_up -> "gave_up"
   | Stuck _ -> "stuck"
+  | Out_of_budget _ -> "out_of_budget"
 
 let reason_text = function
   | Not_decreasing (o, n) ->
@@ -93,6 +101,8 @@ let reason_text = function
   | Stuck redex ->
     Format.asprintf "program stuck at %s"
       (Forensics.trunc (Pretty.expr_to_string redex))
+  | Out_of_budget r ->
+    Format.asprintf "%a budget exhausted" Budget.pp_resource r
 
 let kind_name = function
   | Step.Pure -> "pure"
@@ -142,7 +152,8 @@ let publish (v : verdict) : verdict =
     and every limit-ordinal instantiation — the "dynamic information
     learned" moments — is an instant event carrying the old and new
     credit. *)
-let run ~credits (s : strategy) (cfg : Step.config) : verdict =
+let run ?budget ~credits (s : strategy) (cfg : Step.config) : verdict =
+  let meter = Budget.meter (Option.value budget ~default:Budget.unlimited) in
   let ring = Forensics.with_ring () in
   let spend ~step_no ~config ~kind ~credit =
     let res = s.spend ~step_no ~config ~kind ~credit in
@@ -159,6 +170,9 @@ let run ~credits (s : strategy) (cfg : Step.config) : verdict =
     match Machine.view cfg.Machine.thread with
     | Machine.V_value v -> Terminated (v, credit, stats)
     | Machine.V_redex _ -> (
+      if not (Budget.step meter) then
+        Rejected (Out_of_budget (Budget.tripped meter), stats)
+      else
       match Machine.prim_step cfg with
       | Error (Step.Stuck redex) -> Rejected (Stuck redex, stats)
       | Error Step.Finished -> assert false
@@ -218,8 +232,8 @@ let run ~credits (s : strategy) (cfg : Step.config) : verdict =
   | _ -> ());
   publish verdict
 
-let terminates ~credits s e =
-  match run ~credits s (Step.config e) with
+let terminates ?budget ~credits s e =
+  match run ?budget ~credits s (Step.config e) with
   | Terminated _ -> true
   | Rejected _ -> false
 

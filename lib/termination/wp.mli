@@ -36,6 +36,9 @@ type reason =
   | Not_decreasing of Ord.t * Ord.t
   | Gave_up
   | Stuck of Ast.expr
+  | Out_of_budget of Tfiris_robust.Budget.resource
+      (** an optional caller-supplied budget ran out — the ordinal
+          descent itself needs none *)
 
 type verdict =
   | Terminated of Ast.value * Ord.t * stats  (** value and unspent credit *)
@@ -43,8 +46,18 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-val run : credits:Ord.t -> strategy -> Step.config -> verdict
-val terminates : credits:Ord.t -> strategy -> Ast.expr -> bool
+val run :
+  ?budget:Tfiris_robust.Budget.t ->
+  credits:Ord.t ->
+  strategy ->
+  Step.config ->
+  verdict
+(** The descent needs no fuel, but a [budget] still bounds wall clock
+    and steps for governance (e.g. against a strategy that pre-runs the
+    program forever). *)
+
+val terminates :
+  ?budget:Tfiris_robust.Budget.t -> credits:Ord.t -> strategy -> Ast.expr -> bool
 
 val countdown : strategy
 (** Finite time credits: decrement; gives up at limit ordinals (it

@@ -18,12 +18,12 @@ let test_racy_counter () =
   let r = Conc.explore (Conc.init Conc.racy_incr) in
   Alcotest.(check (list int)) "both outcomes reachable" [ 1; 2 ] (final_ints r);
   Alcotest.(check int) "no stuck thread" 0 (List.length r.Conc.stuck);
-  Alcotest.(check bool) "exploration complete" false r.Conc.capped
+  Alcotest.(check bool) "exploration complete" false (r.Conc.exhausted <> None)
 
 let test_locked_counter () =
   let r = Conc.explore (Conc.init Conc.locked_incr) in
   Alcotest.(check (list int)) "CAS loop: only 2" [ 2 ] (final_ints r);
-  Alcotest.(check bool) "complete" false r.Conc.capped
+  Alcotest.(check bool) "complete" false (r.Conc.exhausted <> None)
 
 let test_spinlock () =
   let r = Conc.explore (Conc.init Conc.spinlock_pair) in

@@ -19,4 +19,5 @@ let () =
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
       ("forensics", Test_forensics.suite);
+      ("robust", Test_robust.suite);
     ]

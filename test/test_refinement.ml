@@ -252,7 +252,7 @@ let test_broken_template () =
   with
   | Driver.Accepted (Driver.Terminated _, _) ->
     Alcotest.fail "broken memoization must not be certified as terminated"
-  | Driver.Accepted (Driver.Fuel_exhausted, _) | Driver.Rejected _ -> ()
+  | Driver.Accepted (Driver.Fuel_exhausted _, _) | Driver.Rejected _ -> ()
 
 let test_lookup_cost_unbounded () =
   match Memo_spec.lookup_cost 6, Memo_spec.lookup_cost 14 with
@@ -355,7 +355,7 @@ let adequacy_prop =
          match Driver.run ~fuel:2000 ~target:t ~source:s Strategy.lockstep with
          | Driver.Accepted (Driver.Terminated _, _) as v ->
            Adequacy.verdict_adequate ~target:t ~source:s ~fuel:5000 v
-         | Driver.Accepted (Driver.Fuel_exhausted, _) | Driver.Rejected _ ->
+         | Driver.Accepted (Driver.Fuel_exhausted _, _) | Driver.Rejected _ ->
            true))
 
 let suite =

@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `make verify` is the one-shot
 # pre-push check (build + tests + CLI smoke + quick bench + perf gate).
 
-.PHONY: all build test bench baseline chaos verify clean
+.PHONY: all build test bench baseline chaos ledger ledger-baseline verify clean
 
 all: build
 
@@ -23,6 +23,29 @@ baseline:
 # reproducible from the seed printed in the report.
 chaos: build
 	dune exec bin/tfiris_cli.exe -- chaos --seeds=50 --out=CHAOS_report.json
+
+# The canonical ledger corpus: one run-ledger record per
+# verdict-producing subcommand, over committed inputs only, so the
+# content keys and verdicts are byte-stable across machines (wall times
+# are the only thing that varies).  `tfiris report LEDGER.jsonl`
+# summarises it; CI diffs a fresh corpus against the committed
+# BENCH_history/baseline-ledger.jsonl and fails on verdict flips.
+LEDGER ?= LEDGER.jsonl
+
+ledger: build
+	rm -f $(LEDGER)
+	dune exec bin/tfiris_cli.exe -- run examples/shl/memo_fib.shl --ledger=$(LEDGER)
+	dune exec bin/tfiris_cli.exe -- run -e "1 + 2 * 3" --engine=lockstep --ledger=$(LEDGER)
+	dune exec bin/tfiris_cli.exe -- check-term -e "(rec f n. if n = 0 then 0 else f (n - 1)) 64" --ledger=$(LEDGER)
+	dune exec bin/tfiris_cli.exe -- refine --target="1 + 2" --source="3 - 0" --ledger=$(LEDGER)
+	dune exec bin/tfiris_cli.exe -- analyze examples/shl/memo_fib.shl --ledger=$(LEDGER)
+	dune exec bin/tfiris_cli.exe -- chaos --seeds=10 --ledger=$(LEDGER) --out=CHAOS_report.json
+	dune exec bin/tfiris_cli.exe -- report $(LEDGER)
+
+# Refresh the committed baseline ledger (after an intentional verdict
+# or corpus change; the diff in CI explains itself otherwise).
+ledger-baseline:
+	$(MAKE) ledger LEDGER=BENCH_history/baseline-ledger.jsonl
 
 # The perf gate compares against a baseline usually recorded on a
 # different machine, so the threshold is deliberately loose (4x); use

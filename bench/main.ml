@@ -811,7 +811,7 @@ let run_benches () =
 (* Driver v2: run every experiment under the metrics registry for      *)
 (* several trials, capture per-experiment counter deltas and robust    *)
 (* wall-time statistics (min/median/p95 with outlier rejection), drop  *)
-(* the record as BENCH_obs.json (schema tfiris-bench-obs/2, see        *)
+(* the record as BENCH_obs.json (schema tfiris-bench-obs/3, see        *)
 (* EXPERIMENTS.md), and optionally gate against a saved baseline.      *)
 (* ------------------------------------------------------------------ *)
 
@@ -929,7 +929,7 @@ let observe ~trials name (f : unit -> unit) : obs_record =
     rec_hist_sums = hist_sums;
   }
 
-(* ---------- the JSON record (schema tfiris-bench-obs/2) ---------- *)
+(* ---------- the JSON record (schema tfiris-bench-obs/3) ---------- *)
 
 let json_of_record r =
   let s = record_stats r in
@@ -960,7 +960,9 @@ let obs_doc ~trials records timings =
   Obs.Json.(
     Obj
       ([
-         ("schema", Str "tfiris-bench-obs/2");
+         ("schema", Str "tfiris-bench-obs/3");
+         ("engine", Str "shl.machine");
+         ("version", Str Tfiris.version);
          ("quick", Bool !quick);
          ("trials", Int trials);
          ("experiments", List (List.map json_of_record records));
@@ -992,8 +994,9 @@ let json_ns = function
   | Obs.Json.Float f -> Some f
   | _ -> None
 
-(* Baseline medians by experiment name; accepts schema /2 (median_ns)
-   and the older /1 records (wall_ns). *)
+(* Baseline medians by experiment name; keyed on field names, not the
+   schema string, so /3 readers accept /2 baselines (median_ns) and the
+   older /1 records (wall_ns) unchanged. *)
 let load_baseline path : (string * float) list =
   let src =
     let ic = open_in_bin path in

@@ -20,16 +20,18 @@ open Tfiris
 module Shl = Tfiris.Shl
 module Obs = Tfiris.Obs
 
+(* Programs come back with a display label (the file path, or "<expr>"
+   for inline text) — the handle run-ledger records carry. *)
 let read_program expr_opt file_opt =
   match expr_opt, file_opt with
-  | Some src, None -> Ok src
+  | Some src, None -> Ok ("<expr>", src)
   | None, Some path -> (
     try
       let ic = open_in path in
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       close_in ic;
-      Ok s
+      Ok (path, s)
     with Sys_error m -> Error m)
   | Some _, Some _ -> Error "give either -e or a file, not both"
   | None, None -> Error "no program: use -e EXPR or a file argument"
@@ -38,6 +40,10 @@ let parse_program src =
   match Shl.Parser.parse src with
   | Ok e -> Ok e
   | Error m -> Error m
+
+let parse_labeled program =
+  Result.bind program (fun (label, src) ->
+      Result.map (fun e -> (label, e)) (parse_program src))
 
 let program_term =
   let expr =
@@ -117,11 +123,51 @@ let parse_trace_spec (spec : string) : (string * string, string) result =
   | Ok ("", _) -> Error "empty trace file name"
   | r -> r
 
-let setup_obs trace_spec metrics =
+(* --progress accepts a comma-separated spec: "every:N" sets the
+   heartbeat period, "stderr" selects the human-readable sink (the
+   default), anything else is a JSONL file path. *)
+let parse_progress_spec (spec : string) :
+    (int option * [ `Stderr | `File of string ], string) result =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc tok ->
+      let* every, dest = acc in
+      if tok = "" then Error "empty token in --progress spec"
+      else if tok = "stderr" then Ok (every, `Stderr)
+      else if String.starts_with ~prefix:"every:" tok then
+        let v = String.sub tok 6 (String.length tok - 6) in
+        match int_of_string_opt v with
+        | Some n when n > 0 -> Ok (Some n, dest)
+        | Some _ | None ->
+          Error (Printf.sprintf "bad heartbeat period %S in --progress" v)
+      else Ok (every, `File tok))
+    (Ok (None, `Stderr))
+    (String.split_on_char ',' spec)
+
+let setup_obs trace_spec metrics progress_spec =
   if metrics then begin
     Obs.Metrics.set_enabled true;
     at_exit print_metrics_snapshot
   end;
+  (match progress_spec with
+  | None -> ()
+  | Some spec ->
+    let every, dest = or_die (parse_progress_spec spec) in
+    Option.iter Obs.Progress.set_every every;
+    (match dest with
+    | `Stderr -> Obs.Progress.set_sink (Obs.Progress.stderr_sink ())
+    | `File file ->
+      let oc =
+        try open_out file
+        with Sys_error m ->
+          Format.eprintf "tfiris: cannot open progress file: %s@." m;
+          exit 2
+      in
+      Obs.Progress.set_sink (Obs.Progress.jsonl_sink oc);
+      at_exit (fun () ->
+          flush oc;
+          close_out oc));
+    Obs.Progress.set_enabled true);
   match trace_spec with
   | None -> ()
   | Some spec ->
@@ -162,7 +208,77 @@ let obs_term =
       & info [ "metrics" ]
           ~doc:"Collect metrics and print the snapshot on exit.")
   in
-  Term.(const setup_obs $ trace $ metrics)
+  let progress =
+    Arg.(
+      value
+      & opt ~vopt:(Some "stderr") (some string) None
+      & info [ "progress" ] ~docv:"SPEC"
+          ~doc:
+            "Emit live heartbeats from long-running drivers (exploration, \
+             refinement games, credit checking): work done, rate, frontier \
+             size, % budget remaining. $(docv) is a comma-separated list of \
+             $(b,every:N) (heartbeat period in units of work), $(b,stderr) \
+             (human-readable lines, the default) or a FILE to write JSONL \
+             snapshots to.")
+  in
+  Term.(const setup_obs $ trace $ metrics $ progress)
+
+(* ---- the run ledger (--ledger, shared by the verdict commands) ---- *)
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append one $(b,tfiris-run/1) record for this invocation (content \
+           key, verdict, budget consumption, wall time) to the JSONL run \
+           ledger at $(docv), creating it if missing. Query and diff ledgers \
+           with $(b,tfiris report).")
+
+let forensics_pointer () =
+  match Obs.Forensics.last () with
+  | None -> None
+  | Some r ->
+    Some
+      (Obs.Json.Obj
+         [
+           ("component", Obs.Json.Str r.Obs.Forensics.r_component);
+           ("rule", Obs.Json.Str r.Obs.Forensics.r_rule);
+           ("step", Obs.Json.Int r.Obs.Forensics.r_step);
+         ])
+
+(** One ledger append per invocation, once the verdict is known.  The
+    caller supplies what only it knows (the canonical program/spec
+    texts, engine id, verdict, consumption); the record's environment
+    half (tool version, wall time, metrics snapshot, forensics pointer)
+    is assembled here. *)
+let ledger_append ledger ~cmd ~label ~engine ~program ~spec ?budget ?seed
+    ?(consumed = []) ~t0 ~verdict ~ok ?detail () =
+  match ledger with
+  | None -> ()
+  | Some path ->
+    Obs.Ledger.append ~path
+      {
+        Obs.Ledger.key =
+          Obs.Ledger.content_key ~program ~spec ~engine ~version:Tfiris.version;
+        cmd;
+        label;
+        engine;
+        version = Tfiris.version;
+        verdict;
+        ok;
+        detail;
+        budget = Option.map Robust.Budget.to_json budget;
+        consumed;
+        wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+        seed;
+        metrics =
+          (if Obs.Metrics.on () then
+             Some (Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
+           else None);
+        forensics = (if ok then None else forensics_pointer ());
+      }
 
 (* ---- failure forensics (--explain) ---- *)
 
@@ -246,53 +362,76 @@ let engine_arg =
            (exit 2).")
 
 let run_cmd =
-  let action program fuel budget stats engine =
-    let e = or_die (Result.bind program parse_program) in
+  let action program fuel budget stats engine ledger =
+    let label, e = or_die (parse_labeled program) in
+    let t0 = Unix.gettimeofday () in
+    let finish ~engine_id ~verdict ~ok ?detail ?(consumed = []) code =
+      ledger_append ledger ~cmd:"run" ~label ~engine:engine_id
+        ~program:(Shl.Pretty.expr_to_string e)
+        ~spec:"" ?budget ~consumed ~t0 ~verdict ~ok ?detail ();
+      code
+    in
     match engine with
     | `Lockstep -> (
       let o = Shl.Machine.lockstep ~fuel ?budget e in
       Format.printf "%a@." Shl.Machine.pp_lockstep o;
+      let finish = finish ~engine_id:"shl.lockstep" in
       match o with
-      | Shl.Machine.Agree_value _ -> 0
-      | Shl.Machine.Agree_stuck _ | Shl.Machine.Agree_out_of_fuel _ -> 1
-      | Shl.Machine.Disagree _ -> 2)
+      | Shl.Machine.Agree_value _ -> finish ~verdict:"value" ~ok:true 0
+      | Shl.Machine.Agree_stuck _ -> finish ~verdict:"stuck" ~ok:false 1
+      | Shl.Machine.Agree_out_of_fuel _ ->
+        finish ~verdict:"out_of_fuel" ~ok:false 1
+      | Shl.Machine.Disagree _ -> finish ~verdict:"disagree" ~ok:false 2)
     | (`Machine | `Reference) as engine -> (
-      let exec =
+      let exec, engine_id =
         match engine with
-        | `Machine -> fun e -> Shl.Interp.exec ~fuel ?budget e
-        | `Reference -> fun e -> reference_exec ~fuel ?budget e
+        | `Machine -> ((fun e -> Shl.Interp.exec ~fuel ?budget e), "shl.machine")
+        | `Reference ->
+          ((fun e -> reference_exec ~fuel ?budget e), "shl.reference")
       in
+      let finish = finish ~engine_id in
       match exec e with
       | Shl.Interp.Value (v, _), st ->
         Format.printf "%s@." (Shl.Pretty.value_to_string v);
         if stats then
           Format.printf "steps: %d (pure %d, heap %d)@." st.Shl.Interp.steps
             st.Shl.Interp.pure_steps st.Shl.Interp.heap_steps;
-        0
+        finish ~verdict:"value" ~ok:true
+          ~detail:(Shl.Pretty.value_to_string v)
+          ~consumed:[ ("steps", st.Shl.Interp.steps) ]
+          0
       | Shl.Interp.Stuck (_, redex), st ->
         Format.eprintf "stuck after %d steps on: %s@." st.Shl.Interp.steps
           (Shl.Pretty.expr_to_string redex);
-        1
+        finish ~verdict:"stuck" ~ok:false
+          ~consumed:[ ("steps", st.Shl.Interp.steps) ]
+          1
       | Shl.Interp.Out_of_fuel (r, _), st ->
         Format.eprintf "out of %s budget (%d steps taken)@."
           (Robust.Budget.resource_name r)
           st.Shl.Interp.steps;
-        1)
+        finish
+          ~verdict:("out_of_fuel:" ^ Robust.Budget.resource_name r)
+          ~ok:false
+          ~consumed:[ ("steps", st.Shl.Interp.steps) ]
+          1)
   in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print step statistics.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an SHL program.")
     Term.(
-      const (fun () p f b s g -> Stdlib.exit (protect (fun () -> action p f b s g)))
-      $ obs_term $ program_term $ fuel_arg $ budget_arg $ stats $ engine_arg)
+      const (fun () p f b s g l ->
+          Stdlib.exit (protect (fun () -> action p f b s g l)))
+      $ obs_term $ program_term $ fuel_arg $ budget_arg $ stats $ engine_arg
+      $ ledger_arg)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
   let action program fuel =
     Obs.Metrics.set_enabled true;
-    let e = or_die (Result.bind program parse_program) in
+    let _, e = or_die (parse_labeled program) in
     let outcome, st = Shl.Interp.exec ~fuel e in
     (match outcome with
     | Shl.Interp.Value (v, _) ->
@@ -321,7 +460,7 @@ let stats_cmd =
 
 let trace_cmd =
   let action program n =
-    let e = or_die (Result.bind program parse_program) in
+    let _, e = or_die (parse_labeled program) in
     let tr = Shl.Interp.trace ~fuel:n e in
     List.iteri
       (fun i cfg ->
@@ -352,7 +491,7 @@ let analyze_cmd =
       Ok s
     with Sys_error m -> Error m
   in
-  let action expr files fmt fail_on only skip timings =
+  let action expr files fmt fail_on only skip timings ledger =
     List.iter
       (fun p ->
         if not (List.mem p An.pass_names) then
@@ -372,12 +511,16 @@ let analyze_cmd =
     in
     if programs = [] then
       or_die (Error "no program: use -e EXPR or give files");
+    let t0 = Unix.gettimeofday () in
+    let parsed =
+      List.map
+        (fun (label, src) -> (label, or_die (parse_program src)))
+        programs
+    in
     let reports =
       List.map
-        (fun (label, src) ->
-          let e = or_die (parse_program src) in
-          An.analyze ~passes:selected ~label e)
-        programs
+        (fun (label, e) -> An.analyze ~passes:selected ~label e)
+        parsed
     in
     (match fmt with
     | `Json ->
@@ -387,7 +530,24 @@ let analyze_cmd =
       List.iter
         (fun r -> Format.printf "%a@." (An.render_text ~timings) r)
         reports);
-    if List.exists (fun r -> An.fails ~fail_on r) reports then 1 else 0
+    let code =
+      if List.exists (fun r -> An.fails ~fail_on r) reports then 1 else 0
+    in
+    let total =
+      List.fold_left (fun acc r -> acc + List.length r.An.findings) 0 reports
+    in
+    ledger_append ledger ~cmd:"analyze"
+      ~label:(String.concat "," (List.map fst programs))
+      ~engine:"analysis"
+      ~program:
+        (String.concat "\x00"
+           (List.map (fun (_, e) -> Shl.Pretty.expr_to_string e) parsed))
+      ~spec:(String.concat "," selected)
+      ~consumed:[ ("findings", total) ]
+      ~t0
+      ~verdict:(if total = 0 then "clean" else Printf.sprintf "findings:%d" total)
+      ~ok:(code = 0) ();
+    code
   in
   let expr =
     Arg.(
@@ -439,9 +599,10 @@ let analyze_cmd =
           intervals, termination measures, race detection) over SHL \
           programs.")
     Term.(
-      const (fun () e fs fmt fo po sk t ->
-          Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t)))
-      $ obs_term $ expr $ files $ fmt $ fail_on $ only $ skip $ timings)
+      const (fun () e fs fmt fo po sk t l ->
+          Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t l)))
+      $ obs_term $ expr $ files $ fmt $ fail_on $ only $ skip $ timings
+      $ ledger_arg)
 
 (* ---- check-term ---- *)
 
@@ -458,18 +619,33 @@ let parse_credit s =
     | _ -> Error (Printf.sprintf "cannot parse credit %S (try: 100, w, w*2, w^2, w^w)" s))
 
 let check_term_cmd =
-  let action program credit budget explain =
-    let e = or_die (Result.bind program parse_program) in
+  let action program credit budget explain ledger =
+    let label, e = or_die (parse_labeled program) in
     let credits = or_die (parse_credit credit) in
+    let t0 = Unix.gettimeofday () in
     with_explain explain (fun () ->
         let v =
           Termination.Wp.run ?budget ~credits (Termination.Wp.adaptive ())
             (Shl.Step.config e)
         in
         Format.printf "%a@." Termination.Wp.pp_verdict v;
-        match v with
-        | Termination.Wp.Terminated _ -> 0
-        | Termination.Wp.Rejected _ -> 1)
+        let verdict, ok, st =
+          match v with
+          | Termination.Wp.Terminated (_, _, st) -> ("terminated", true, st)
+          | Termination.Wp.Rejected (r, st) ->
+            ("rejected:" ^ Termination.Wp.rule_name r, false, st)
+        in
+        ledger_append ledger ~cmd:"check-term" ~label
+          ~engine:"termination.wp/adaptive"
+          ~program:(Shl.Pretty.expr_to_string e)
+          ~spec:(Ord.to_string credits) ?budget
+          ~consumed:
+            [
+              ("steps", st.Termination.Wp.steps);
+              ("limit_refinements", st.Termination.Wp.limit_refinements);
+            ]
+          ~t0 ~verdict ~ok ();
+        if ok then 0 else 1)
   in
   let credit =
     Arg.(
@@ -481,13 +657,15 @@ let check_term_cmd =
     (Cmd.info "check-term"
        ~doc:"Verify termination of an SHL program with transfinite time credits.")
     Term.(
-      const (fun () p c b x -> Stdlib.exit (protect (fun () -> action p c b x)))
-      $ obs_term $ program_term $ credit $ budget_arg $ explain_term)
+      const (fun () p c b x l ->
+          Stdlib.exit (protect (fun () -> action p c b x l)))
+      $ obs_term $ program_term $ credit $ budget_arg $ explain_term
+      $ ledger_arg)
 
 (* ---- refine ---- *)
 
 let refine_cmd =
-  let action target source fuel budget explain =
+  let action target source fuel budget explain ledger =
     let parse_arg what = function
       | Some s -> parse_program s
       | None -> Error ("missing --" ^ what)
@@ -495,17 +673,49 @@ let refine_cmd =
     let t = or_die (parse_arg "target" target) in
     let s = or_die (parse_arg "source" source) in
     let tc = Shl.Step.config t and sc = Shl.Step.config s in
+    let t0 = Unix.gettimeofday () in
+    (* the refinement judgement has two texts: the target is the
+       "program", the source is its specification *)
+    let finish ~strategy v =
+      let verdict, ok, st =
+        match v with
+        | Refinement.Driver.Accepted (Refinement.Driver.Terminated _, st) ->
+          ("accepted", true, st)
+        | Refinement.Driver.Accepted (Refinement.Driver.Fuel_exhausted r, st)
+          ->
+          ("fuel_exhausted:" ^ Robust.Budget.resource_name r, true, st)
+        | Refinement.Driver.Rejected (r, st) ->
+          ("rejected:" ^ Refinement.Driver.rule_name r, false, st)
+      in
+      ledger_append ledger ~cmd:"refine"
+        ~label:
+          (Obs.Forensics.trunc ~limit:40 (Shl.Pretty.expr_to_string t)
+          ^ " =< "
+          ^ Obs.Forensics.trunc ~limit:40 (Shl.Pretty.expr_to_string s))
+        ~engine:("refinement.driver/" ^ strategy)
+        ~program:(Shl.Pretty.expr_to_string t)
+        ~spec:(Shl.Pretty.expr_to_string s)
+        ?budget
+        ~consumed:
+          [
+            ("steps", st.Refinement.Driver.target_steps);
+            ("source_steps", st.Refinement.Driver.source_steps);
+            ("stutters", st.Refinement.Driver.stutters);
+          ]
+        ~t0 ~verdict ~ok ();
+      match v with
+      | Refinement.Driver.Accepted _ -> 0
+      | Refinement.Driver.Rejected _ -> 1
+    in
     with_explain explain (fun () ->
         match Refinement.Strategy.oracle ~fuel ~target:tc ~source:sc () with
-        | Some strat -> (
+        | Some strat ->
           let v =
             Refinement.Driver.run ~fuel ?budget ~target:tc ~source:sc strat
           in
           Format.printf "%a@." Refinement.Driver.pp_verdict v;
-          match v with
-          | Refinement.Driver.Accepted _ -> 0
-          | Refinement.Driver.Rejected _ -> 1)
-        | None -> (
+          finish ~strategy:"oracle" v
+        | None ->
           (* no oracle certificate: fall back to lockstep (handles the
              diverging/diverging case) *)
           let v =
@@ -514,9 +724,7 @@ let refine_cmd =
           in
           Format.printf "(no oracle certificate; lockstep attempt)@.%a@."
             Refinement.Driver.pp_verdict v;
-          match v with
-          | Refinement.Driver.Accepted _ -> 0
-          | Refinement.Driver.Rejected _ -> 1))
+          finish ~strategy:"lockstep" v)
   in
   let target =
     Arg.(
@@ -534,8 +742,10 @@ let refine_cmd =
     (Cmd.info "refine"
        ~doc:"Check a termination-preserving refinement between two SHL programs.")
     Term.(
-      const (fun () t s f b x -> Stdlib.exit (protect (fun () -> action t s f b x)))
-      $ obs_term $ target $ source $ fuel_arg $ budget_arg $ explain_term)
+      const (fun () t s f b x l ->
+          Stdlib.exit (protect (fun () -> action t s f b x l)))
+      $ obs_term $ target $ source $ fuel_arg $ budget_arg $ explain_term
+      $ ledger_arg)
 
 (* ---- prove ---- *)
 
@@ -745,8 +955,9 @@ let profile_cmd =
 (* ---- chaos ---- *)
 
 let chaos_cmd =
-  let action seeds out =
+  let action seeds out ledger =
     if seeds <= 0 then or_die (Error "--seeds must be positive");
+    let t0 = Unix.gettimeofday () in
     let r = Robust.Chaos.run ~seeds () in
     Format.printf "%a@." Robust.Chaos.pp_report r;
     (match out with
@@ -757,6 +968,23 @@ let chaos_cmd =
       output_char oc '\n';
       close_out oc;
       Format.printf "report written to %s@." file);
+    let failures = List.length r.Robust.Chaos.failures in
+    (* one record for the whole battery; the seed count is the spec
+       (more seeds = a different, stronger check) *)
+    ledger_append ledger ~cmd:"chaos" ~label:"chaos-battery"
+      ~engine:"robust.chaos" ~program:"chaos-battery"
+      ~spec:(Printf.sprintf "seeds:%d" seeds)
+      ~consumed:
+        [
+          ("seeds", seeds);
+          ("checks", r.Robust.Chaos.checks_run);
+          ("failures", failures);
+        ]
+      ~t0
+      ~verdict:
+        (if Robust.Chaos.passed r then "passed"
+         else Printf.sprintf "failed:%d" failures)
+      ~ok:(Robust.Chaos.passed r) ();
     if Robust.Chaos.passed r then 0 else 1
   in
   let seeds =
@@ -779,8 +1007,84 @@ let chaos_cmd =
           under seeded fault injection: hostile schedulers, failing \
           allocations, throwing trace sinks, skewed clocks.")
     Term.(
-      const (fun () s o -> Stdlib.exit (protect (fun () -> action s o)))
-      $ obs_term $ seeds $ out)
+      const (fun () s o l -> Stdlib.exit (protect (fun () -> action s o l)))
+      $ obs_term $ seeds $ out $ ledger_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let action files diff threshold min_delta fmt =
+    let load path = or_die (Obs.Ledger.load ~path) in
+    match (diff, files) with
+    | false, [ path ] ->
+      let s = Obs.Report.summarize (load path) in
+      (match fmt with
+      | `Text -> print_string (Obs.Report.render_summary_text s)
+      | `Json ->
+        print_endline (Obs.Json.to_string (Obs.Report.summary_to_json s)));
+      0
+    | true, [ before; after ] ->
+      let d =
+        Obs.Report.diff ~threshold ~min_delta_ms:min_delta
+          ~before:(load before) ~after:(load after) ()
+      in
+      (match fmt with
+      | `Text -> print_string (Obs.Report.render_diff_text d)
+      | `Json -> print_endline (Obs.Json.to_string (Obs.Report.diff_to_json d)));
+      (* verdict flips and new failures fail the command; time
+         regressions stay advisory (the bench perf gate owns those) *)
+      if Obs.Report.failed d then 1 else 0
+    | false, _ ->
+      or_die (Error "report expects exactly one LEDGER (or --diff BEFORE AFTER)")
+    | true, _ -> or_die (Error "report --diff expects exactly two ledgers")
+  in
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"LEDGER" ~doc:"Run-ledger file(s) (JSONL, tfiris-run/1).")
+  in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare two ledgers (BEFORE AFTER): classify verdict flips, new \
+             failures and median-time regressions. Exit 1 when a verdict \
+             flipped or a new entry failed; time regressions are advisory.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.5
+      & info [ "threshold" ] ~docv:"X"
+          ~doc:
+            "Report a time regression when the median wall time grows beyond \
+             $(docv) times the baseline (with $(b,--min-delta-ms) absolute \
+             slack).")
+  in
+  let min_delta =
+    Arg.(
+      value & opt float 20.
+      & info [ "min-delta-ms" ] ~docv:"MS"
+          ~doc:
+            "Ignore median-time growth below $(docv) milliseconds — absolute \
+             noise floor for the regression classifier.")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Query the run ledger: list entries per content key (runs, verdict, \
+          wall-time trend, budget use), or diff two ledgers for verdict \
+          flips, new failures and time regressions.")
+    Term.(
+      const (fun fs d th md fmt ->
+          Stdlib.exit (protect (fun () -> action fs d th md fmt)))
+      $ files $ diff $ threshold $ min_delta $ fmt)
 
 (* ---- dilemma ---- *)
 
@@ -809,6 +1113,7 @@ let () =
             analyze_cmd;
             check_term_cmd;
             refine_cmd;
+            report_cmd;
             chaos_cmd;
             profile_cmd;
             dilemma_cmd;

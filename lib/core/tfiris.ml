@@ -44,6 +44,9 @@ module Obs = struct
   module Json = Tfiris_obs.Json
   module Profile = Tfiris_obs.Profile
   module Forensics = Tfiris_obs.Forensics
+  module Progress = Tfiris_obs.Progress
+  module Ledger = Tfiris_obs.Ledger
+  module Report = Tfiris_obs.Report
 end
 
 (** Resource governance and robustness (see DESIGN.md, "Robustness"):

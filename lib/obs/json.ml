@@ -43,7 +43,12 @@ let rec to_buffer b (j : t) =
   | Bool false -> Buffer.add_string b "false"
   | Int n -> Buffer.add_string b (string_of_int n)
   | Float f ->
-    if Float.is_integer f && Float.abs f < 1e15 then
+    (* RFC 8259 has no non-finite numbers; [%.17g] would print "nan" /
+       "inf", which the parser (rightly) rejects.  Emit null instead so
+       every printed document stays parseable. *)
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+      Buffer.add_string b "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Buffer.add_string b (Printf.sprintf "%.1f" f)
     else Buffer.add_string b (Printf.sprintf "%.17g" f)
   | Str s -> escape_string b s
@@ -253,4 +258,11 @@ let to_list = function List js -> Some js | _ -> None
 
 let to_int = function Int n -> Some n | _ -> None
 
+let to_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None
+
 let to_str = function Str s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None

@@ -1,0 +1,156 @@
+(** The append-only cross-run ledger ([tfiris-run/1]).
+
+    Verdicts here are deterministic proof-style artifacts: the same
+    program, spec and engine either terminates with the same answer or
+    something changed.  That makes every CLI invocation worth recording
+    — the ledger is one JSON object per line, appended by
+    [run]/[check-term]/[refine]/[analyze]/[chaos], and consumed by
+    [tfiris report] to trend wall time per entry and to diff two
+    ledgers for verdict flips.
+
+    Each record is addressed by a {e content key}: the hex digest of
+    (pretty-printed program, spec/strategy, engine id, tool version).
+    Two runs share a key exactly when they should produce the same
+    verdict, so a key is also a valid {e cache} key — the certificate
+    cache (ROADMAP item 3) is designed to reuse this discipline, which
+    is why the key deliberately excludes budgets, seeds and
+    observability settings (they affect {e whether} a verdict is
+    reached, never {e which}).
+
+    The digest is MD5 via the stdlib [Digest] — collision resistance is
+    irrelevant here (the ledger is not adversarial), stability across
+    OCaml versions and platforms is what matters, and the canonical
+    pre-image uses [\x00] separators so field boundaries cannot be
+    confused. *)
+
+let schema = "tfiris-run/1"
+
+type record = {
+  key : string;  (** content address, see {!content_key} *)
+  cmd : string;  (** CLI subcommand: run, check-term, refine, … *)
+  label : string;  (** human handle: file name or truncated source *)
+  engine : string;  (** e.g. ["shl.machine"], ["termination.wp/adaptive"] *)
+  version : string;  (** tool version the verdict was produced by *)
+  verdict : string;  (** e.g. ["value"], ["terminated"], ["rejected:beta"] *)
+  ok : bool;  (** did the command succeed (exit code 0)? *)
+  wall_ms : float;
+  consumed : (string * int) list;
+      (** budget consumption, e.g. [("steps", 412)] *)
+  detail : string option;  (** free-form, e.g. the final value *)
+  budget : Json.t option;  (** the budget the run was given *)
+  seed : int option;
+  metrics : Json.t option;  (** {!Metrics.to_json} snapshot if metrics on *)
+  forensics : Json.t option;
+      (** pointer into the forensics report on rejection *)
+}
+
+(* ---------- content keys ---------- *)
+
+let content_key ~program ~spec ~engine ~version =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ schema; program; spec; engine; version ]))
+
+(* ---------- JSON (field order is fixed; golden-tested) ---------- *)
+
+let to_json (r : record) : Json.t =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  Json.Obj
+    ([
+       ("schema", Json.Str schema);
+       ("key", Json.Str r.key);
+       ("cmd", Json.Str r.cmd);
+       ("label", Json.Str r.label);
+       ("engine", Json.Str r.engine);
+       ("version", Json.Str r.version);
+       ("verdict", Json.Str r.verdict);
+       ("ok", Json.Bool r.ok);
+       ("wall_ms", Json.Float r.wall_ms);
+       ("consumed", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.consumed));
+     ]
+    @ opt "detail" (fun s -> Json.Str s) r.detail
+    @ opt "budget" Fun.id r.budget
+    @ opt "seed" (fun n -> Json.Int n) r.seed
+    @ opt "metrics" Fun.id r.metrics
+    @ opt "forensics" Fun.id r.forensics)
+
+let of_json (j : Json.t) : (record, string) result =
+  let ( let* ) = Result.bind in
+  let req name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let opt name conv = Option.bind (Json.member name j) conv in
+  let* s = req "schema" Json.to_str in
+  if s <> schema then Error (Printf.sprintf "unknown ledger schema %S" s)
+  else
+    let* key = req "key" Json.to_str in
+    let* cmd = req "cmd" Json.to_str in
+    let* label = req "label" Json.to_str in
+    let* engine = req "engine" Json.to_str in
+    let* version = req "version" Json.to_str in
+    let* verdict = req "verdict" Json.to_str in
+    let* ok = req "ok" Json.to_bool in
+    let* wall_ms = req "wall_ms" Json.to_float in
+    let consumed =
+      match Json.member "consumed" j with
+      | Some (Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
+          kvs
+      | _ -> []
+    in
+    Ok
+      {
+        key;
+        cmd;
+        label;
+        engine;
+        version;
+        verdict;
+        ok;
+        wall_ms;
+        consumed;
+        detail = opt "detail" Json.to_str;
+        budget = Json.member "budget" j;
+        seed = opt "seed" Json.to_int;
+        metrics = Json.member "metrics" j;
+        forensics = Json.member "forensics" j;
+      }
+
+(* ---------- file IO ---------- *)
+
+(** Append one record to the JSONL file at [path], creating it if
+    needed.  One [open/write/close] per CLI invocation — the ledger is
+    written at most once per process, so there is nothing to batch. *)
+let append ~path (r : record) =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json r));
+      output_char oc '\n')
+
+(** Read a whole ledger back; blank lines are skipped, anything else
+    that fails to parse poisons the load with a line-numbered error
+    (a corrupt ledger should be noticed, not silently truncated). *)
+let load ~path : (record list, string) result =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go n acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line when String.trim line = "" -> go (n + 1) acc
+          | line -> (
+            match Json.of_string line with
+            | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m)
+            | Ok j -> (
+              match of_json j with
+              | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m)
+              | Ok r -> go (n + 1) (r :: acc)))
+        in
+        go 1 [])

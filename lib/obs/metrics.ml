@@ -196,6 +196,26 @@ let reset () =
         Array.fill h.h_buckets 0 n_buckets 0)
     registry
 
+(** Quantile estimate from the exponential buckets: the inclusive
+    upper bound of the bucket containing the [⌈q·count⌉]-th smallest
+    observation.  The estimate is exact at bucket boundaries (see
+    "Bucket boundaries" above) and otherwise overshoots by at most one
+    bucket width — i.e. at most 2× for this base-2 layout — which is
+    the honest resolution of the data actually kept.  [nan] on an
+    empty histogram. *)
+let estimate_quantile (h : hist_data) (q : float) : float =
+  if h.count = 0 then Float.nan
+  else
+    let rank =
+      Stdlib.min h.count
+        (Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))))
+    in
+    let rec go seen = function
+      | [] -> h.max (* unreachable: bucket counts sum to [count] *)
+      | (ub, c) :: rest -> if seen + c >= rank then ub else go (seen + c) rest
+    in
+    go 0 h.buckets
+
 (** [counter_value snap name]. *)
 let counter_value (snap : snapshot) name : int option =
   List.find_map
@@ -232,9 +252,12 @@ let render_text ppf (snap : snapshot) =
         | Counter_v (n, v) -> Format.fprintf ppf "%-*s %12d@." width n v
         | Gauge_v (n, v) -> Format.fprintf ppf "%-*s %12g@." width n v
         | Histogram_v (n, h) ->
-          Format.fprintf ppf "%-*s %12d obs  sum %.0f  max %.0f  mean %.1f@."
+          Format.fprintf ppf
+            "%-*s %12d obs  sum %.0f  max %.0f  mean %.1f  p50<=%.0f  \
+             p95<=%.0f@."
             width n h.count h.sum h.max
-            (if h.count = 0 then 0. else h.sum /. float_of_int h.count);
+            (if h.count = 0 then 0. else h.sum /. float_of_int h.count)
+            (estimate_quantile h 0.5) (estimate_quantile h 0.95);
           List.iter
             (fun (ub, c) ->
               Format.fprintf ppf "%-*s   <= %-10.0f %8d@." width "" ub c)
@@ -256,6 +279,8 @@ let to_json (snap : snapshot) : Json.t =
                  ("count", Json.Int h.count);
                  ("sum", Json.Float h.sum);
                  ("max", Json.Float h.max);
+                 ("p50_le", Json.Float (estimate_quantile h 0.5));
+                 ("p95_le", Json.Float (estimate_quantile h 0.95));
                  ( "buckets",
                    Json.List
                      (List.map

@@ -19,6 +19,7 @@ module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
 module Forensics = Tfiris_obs.Forensics
 module Json = Tfiris_obs.Json
+module Progress = Tfiris_obs.Progress
 module Budget = Tfiris_robust.Budget
 open Tfiris_shl
 
@@ -160,6 +161,15 @@ let certify ?fuel ?budget ~(tgt_sched : Conc.scheduler)
           scheduler)"
          { target_steps = 0; source_steps = 0; stutters = 0 })
   | Some t_total, Some s_total ->
+    let heartbeat =
+      Progress.tracker ~component:"refinement.conc" ~phase:"game" ()
+    in
+    let heartbeat_info () =
+      {
+        Progress.no_info with
+        Progress.budget_left = Budget.remaining_frac tm;
+      }
+    in
     let scheduled i = if t_total = 0 then s_total else s_total * i / t_total in
     let stutter_run = ref 0 in
     let flush_stutter_run () =
@@ -194,7 +204,10 @@ let certify ?fuel ?budget ~(tgt_sched : Conc.scheduler)
         | None -> reject "non_value_terminal" "non-value terminal state" st)
       | _ -> (
         if not (Budget.step tm) then Still_running (Budget.tripped tm, st)
-        else
+        else (
+          (match heartbeat with
+          | Some hb -> Progress.tick hb heartbeat_info
+          | None -> ());
           match sched_step tgt_sched tgt with
           | Error (`Stuck _) -> reject "target_stuck" "target stuck" st
           | Error (`Done _) -> Still_running (Budget.tripped tm, st)
@@ -254,7 +267,7 @@ let certify ?fuel ?budget ~(tgt_sched : Conc.scheduler)
               incr stutter_run;
               go tgt' src (Ord.descend budget)
                 { st with stutters = st.stutters + 1 }
-            end)
+            end))
     in
     let v =
       go

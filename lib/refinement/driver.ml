@@ -30,6 +30,7 @@ module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
 module Forensics = Tfiris_obs.Forensics
 module Json = Tfiris_obs.Json
+module Progress = Tfiris_obs.Progress
 module Budget = Tfiris_robust.Budget
 open Tfiris_shl
 
@@ -289,6 +290,12 @@ let run ?fuel ?budget ?(init_budget = Ord.omega_pow Ord.omega) ~target
   let b = Budget.resolve ?fuel ?budget ~default_steps:1_000_000 () in
   let tm = Budget.meter b in
   let sm = Budget.meter b in
+  (* Heartbeats count target steps (the game's clock); the budget
+     fraction reported is the target meter's. *)
+  let heartbeat = Progress.tracker ~component:"refinement.driver" ~phase:"game" () in
+  let heartbeat_info () =
+    { Progress.no_info with Progress.budget_left = Budget.remaining_frac tm }
+  in
   (* length of the current maximal run of consecutive stutters; flushed
      into the histogram at each advance and at game end *)
   let stutter_run = ref 0 in
@@ -339,6 +346,9 @@ let run ?fuel ?budget ?(init_budget = Ord.omega_pow Ord.omega) ~target
     | Machine.V_value v ->
       if not (is_ground v) then Rejected (Result_not_ground v, stats)
       else (
+        (match heartbeat with
+        | Some hb -> Progress.set_phase hb "drain"
+        | None -> ());
         match src_drain sm src with
         | Error r -> Rejected (r, stats)
         | Ok (v', extra) -> (
@@ -350,6 +360,9 @@ let run ?fuel ?budget ?(init_budget = Ord.omega_pow Ord.omega) ~target
       if not (Budget.step tm) then
         Accepted (Fuel_exhausted (Budget.tripped tm), stats)
       else (
+        (match heartbeat with
+        | Some hb -> Progress.tick hb heartbeat_info
+        | None -> ());
         match Machine.prim_step t with
         | Error (Step.Stuck redex) -> Rejected (Target_stuck redex, stats)
         | Error Step.Finished -> assert false

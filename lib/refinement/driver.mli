@@ -69,6 +69,12 @@ type verdict =
   | Rejected of reject_reason * stats
 
 val pp_reject : Format.formatter -> reject_reason -> unit
+
+val rule_name : reject_reason -> string
+(** Stable identifier for a rejection reason (e.g.
+    ["budget_not_decreasing"]) — used by forensics reports and run
+    ledger verdicts. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val is_ground : Ast.value -> bool

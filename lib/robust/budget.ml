@@ -108,6 +108,7 @@ let exhausted_counter = function
 let wall_check_period = 1024
 
 type meter = {
+  limits : t;  (** the budget this meter was created from *)
   mutable steps_left : int;
   mutable states_left : int;
   mutable cells_left : int;
@@ -126,6 +127,7 @@ let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 let meter (b : t) : meter =
   let lim = function Some n -> max n 0 | None -> max_int in
   {
+    limits = b;
     steps_left = lim b.steps;
     states_left = lim b.states;
     cells_left = lim b.heap_cells;
@@ -183,3 +185,26 @@ let cells (m : meter) n =
 let exhausted m = m.exhausted_
 let tripped m = match m.exhausted_ with Some r -> r | None -> Steps
 let steps_used m = m.steps_charged
+
+let limits m = m.limits
+
+(* Only the deterministic counters contribute: consulting the wall
+   clock here would make progress heartbeats nondeterministic under a
+   pinned tracing clock, and Wall_ms has its own lazy check anyway. *)
+let remaining_frac (m : meter) : float option =
+  let frac limit left =
+    match limit with
+    | Some n when n > 0 -> Some (float_of_int left /. float_of_int n)
+    | Some _ -> Some 0.
+    | None -> None
+  in
+  match
+    List.filter_map Fun.id
+      [
+        frac m.limits.steps m.steps_left;
+        frac m.limits.states m.states_left;
+        frac m.limits.heap_cells m.cells_left;
+      ]
+  with
+  | [] -> None
+  | fracs -> Some (List.fold_left Float.min 1. fracs)

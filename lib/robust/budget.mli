@@ -86,3 +86,14 @@ val tripped : meter -> resource
     where the meter is known to have tripped. *)
 
 val steps_used : meter -> int
+
+val limits : meter -> t
+(** The budget this meter was created from. *)
+
+val remaining_frac : meter -> float option
+(** Fraction (in [[0, 1]]) of the {e tightest} bounded deterministic
+    resource (steps, states or cells) still unspent — the "% budget
+    remaining" figure progress heartbeats display.  [None] when no
+    deterministic resource is bounded.  The wall-clock bound is
+    deliberately excluded: reading the clock here would make heartbeat
+    sequences nondeterministic under the pinned test clock. *)

@@ -20,6 +20,7 @@
 
 open Ast
 module Budget = Tfiris_robust.Budget
+module Progress = Tfiris_obs.Progress
 
 type cfg = {
   threads : Machine.t list;  (** thread 0 is the main thread *)
@@ -176,11 +177,25 @@ let explore ?max_states ?budget (c : cfg) : exploration =
     then finals := (v, h) :: !finals
   in
   let queue = Queue.create () in
+  (* Heartbeats count dequeued states; the gauges read the live visited
+     table and frontier, so a stalled sweep is visible as a flat-lining
+     states figure. *)
+  let heartbeat = Progress.tracker ~component:"conc.explore" () in
+  let heartbeat_info () =
+    {
+      Progress.states = Some (Hashtbl.length visited);
+      Progress.frontier = Some (Queue.length queue);
+      Progress.budget_left = Budget.remaining_frac m;
+    }
+  in
   Queue.add c queue;
   Hashtbl.replace visited (canon_key c) ();
   let _ = Budget.state m in
   while not (Queue.is_empty queue || !aborted) do
     let c = Queue.pop queue in
+    (match heartbeat with
+    | Some hb -> Progress.tick hb heartbeat_info
+    | None -> ());
     if not (Budget.step m) && Budget.exhausted m <> Some Budget.States then
       aborted := true
     else

@@ -26,6 +26,7 @@ module Metrics = Tfiris_obs.Metrics
 module Trace = Tfiris_obs.Trace
 module Forensics = Tfiris_obs.Forensics
 module Json = Tfiris_obs.Json
+module Progress = Tfiris_obs.Progress
 module Budget = Tfiris_robust.Budget
 open Tfiris_shl
 
@@ -154,6 +155,10 @@ let publish (v : verdict) : verdict =
     credit. *)
 let run ?budget ~credits (s : strategy) (cfg : Step.config) : verdict =
   let meter = Budget.meter (Option.value budget ~default:Budget.unlimited) in
+  let heartbeat = Progress.tracker ~component:"termination.wp" () in
+  let heartbeat_info () =
+    { Progress.no_info with Progress.budget_left = Budget.remaining_frac meter }
+  in
   let ring = Forensics.with_ring () in
   let spend ~step_no ~config ~kind ~credit =
     let res = s.spend ~step_no ~config ~kind ~credit in
@@ -172,7 +177,10 @@ let run ?budget ~credits (s : strategy) (cfg : Step.config) : verdict =
     | Machine.V_redex _ -> (
       if not (Budget.step meter) then
         Rejected (Out_of_budget (Budget.tripped meter), stats)
-      else
+      else (
+      (match heartbeat with
+      | Some t -> Progress.tick t heartbeat_info
+      | None -> ());
       match Machine.prim_step cfg with
       | Error (Step.Stuck redex) -> Rejected (Stuck redex, stats)
       | Error Step.Finished -> assert false
@@ -202,7 +210,7 @@ let run ?budget ~credits (s : strategy) (cfg : Step.config) : verdict =
           end
           else
             Rejected
-              (Not_decreasing (credit, credit'), { stats with steps = step_no })))
+              (Not_decreasing (credit, credit'), { stats with steps = step_no }))))
   in
   let verdict =
     if Trace.on () then

@@ -46,6 +46,11 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
+val rule_name : reason -> string
+(** Stable identifier for a rejection reason (e.g.
+    ["credit_not_decreasing"]) — used by forensics reports and run
+    ledger verdicts. *)
+
 val run :
   ?budget:Tfiris_robust.Budget.t ->
   credits:Ord.t ->

@@ -1,0 +1,633 @@
+(* The run ledger, live progress heartbeats and corpus reporting.
+
+   The ledger is an append-only JSONL file of verdict records addressed
+   by a content key (program, spec, engine, tool version) — the record
+   shape and the key are golden-tested byte-for-byte because external
+   tooling (and the planned certificate cache, ROADMAP item 3) depend
+   on their stability.  Heartbeat sequences are pinned through the
+   pluggable Trace clock.  The CLI round-trips are exercised end to end
+   through the built binary, like the --trace tests in test_obs.ml. *)
+
+open Tfiris
+module Json = Obs.Json
+module Ledger = Obs.Ledger
+module Report = Obs.Report
+module Progress = Obs.Progress
+module Trace = Obs.Trace
+module Budget = Robust.Budget
+module Shl = Tfiris.Shl
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let with_pinned_clock ?(start = 0) ?(step = 1000) f =
+  let t = ref (Int64.of_int (start - step)) in
+  Trace.set_clock (fun () ->
+      t := Int64.add !t (Int64.of_int step);
+      !t);
+  Fun.protect f ~finally:Trace.reset_clock
+
+(* A record with every field pinned, for the byte-level goldens. *)
+let sample_record =
+  {
+    Ledger.key =
+      Ledger.content_key ~program:"let x = 1 in x" ~spec:""
+        ~engine:"shl.machine" ~version:"1.0.0";
+    cmd = "run";
+    label = "<expr>";
+    engine = "shl.machine";
+    version = "1.0.0";
+    verdict = "value";
+    ok = true;
+    wall_ms = 1.5;
+    consumed = [ ("steps", 3) ];
+    detail = Some "1";
+    budget = None;
+    seed = None;
+    metrics = None;
+    forensics = None;
+  }
+
+(* ---------- record shape and content keys ---------- *)
+
+let test_record_golden () =
+  Alcotest.(check string)
+    "tfiris-run/1 record bytes"
+    ("{\"schema\":\"tfiris-run/1\","
+   ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+   ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+   ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+   ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},\"detail\":\"1\"}")
+    (Json.to_string (Ledger.to_json sample_record))
+
+let test_record_roundtrip () =
+  let r =
+    {
+      sample_record with
+      Ledger.verdict = "rejected:credit_not_decreasing";
+      ok = false;
+      seed = Some 42;
+      budget = Some (Json.Obj [ ("steps", Json.Int 100) ]);
+      forensics =
+        Some (Json.Obj [ ("component", Json.Str "termination.wp") ]);
+    }
+  in
+  match Ledger.of_json (Ledger.to_json r) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check bool) "round-trips exactly" true (r = r');
+    (* a wrong schema is refused, not coerced *)
+    let bad =
+      Json.Obj [ ("schema", Json.Str "tfiris-run/999") ]
+    in
+    (match Ledger.of_json bad with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "unknown schema accepted")
+
+let test_content_key_stability () =
+  let key () =
+    Ledger.content_key ~program:"let x = 1 in x" ~spec:""
+      ~engine:"shl.machine" ~version:"1.0.0"
+  in
+  (* byte-stable across calls and across releases of this code: the
+     pre-image is canonical, the digest is stdlib MD5 *)
+  Alcotest.(check string) "pinned hex digest"
+    "15669f5e73b4bc124153de3076768bbe" (key ());
+  Alcotest.(check string) "same inputs, same key" (key ()) (key ());
+  let base = key () in
+  let changed ~program ~spec ~engine ~version =
+    Ledger.content_key ~program ~spec ~engine ~version
+  in
+  Alcotest.(check bool) "engine changes the key" true
+    (base
+    <> changed ~program:"let x = 1 in x" ~spec:"" ~engine:"shl.reference"
+         ~version:"1.0.0");
+  Alcotest.(check bool) "program changes the key" true
+    (base
+    <> changed ~program:"let x = 2 in x" ~spec:"" ~engine:"shl.machine"
+         ~version:"1.0.0");
+  Alcotest.(check bool) "spec changes the key" true
+    (base
+    <> changed ~program:"let x = 1 in x" ~spec:"w" ~engine:"shl.machine"
+         ~version:"1.0.0");
+  Alcotest.(check bool) "version changes the key" true
+    (base
+    <> changed ~program:"let x = 1 in x" ~spec:"" ~engine:"shl.machine"
+         ~version:"1.0.1");
+  (* \x00 separators: field boundaries cannot be confused *)
+  Alcotest.(check bool) "fields do not bleed" true
+    (changed ~program:"ab" ~spec:"c" ~engine:"e" ~version:"v"
+    <> changed ~program:"a" ~spec:"bc" ~engine:"e" ~version:"v")
+
+let test_append_load_roundtrip () =
+  let path = Filename.temp_file "tfiris_ledger" ".jsonl" in
+  Sys.remove path;
+  (* append creates the file *)
+  Ledger.append ~path sample_record;
+  Ledger.append ~path { sample_record with Ledger.verdict = "stuck"; ok = false };
+  (match Ledger.load ~path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok rs ->
+    Alcotest.(check int) "both records back" 2 (List.length rs);
+    Alcotest.(check bool) "first round-trips" true
+      (List.nth rs 0 = sample_record);
+    Alcotest.(check string) "order preserved" "stuck"
+      (List.nth rs 1).Ledger.verdict);
+  Sys.remove path
+
+let test_load_malformed () =
+  let path = Filename.temp_file "tfiris_ledger" ".jsonl" in
+  let oc = open_out path in
+  output_string oc (Json.to_string (Ledger.to_json sample_record));
+  output_string oc "\n\nnot json at all\n";
+  close_out oc;
+  (match Ledger.load ~path with
+  | Ok _ -> Alcotest.fail "corrupt ledger loaded silently"
+  | Error e ->
+    (* blank line skipped, so the bad line is reported as line 3 *)
+    Alcotest.(check bool)
+      (Printf.sprintf "error is line-numbered (%s)" e)
+      true
+      (String.length e > 0
+      && List.exists
+           (fun sub ->
+             let rec go i =
+               i + String.length sub <= String.length e
+               && (String.sub e i (String.length sub) = sub || go (i + 1))
+             in
+             go 0)
+           [ ":3:" ]));
+  Sys.remove path
+
+(* ---------- corpus summaries and diffs ---------- *)
+
+let rec_of ?(cmd = "run") ?(ok = true) ?(wall = 1.0) ?steps ~key ~verdict () =
+  {
+    sample_record with
+    Ledger.key;
+    cmd;
+    verdict;
+    ok;
+    wall_ms = wall;
+    consumed = (match steps with None -> [] | Some n -> [ ("steps", n) ]);
+    label = key;
+  }
+
+let test_summarize () =
+  let records =
+    [
+      rec_of ~key:"a" ~verdict:"value" ~wall:1.0 ~steps:10 ();
+      rec_of ~key:"b" ~verdict:"terminated" ~wall:5.0 ();
+      rec_of ~key:"a" ~verdict:"value" ~wall:3.0 ~steps:10 ();
+      rec_of ~key:"a" ~verdict:"value" ~wall:2.0 ~steps:12 ();
+    ]
+  in
+  match Report.summarize records with
+  | [ a; b ] ->
+    Alcotest.(check string) "first-appearance order" "a" a.Report.s_key;
+    Alcotest.(check int) "runs grouped" 3 a.Report.s_runs;
+    Alcotest.(check (float 1e-9)) "median wall" 2.0 a.Report.s_median_ms;
+    Alcotest.(check (float 1e-9)) "min wall" 1.0 a.Report.s_min_ms;
+    Alcotest.(check (float 1e-9)) "max wall" 3.0 a.Report.s_max_ms;
+    Alcotest.(check (option int)) "median steps" (Some 10)
+      a.Report.s_median_steps;
+    Alcotest.(check bool) "stable verdict" false a.Report.s_unstable;
+    Alcotest.(check string) "other key kept" "b" b.Report.s_key;
+    Alcotest.(check (option int)) "no steps recorded" None
+      b.Report.s_median_steps
+  | l -> Alcotest.failf "expected 2 summaries, got %d" (List.length l)
+
+let test_summarize_unstable () =
+  let records =
+    [
+      rec_of ~key:"a" ~verdict:"value" ();
+      rec_of ~key:"a" ~verdict:"stuck" ~ok:false ();
+    ]
+  in
+  match Report.summarize records with
+  | [ a ] ->
+    Alcotest.(check bool) "disagreement surfaces" true a.Report.s_unstable;
+    Alcotest.(check string) "latest verdict wins" "stuck" a.Report.s_verdict
+  | _ -> Alcotest.fail "expected one summary"
+
+(* One diff exercising every change class at once — and the injected
+   verdict flip the acceptance criteria ask the diff to detect. *)
+let test_diff_classification () =
+  let before =
+    [
+      rec_of ~key:"flip" ~verdict:"terminated" ();
+      rec_of ~key:"same" ~verdict:"value" ();
+      rec_of ~key:"slow" ~verdict:"value" ~wall:10.0 ();
+      rec_of ~key:"gone" ~verdict:"value" ();
+    ]
+  in
+  let after =
+    [
+      rec_of ~key:"flip" ~verdict:"rejected:credit_not_decreasing" ~ok:false ();
+      rec_of ~key:"same" ~verdict:"value" ();
+      rec_of ~key:"slow" ~verdict:"value" ~wall:100.0 ();
+      rec_of ~key:"fresh-fail" ~verdict:"stuck" ~ok:false ();
+      rec_of ~key:"fresh-ok" ~verdict:"value" ();
+    ]
+  in
+  let d = Report.diff ~before ~after () in
+  Alcotest.(check int) "keys in both" 3 d.Report.compared;
+  Alcotest.(check int) "one flip" 1 d.Report.flips;
+  Alcotest.(check int) "one new failure" 1 d.Report.new_failures;
+  Alcotest.(check int) "one time regression" 1 d.Report.regressions;
+  Alcotest.(check bool) "flips fail the diff" true (Report.failed d);
+  let classes =
+    List.map
+      (fun e -> (Report.change_name e.Report.d_change, e.Report.d_key))
+      d.Report.entries
+  in
+  Alcotest.(check (list (pair string string)))
+    "entries ordered by severity"
+    [
+      ("verdict-flip", "flip");
+      ("new-failure", "fresh-fail");
+      ("time-regression", "slow");
+      ("added", "fresh-ok");
+      ("removed", "gone");
+    ]
+    classes;
+  (match d.Report.entries with
+  | flip :: _ ->
+    Alcotest.(check (option string)) "flip: before verdict"
+      (Some "terminated") flip.Report.d_before;
+    Alcotest.(check (option string)) "flip: after verdict"
+      (Some "rejected:credit_not_decreasing") flip.Report.d_after
+  | [] -> Alcotest.fail "no entries");
+  (* the rendered forms carry the counts *)
+  let txt = Report.render_diff_text d in
+  Alcotest.(check bool) "text totals" true
+    (let sub = "3 compared: 1 verdict flip, 1 new failure, 1 time regression" in
+     let rec go i =
+       i + String.length sub <= String.length txt
+       && (String.sub txt i (String.length sub) = sub || go (i + 1))
+     in
+     go 0);
+  match Json.of_string (Json.to_string (Report.diff_to_json d)) with
+  | Error e -> Alcotest.failf "diff JSON unparseable: %s" e
+  | Ok j ->
+    Alcotest.(check (option bool)) "json failed flag" (Some true)
+      (Option.bind (Json.member "failed" j) Json.to_bool)
+
+let test_diff_time_only_is_advisory () =
+  let before = [ rec_of ~key:"slow" ~verdict:"value" ~wall:10.0 () ] in
+  let after = [ rec_of ~key:"slow" ~verdict:"value" ~wall:100.0 () ] in
+  let d = Report.diff ~before ~after () in
+  Alcotest.(check int) "regression seen" 1 d.Report.regressions;
+  Alcotest.(check bool) "but the diff passes" false (Report.failed d);
+  (* below the absolute noise floor nothing is reported at all *)
+  let before = [ rec_of ~key:"jitter" ~verdict:"value" ~wall:0.1 () ] in
+  let after = [ rec_of ~key:"jitter" ~verdict:"value" ~wall:1.0 () ] in
+  let d = Report.diff ~before ~after () in
+  Alcotest.(check int) "10x of nothing is nothing" 0 d.Report.regressions
+
+(* ---------- budget fractions ---------- *)
+
+let test_remaining_frac () =
+  let m = Budget.meter (Budget.of_steps 10) in
+  Alcotest.(check (option (float 1e-9))) "full" (Some 1.0)
+    (Budget.remaining_frac m);
+  for _ = 1 to 5 do
+    ignore (Budget.step m)
+  done;
+  Alcotest.(check (option (float 1e-9))) "half spent" (Some 0.5)
+    (Budget.remaining_frac m);
+  for _ = 1 to 20 do
+    ignore (Budget.step m)
+  done;
+  Alcotest.(check (option (float 1e-9))) "clamped at zero" (Some 0.0)
+    (Budget.remaining_frac m);
+  (* nothing bounded (wall deliberately excluded): no fraction *)
+  Alcotest.(check (option (float 1e-9))) "unbounded -> None" None
+    (Budget.remaining_frac (Budget.meter Budget.unlimited))
+
+(* ---------- heartbeats ---------- *)
+
+(* Sink + enabled + period bracket, mirroring with_memory_trace. *)
+let with_heartbeats ?(every = 5) f =
+  let sink, contents = Progress.memory_sink () in
+  let prev = Progress.install sink in
+  Progress.set_every every;
+  let r = Fun.protect ~finally:(fun () -> Progress.restore prev) f in
+  (r, contents ())
+
+let test_heartbeat_deterministic () =
+  (* one clock reading at tracker creation, then one per heartbeat:
+     with a 1ms step the n-th heartbeat sits at n ms, and each covers
+     [every] units in exactly 1ms *)
+  let (), snaps =
+    with_heartbeats ~every:5 (fun () ->
+        with_pinned_clock ~start:0 ~step:1_000_000 (fun () ->
+            match Progress.tracker ~component:"test.comp" () with
+            | None -> Alcotest.fail "enabled tracker missing"
+            | Some t ->
+              for _ = 1 to 12 do
+                Progress.tick t (fun () -> Progress.no_info)
+              done))
+  in
+  let shape =
+    List.map
+      (fun s ->
+        Progress.
+          (s.s_component, s.s_phase, s.s_seq, s.s_units, s.s_rate, s.s_elapsed_ms))
+      snaps
+  in
+  Alcotest.(check int) "12 ticks at every=5 -> 2 heartbeats" 2
+    (List.length snaps);
+  Alcotest.(check bool) "pinned sequence" true
+    (shape
+    = [
+        ("test.comp", "run", 1, 5, 5000., 1.0);
+        ("test.comp", "run", 2, 10, 5000., 2.0);
+      ])
+
+let test_heartbeat_phase_and_gauges () =
+  let (), snaps =
+    with_heartbeats ~every:2 (fun () ->
+        with_pinned_clock (fun () ->
+            match Progress.tracker ~component:"c" ~phase:"game" () with
+            | None -> Alcotest.fail "enabled tracker missing"
+            | Some t ->
+              let info () =
+                {
+                  Progress.states = Some 7;
+                  frontier = Some 3;
+                  budget_left = Some 0.25;
+                }
+              in
+              Progress.tick t info;
+              Progress.tick t info;
+              Progress.set_phase t "drain";
+              Progress.tick t info;
+              Progress.tick t info))
+  in
+  match snaps with
+  | [ s1; s2 ] ->
+    Alcotest.(check string) "initial phase" "game" s1.Progress.s_phase;
+    Alcotest.(check string) "phase change tracked" "drain" s2.Progress.s_phase;
+    Alcotest.(check (option int)) "states gauge" (Some 7) s1.Progress.s_states;
+    Alcotest.(check (option int)) "frontier gauge" (Some 3)
+      s1.Progress.s_frontier;
+    Alcotest.(check (option (float 0.))) "budget gauge" (Some 0.25)
+      s1.Progress.s_budget_left
+  | l -> Alcotest.failf "expected 2 heartbeats, got %d" (List.length l)
+
+let test_heartbeat_disabled_is_free () =
+  Alcotest.(check bool) "tracker is None when off" true
+    (Progress.tracker ~component:"c" () = None)
+
+let test_heartbeat_sink_errors_contained () =
+  let prev = Progress.install (fun _ -> failwith "boom") in
+  Progress.set_every 1;
+  Fun.protect
+    ~finally:(fun () -> Progress.restore prev)
+    (fun () ->
+      match Progress.tracker ~component:"c" () with
+      | None -> Alcotest.fail "enabled tracker missing"
+      | Some t ->
+        (* must not raise *)
+        Progress.tick t (fun () -> Progress.no_info))
+
+let test_heartbeat_json () =
+  let snap =
+    {
+      Progress.s_component = "conc.explore";
+      s_phase = "run";
+      s_seq = 1;
+      s_units = 100;
+      s_rate = 5000.;
+      s_elapsed_ms = 20.;
+      s_states = Some 42;
+      s_frontier = Some 7;
+      s_budget_left = Some 0.5;
+    }
+  in
+  Alcotest.(check string) "tfiris-progress/1 bytes"
+    ("{\"schema\":\"tfiris-progress/1\",\"component\":\"conc.explore\","
+   ^ "\"phase\":\"run\",\"seq\":1,\"units\":100,\"rate\":5000.0,"
+   ^ "\"elapsed_ms\":20.0,\"states\":42,\"frontier\":7,\"budget_left\":0.5}")
+    (Json.to_string (Progress.to_json snap))
+
+(* The instrumented drivers: the explorer's heartbeats carry the live
+   visited/frontier gauges; the termination driver reports the budget
+   fraction. *)
+let test_explore_heartbeats () =
+  let (result, snaps) =
+    with_heartbeats ~every:10 (fun () ->
+        Shl.Conc.explore (Shl.Conc.init Shl.Conc.racy_incr))
+  in
+  Alcotest.(check bool) "exploration unaffected" true
+    (result.Shl.Conc.states > 0);
+  Alcotest.(check bool) "heartbeats fired" true (snaps <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "component" "conc.explore"
+        s.Progress.s_component;
+      Alcotest.(check bool) "states gauge present" true
+        (s.Progress.s_states <> None);
+      Alcotest.(check bool) "frontier gauge present" true
+        (s.Progress.s_frontier <> None);
+      Alcotest.(check bool) "budget gauge present" true
+        (s.Progress.s_budget_left <> None))
+    snaps
+
+let test_wp_heartbeats () =
+  let e = Shl.Parser.parse_exn "(rec f n. if n = 0 then 0 else f (n - 1)) 50" in
+  let (verdict, snaps) =
+    with_heartbeats ~every:20 (fun () ->
+        Termination.Wp.run
+          ~budget:(Budget.of_steps 10_000)
+          ~credits:Tfiris_ordinal.Ord.omega
+          (Termination.Wp.adaptive ())
+          (Shl.Step.config e))
+  in
+  (match verdict with
+  | Termination.Wp.Terminated _ -> ()
+  | v ->
+    Alcotest.failf "run must still terminate: %a" Termination.Wp.pp_verdict v);
+  Alcotest.(check bool) "heartbeats fired" true (snaps <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "component" "termination.wp"
+        s.Progress.s_component;
+      match s.Progress.s_budget_left with
+      | Some f ->
+        Alcotest.(check bool) "fraction in [0,1]" true (f >= 0. && f <= 1.)
+      | None -> Alcotest.fail "budget gauge missing under a step budget")
+    snaps
+
+let test_refine_heartbeats () =
+  let (verdict, snaps) =
+    with_heartbeats ~every:1 (fun () ->
+        Refinement.Memo_spec.certify (Refinement.Memo_spec.fib_instance 4))
+  in
+  (match verdict with
+  | Some (Refinement.Driver.Accepted _) -> ()
+  | Some (Refinement.Driver.Rejected (r, _)) ->
+    Alcotest.failf "refinement must still accept: %a"
+      Refinement.Driver.pp_reject r
+  | None -> Alcotest.fail "memo_fib certificate missing");
+  Alcotest.(check bool) "heartbeats fired" true (snaps <> []);
+  match snaps with
+  | s :: _ ->
+    Alcotest.(check string) "component" "refinement.driver"
+      s.Progress.s_component;
+    Alcotest.(check string) "game phase first" "game" s.Progress.s_phase
+  | [] -> ()
+
+(* ---------- end to end through the binary ---------- *)
+
+let exe = "../bin/tfiris_cli.exe"
+
+let sh fmt = Printf.ksprintf (fun cmd -> Sys.command cmd) fmt
+
+let test_cli_ledger_keys_stable () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  let led = Filename.temp_file "tfiris_led" ".jsonl" in
+  Sys.remove led;
+  Alcotest.(check int) "first run" 0
+    (sh "%s run -e '1 + 2' --ledger=%s > /dev/null" exe (Filename.quote led));
+  Alcotest.(check int) "second run" 0
+    (sh "%s run -e '1 + 2' --ledger=%s > /dev/null" exe (Filename.quote led));
+  Alcotest.(check int) "different engine" 0
+    (sh "%s run -e '1 + 2' --engine=lockstep --ledger=%s > /dev/null" exe
+       (Filename.quote led));
+  (match Ledger.load ~path:led with
+  | Error e -> Alcotest.failf "ledger unreadable: %s" e
+  | Ok [ r1; r2; r3 ] ->
+    Alcotest.(check string) "same invocation, same key" r1.Ledger.key
+      r2.Ledger.key;
+    Alcotest.(check bool) "engine changes the key" true
+      (r1.Ledger.key <> r3.Ledger.key);
+    Alcotest.(check string) "verdict recorded" "value" r1.Ledger.verdict;
+    Alcotest.(check bool) "steps recorded" true
+      (List.mem_assoc "steps" r1.Ledger.consumed);
+    Alcotest.(check string) "tool version stamped" Tfiris.version
+      r1.Ledger.version
+  | Ok rs -> Alcotest.failf "expected 3 records, got %d" (List.length rs));
+  Sys.remove led
+
+let test_cli_ledger_all_commands () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  let led = Filename.temp_file "tfiris_led" ".jsonl" in
+  Sys.remove led;
+  Alcotest.(check int) "check-term" 0
+    (sh
+       "%s check-term -e '(rec f n. if n = 0 then 0 else f (n - 1)) 10' \
+        --ledger=%s > /dev/null"
+       exe (Filename.quote led));
+  Alcotest.(check int) "refine" 0
+    (sh "%s refine --target='1 + 2' --source='3 - 0' --ledger=%s > /dev/null"
+       exe (Filename.quote led));
+  Alcotest.(check int) "analyze" 0
+    (sh "%s analyze -e '1 + 2' --ledger=%s > /dev/null" exe
+       (Filename.quote led));
+  Alcotest.(check int) "chaos" 0
+    (sh "%s chaos --seeds=2 --ledger=%s > /dev/null" exe (Filename.quote led));
+  (match Ledger.load ~path:led with
+  | Error e -> Alcotest.failf "ledger unreadable: %s" e
+  | Ok rs ->
+    Alcotest.(check (list string)) "every verdict-producing command appends"
+      [ "check-term"; "refine"; "analyze"; "chaos" ]
+      (List.map (fun r -> r.Ledger.cmd) rs);
+    List.iter
+      (fun r -> Alcotest.(check bool) "all green" true r.Ledger.ok)
+      rs);
+  Sys.remove led
+
+let test_cli_report_diff_detects_flip () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  let before = Filename.temp_file "tfiris_led_a" ".jsonl" in
+  let after = Filename.temp_file "tfiris_led_b" ".jsonl" in
+  Sys.remove before;
+  Sys.remove after;
+  Ledger.append ~path:before sample_record;
+  Ledger.append ~path:after
+    { sample_record with Ledger.verdict = "stuck"; ok = false };
+  (* same ledger on both sides: clean, exit 0 *)
+  Alcotest.(check int) "no changes -> exit 0" 0
+    (sh "%s report --diff %s %s > /dev/null" exe (Filename.quote before)
+       (Filename.quote before));
+  (* injected verdict flip: exit 1 *)
+  Alcotest.(check int) "verdict flip -> exit 1" 1
+    (sh "%s report --diff %s %s > /dev/null" exe (Filename.quote before)
+       (Filename.quote after));
+  (* summary mode exits 0 and renders *)
+  Alcotest.(check int) "summary exits 0" 0
+    (sh "%s report %s > /dev/null" exe (Filename.quote before));
+  Sys.remove before;
+  Sys.remove after
+
+let test_cli_progress_jsonl () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  let out = Filename.temp_file "tfiris_prog" ".jsonl" in
+  Alcotest.(check int) "run with progress" 0
+    (sh
+       "%s check-term -e '(rec f n. if n = 0 then 0 else f (n - 1)) 100' \
+        --progress=every:50,%s > /dev/null 2>&1"
+       exe (Filename.quote out));
+  let lines =
+    String.split_on_char '\n' (read_file out)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check bool) "heartbeats written" true (List.length lines >= 2);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "heartbeat unparseable: %s" e
+      | Ok j ->
+        Alcotest.(check (option string)) "schema" (Some "tfiris-progress/1")
+          (Option.bind (Json.member "schema" j) Json.to_str);
+        Alcotest.(check (option string)) "component"
+          (Some "termination.wp")
+          (Option.bind (Json.member "component" j) Json.to_str))
+    lines;
+  Sys.remove out
+
+let suite =
+  [
+    Alcotest.test_case "run record golden" `Quick test_record_golden;
+    Alcotest.test_case "record round-trip" `Quick test_record_roundtrip;
+    Alcotest.test_case "content key stability" `Quick
+      test_content_key_stability;
+    Alcotest.test_case "append/load round-trip" `Quick
+      test_append_load_roundtrip;
+    Alcotest.test_case "corrupt ledger refused" `Quick test_load_malformed;
+    Alcotest.test_case "summaries per key" `Quick test_summarize;
+    Alcotest.test_case "unstable verdicts surface" `Quick
+      test_summarize_unstable;
+    Alcotest.test_case "diff classifies changes" `Quick
+      test_diff_classification;
+    Alcotest.test_case "time regressions are advisory" `Quick
+      test_diff_time_only_is_advisory;
+    Alcotest.test_case "budget remaining fraction" `Quick test_remaining_frac;
+    Alcotest.test_case "deterministic heartbeat sequence" `Quick
+      test_heartbeat_deterministic;
+    Alcotest.test_case "heartbeat phases and gauges" `Quick
+      test_heartbeat_phase_and_gauges;
+    Alcotest.test_case "disabled tracker is None" `Quick
+      test_heartbeat_disabled_is_free;
+    Alcotest.test_case "sink errors contained" `Quick
+      test_heartbeat_sink_errors_contained;
+    Alcotest.test_case "heartbeat JSON golden" `Quick test_heartbeat_json;
+    Alcotest.test_case "explore emits gauges" `Quick test_explore_heartbeats;
+    Alcotest.test_case "wp emits budget fraction" `Quick test_wp_heartbeats;
+    Alcotest.test_case "refinement driver emits heartbeats" `Quick
+      test_refine_heartbeats;
+    Alcotest.test_case "cli: ledger keys stable" `Quick
+      test_cli_ledger_keys_stable;
+    Alcotest.test_case "cli: every command appends" `Quick
+      test_cli_ledger_all_commands;
+    Alcotest.test_case "cli: report --diff detects flip" `Quick
+      test_cli_report_diff_detects_flip;
+    Alcotest.test_case "cli: --progress writes JSONL" `Quick
+      test_cli_progress_jsonl;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("termination", Test_termination.suite);
       ("promises", Test_promises.suite);
       ("obs", Test_obs.suite);
+      ("ledger", Test_ledger.suite);
       ("profile", Test_profile.suite);
       ("forensics", Test_forensics.suite);
       ("robust", Test_robust.suite);

@@ -426,6 +426,129 @@ let test_hist_snapshot_bounds () =
           [ (1., 1); (2., 1); (4., 1) ]
           d.Metrics.buckets)
 
+(* Quantile estimates from the exponential buckets: the estimate is the
+   inclusive upper bound of the bucket holding the rank-⌈q·count⌉
+   observation — exact when observations sit on bucket boundaries
+   (powers of two), otherwise an overshoot of at most one bucket. *)
+let find_hist name =
+  List.find_map
+    (function Metrics.Histogram_v (n, d) when n = name -> Some d | _ -> None)
+    (Metrics.snapshot ())
+
+let test_hist_quantiles () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.obs.quant" in
+      List.iter (Metrics.observe_int h) [ 1; 2; 3; 1000 ];
+      match find_hist "test.obs.quant" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some d ->
+        (* rank ⌈0.5·4⌉ = 2 falls in (1,2]; rank ⌈0.95·4⌉ = 4 is the
+           1000 observation, kept in (512,1024] *)
+        Alcotest.(check (float 0.)) "p50" 2. (Metrics.estimate_quantile d 0.5);
+        Alcotest.(check (float 0.))
+          "p95" 1024.
+          (Metrics.estimate_quantile d 0.95);
+        Alcotest.(check (float 0.))
+          "p100 tops out at the last bucket" 1024.
+          (Metrics.estimate_quantile d 1.0);
+        Alcotest.(check (float 0.))
+          "p0 clamps to rank 1" 1.
+          (Metrics.estimate_quantile d 0.))
+
+let test_hist_quantiles_boundary_exact () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.obs.quant2" in
+      List.iter (Metrics.observe_int h) [ 4; 4; 4; 4 ];
+      match find_hist "test.obs.quant2" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some d ->
+        Alcotest.(check (float 0.))
+          "boundary observation is exact (p50)" 4.
+          (Metrics.estimate_quantile d 0.5);
+        Alcotest.(check (float 0.))
+          "boundary observation is exact (p95)" 4.
+          (Metrics.estimate_quantile d 0.95))
+
+let test_hist_quantiles_empty () =
+  let d = { Metrics.count = 0; sum = 0.; max = 0.; buckets = [] } in
+  Alcotest.(check bool)
+    "empty histogram has no estimate" true
+    (Float.is_nan (Metrics.estimate_quantile d 0.5))
+
+(* The estimates ride along in both renderings. *)
+let test_hist_quantiles_rendered () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.obs.quant3" in
+      List.iter (Metrics.observe_int h) [ 1; 2; 3; 1000 ];
+      let snap = Metrics.snapshot () in
+      let text = Format.asprintf "%a" Metrics.render_text snap in
+      let has sub =
+        let rec go i =
+          i + String.length sub <= String.length text
+          && (String.sub text i (String.length sub) = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "text shows p50<=" true (has "p50<=2");
+      Alcotest.(check bool) "text shows p95<=" true (has "p95<=1024");
+      match
+        Result.bind
+          (Json.of_string (Json.to_string (Metrics.to_json snap)))
+          (fun j ->
+            Option.to_result ~none:"hist object missing"
+              (Json.member "test.obs.quant3" j))
+      with
+      | Error e -> Alcotest.fail e
+      | Ok hist ->
+        let field k =
+          match Option.bind (Json.member k hist) Json.to_float with
+          | Some f -> f
+          | None -> Alcotest.failf "field %s missing" k
+        in
+        Alcotest.(check (float 0.)) "json p50_le" 2. (field "p50_le");
+        Alcotest.(check (float 0.)) "json p95_le" 1024. (field "p95_le"))
+
+(* ---------- JSON writer audit (satellite S2) ---------- *)
+
+(* Every control character below U+0020 must leave the writer escaped —
+   RFC 8259 forbids them raw inside strings — and survive a round-trip
+   through our own reader. *)
+let test_json_control_chars_exhaustive () =
+  for i = 0 to 0x1F do
+    let s = Printf.sprintf "a%cb" (Char.chr i) in
+    let line = Json.to_string (Json.Str s) in
+    String.iter
+      (fun c ->
+        if Char.code c < 0x20 then
+          Alcotest.failf "U+%04X emitted raw (in %S)" i line)
+      line;
+    match Json.of_string line with
+    | Ok (Json.Str s') ->
+      Alcotest.(check string) (Printf.sprintf "U+%04X round-trips" i) s s'
+    | Ok _ -> Alcotest.failf "U+%04X reparsed as a non-string" i
+    | Error e -> Alcotest.failf "U+%04X unparseable: %s" i e
+  done
+
+(* RFC 8259 has no representation for non-finite numbers; the writer
+   used to print [nan]/[inf] literally, producing invalid JSON.  They
+   now degrade to [null]. *)
+let test_json_nonfinite_floats () =
+  Alcotest.(check string)
+    "nan -> null" "null"
+    (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf -> null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string)
+    "-inf -> null" "null"
+    (Json.to_string (Json.Float Float.neg_infinity));
+  match Json.of_string (Json.to_string (Json.Obj [ ("x", Json.Float Float.nan) ])) with
+  | Ok j ->
+    Alcotest.(check bool)
+      "nan field reparses as null" true
+      (Json.member "x" j = Some Json.Null)
+  | Error e -> Alcotest.failf "nan-bearing object unparseable: %s" e
+
 (* The anti-drift property ISSUE.md asks for: on arbitrary generated
    programs, the per-kind step counters published to the registry sum to
    exactly [stats.steps], which in turn equals the step count implied by
@@ -490,6 +613,18 @@ let suite =
       test_hist_bucket_boundaries;
     Alcotest.test_case "histogram snapshot bounds" `Quick
       test_hist_snapshot_bounds;
+    Alcotest.test_case "histogram quantile estimates" `Quick
+      test_hist_quantiles;
+    Alcotest.test_case "quantiles exact at bucket boundaries" `Quick
+      test_hist_quantiles_boundary_exact;
+    Alcotest.test_case "quantiles on empty histogram" `Quick
+      test_hist_quantiles_empty;
+    Alcotest.test_case "quantiles in text and JSON renderings" `Quick
+      test_hist_quantiles_rendered;
+    Alcotest.test_case "json control chars escape exhaustively" `Quick
+      test_json_control_chars_exhaustive;
+    Alcotest.test_case "json non-finite floats -> null" `Quick
+      test_json_nonfinite_floats;
     interp_counters_agree;
     Alcotest.test_case "fuel bound is exact" `Quick test_fuel_exact;
   ]

@@ -1,7 +1,8 @@
 # Convenience wrappers around dune; `make verify` is the one-shot
 # pre-push check (build + tests + CLI smoke + quick bench + perf gate).
 
-.PHONY: all build test bench baseline chaos ledger ledger-baseline verify clean
+.PHONY: all build test bench baseline chaos ledger ledger-baseline \
+  analyze-baseline verify clean
 
 all: build
 
@@ -47,6 +48,16 @@ ledger: build
 ledger-baseline:
 	$(MAKE) ledger LEDGER=BENCH_history/baseline-ledger.jsonl
 
+# The committed analyzer golden: every finding over the shipped
+# examples, in the stable JSON form (sorted, deduplicated, no
+# timings), one line.  `make verify` and CI re-run the analyzer and
+# diff byte-for-byte, so a new finding — or a silently lost one —
+# fails loudly.  Refresh here after an intentional analyzer change and
+# review the diff like any other golden.
+analyze-baseline: build
+	dune exec bin/tfiris_cli.exe -- analyze --format=json-stable \
+	  examples/shl/*.shl > BENCH_history/baseline-analyze.json
+
 # The perf gate compares against a baseline usually recorded on a
 # different machine, so the threshold is deliberately loose (4x); use
 # `bench --compare` against a locally saved baseline (threshold 1.3x)
@@ -54,6 +65,9 @@ ledger-baseline:
 verify: build test
 	dune exec bin/tfiris_cli.exe -- stats -e "let r = ref 0 in r := 41; !r + 1"
 	dune exec bin/tfiris_cli.exe -- analyze --fail-on=error examples/shl/*.shl
+	dune exec bin/tfiris_cli.exe -- analyze --format=json-stable \
+	  examples/shl/*.shl > ANALYZE.json
+	diff -u BENCH_history/baseline-analyze.json ANALYZE.json
 	dune exec bin/tfiris_cli.exe -- profile --collapsed=PROFILE.collapsed -- \
 	  run examples/shl/memo_fib.shl
 	dune exec bin/tfiris_cli.exe -- chaos --seeds=10 --out=CHAOS_report.json

@@ -698,6 +698,56 @@ let e17 () =
     workloads
 
 (* ------------------------------------------------------------------ *)
+(* E18 — symbolic-heap analyzer: checker + summary fixpoint timings    *)
+(* ------------------------------------------------------------------ *)
+
+(* The bi-abductive pass runs two halves per program — the concrete
+   safety/leak checker and the Jacobi summary fixpoint — and both must
+   stay cheap enough to sit inside `tfiris analyze` on every example.
+   This experiment times each half separately over the shipped corpus
+   and reports the verdict, the checker's visited-node count, and how
+   many function summaries converged exactly vs were widened, so a
+   precision regression (more [approx], fewer exact) is as visible as
+   a wall-time one. *)
+let e18 () =
+  section "E18  symbolic heaps: concrete checker and bi-abduced summaries";
+  let module An = Tfiris.Analysis in
+  let corpus =
+    let dir = "examples/shl" in
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".shl")
+      |> List.sort compare
+      |> List.map (fun f ->
+             (f, Shl.Parser.parse_exn (read_file (Filename.concat dir f))))
+    else [ ("slen (fallback)", Shl.Prog.rec_of Shl.Prog.slen_template) ]
+  in
+  let time f =
+    let t0 = Obs.Trace.now_ns () in
+    let x = f () in
+    let t1 = Obs.Trace.now_ns () in
+    (x, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+  in
+  List.iter
+    (fun (name, e) ->
+      let r, t_check = time (fun () -> An.Biabd.check e) in
+      (* the summary half alone, re-run to split the wall time *)
+      let _, t_sum = time (fun () -> An.Biabd.summaries e) in
+      let exact, widened =
+        List.fold_left
+          (fun (ex, ap) s ->
+            if s.An.Biabd.s_exact then (ex + 1, ap) else (ex, ap + 1))
+          (0, 0) r.An.Biabd.r_summaries
+      in
+      row
+        "  %-18s %-7s %5d nodes | %d exact + %d widened summaries | check \
+         %6.2f ms | summaries %6.2f ms\n"
+        name
+        (An.Biabd.verdict_to_string r.An.Biabd.r_verdict)
+        r.An.Biabd.r_steps exact widened t_check t_sum)
+    corpus
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1120,7 +1170,7 @@ let () =
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
       ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-      ("e15", e15); ("e16", e16); ("e17", e17);
+      ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
     ]
   in
   let records = List.map (fun (name, f) -> observe ~trials name f) experiments in

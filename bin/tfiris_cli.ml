@@ -526,6 +526,10 @@ let analyze_cmd =
     | `Json ->
       let j = Obs.Json.List (List.map An.report_to_json reports) in
       print_endline (Obs.Json.to_string j)
+    | `Json_stable ->
+      (* no volatile fields: the form the corpus baseline is diffed in *)
+      let j = Obs.Json.List (List.map An.report_to_json_stable reports) in
+      print_endline (Obs.Json.to_string j)
     | `Text ->
       List.iter
         (fun r -> Format.printf "%a@." (An.render_text ~timings) r)
@@ -536,6 +540,21 @@ let analyze_cmd =
     let total =
       List.fold_left (fun acc r -> acc + List.length r.An.findings) 0 reports
     in
+    (* per-pass finding counts, so `tfiris report` can show analysis
+       drift by pass, not just run verdicts *)
+    let per_pass =
+      List.map
+        (fun p ->
+          ( "pass." ^ p,
+            List.fold_left
+              (fun acc r ->
+                List.fold_left
+                  (fun acc t ->
+                    if t.An.t_pass = p then acc + t.An.t_found else acc)
+                  acc r.An.timings)
+              0 reports ))
+        selected
+    in
     ledger_append ledger ~cmd:"analyze"
       ~label:(String.concat "," (List.map fst programs))
       ~engine:"analysis"
@@ -543,7 +562,7 @@ let analyze_cmd =
         (String.concat "\x00"
            (List.map (fun (_, e) -> Shl.Pretty.expr_to_string e) parsed))
       ~spec:(String.concat "," selected)
-      ~consumed:[ ("findings", total) ]
+      ~consumed:(("findings", total) :: per_pass)
       ~t0
       ~verdict:(if total = 0 then "clean" else Printf.sprintf "findings:%d" total)
       ~ok:(code = 0) ();
@@ -561,8 +580,18 @@ let analyze_cmd =
   let fmt =
     Arg.(
       value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+      & opt
+          (enum
+             [
+               ("text", `Text);
+               ("json", `Json);
+               ("json-stable", `Json_stable);
+             ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Report format: text, json, or json-stable (no timings — the \
+             deterministic form the analyze-corpus baseline uses).")
   in
   let fail_on =
     Arg.(
@@ -596,8 +625,8 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Run the static analyzer (scope/shape lint, constant propagation, \
-          intervals, termination measures, race detection) over SHL \
-          programs.")
+          intervals, termination measures, race detection, symbolic-heap \
+          bi-abduction) over SHL programs.")
     Term.(
       const (fun () e fs fmt fo po sk t l ->
           Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t l)))
@@ -1017,11 +1046,18 @@ let report_cmd =
     let load path = or_die (Obs.Ledger.load ~path) in
     match (diff, files) with
     | false, [ path ] ->
-      let s = Obs.Report.summarize (load path) in
+      let records = load path in
+      let s = Obs.Report.summarize records in
+      (* analyze records additionally carry per-pass finding counts;
+         surface them as an appendix next to the per-key verdicts *)
+      let passes = Obs.Report.pass_summary records in
       (match fmt with
-      | `Text -> print_string (Obs.Report.render_summary_text s)
+      | `Text ->
+        print_string (Obs.Report.render_summary_text s);
+        print_string (Obs.Report.render_pass_text passes)
       | `Json ->
-        print_endline (Obs.Json.to_string (Obs.Report.summary_to_json s)));
+        print_endline
+          (Obs.Json.to_string (Obs.Report.summary_to_json ~passes s)));
       0
     | true, [ before; after ] ->
       let d =

@@ -46,6 +46,11 @@ let all_passes : pass list =
       p_doc = "static data races between forked threads";
       p_run = Races.run;
     };
+    {
+      p_name = "symheap";
+      p_doc = "symbolic heaps: memory errors, leaks, bi-abduced summaries";
+      p_run = Biabd.run;
+    };
   ]
 
 let pass_names = List.map (fun p -> p.p_name) all_passes
@@ -98,7 +103,9 @@ let analyze ?(passes = pass_names) ?(label = "<expr>") (e : Tfiris_shl.Ast.expr)
           found @ fs ))
       ([], []) selected
   in
-  let findings = List.sort F.compare findings in
+  (* Dedupe identical findings across passes and sort deterministically
+     (the order goldens rely on). *)
+  let findings = List.sort_uniq F.compare findings in
   List.iter
     (fun (f : F.t) ->
       Metrics.incr

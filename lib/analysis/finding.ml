@@ -42,14 +42,19 @@ let make ~id ~severity ~path message = { id; severity; path; message }
 let makef ~id ~severity ~path fmt =
   Format.kasprintf (fun message -> { id; severity; path; message }) fmt
 
-(* Sort order: most severe first, then by position, then by id — the
-   order reports are rendered in. *)
+(* Sort order: most severe first, then by position, then by id, then by
+   message — the order reports are rendered in.  Total on the whole
+   record, so [List.sort_uniq compare] doubles as deduplication of
+   identical findings across passes. *)
 let compare a b =
   let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
   if c <> 0 then c
   else
     let c = Path.compare a.path b.path in
-    if c <> 0 then c else String.compare a.id b.id
+    if c <> 0 then c
+    else
+      let c = String.compare a.id b.id in
+      if c <> 0 then c else String.compare a.message b.message
 
 let pp ppf f =
   Format.fprintf ppf "%-7s %-28s %-24s %s"

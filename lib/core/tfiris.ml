@@ -105,6 +105,8 @@ module Analysis = struct
   module Domains = Tfiris_analysis.Domains
   module Term_measure = Tfiris_analysis.Term_measure
   module Races = Tfiris_analysis.Races
+  module Symheap = Tfiris_analysis.Symheap
+  module Biabd = Tfiris_analysis.Biabd
   module Analyzer = Tfiris_analysis.Analyzer
 end
 

@@ -92,6 +92,47 @@ let summarize (records : Ledger.record list) : summary list =
       })
     (group_by_key records)
 
+(* ---------- per-pass analysis grouping ---------- *)
+
+type pass_row = {
+  p_pass : string;
+  p_records : int;  (** analyze records that ran this pass *)
+  p_findings : int;  (** findings the pass produced, summed over records *)
+}
+
+let pass_prefix = "pass."
+
+(** [analyze] records carry one consumed entry per executed pass
+    (["pass.<name>"], findings produced) next to the ["findings"]
+    total; fold those into one row per pass, in first-appearance
+    order.  Non-analyze records contribute nothing. *)
+let pass_summary (records : Ledger.record list) : pass_row list =
+  let plen = String.length pass_prefix in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Ledger.record) ->
+      if r.Ledger.cmd = "analyze" then
+        List.iter
+          (fun (k, n) ->
+            if String.length k > plen && String.sub k 0 plen = pass_prefix then begin
+              let pass = String.sub k plen (String.length k - plen) in
+              match Hashtbl.find_opt tbl pass with
+              | None ->
+                Hashtbl.add tbl pass (ref (1, n));
+                order := pass :: !order
+              | Some cell ->
+                let runs, total = !cell in
+                cell := (runs + 1, total + n)
+            end)
+          r.Ledger.consumed)
+    records;
+  List.rev_map
+    (fun pass ->
+      let runs, total = !(Hashtbl.find tbl pass) in
+      { p_pass = pass; p_records = runs; p_findings = total })
+    !order
+
 (* ---------- diffing two ledgers ---------- *)
 
 type change =
@@ -208,9 +249,45 @@ let render_summary_text (summaries : summary list) : string =
   Format.pp_print_flush ppf ();
   Buffer.contents b
 
-let summary_to_json (summaries : summary list) : Json.t =
+(** Analysis appendix under the per-key table: one row per analyzer
+    pass with the finding volume it contributed across the ledger's
+    [analyze] runs.  Empty string when the ledger has none. *)
+let render_pass_text (passes : pass_row list) : string =
+  match passes with
+  | [] -> ""
+  | _ ->
+    let b = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer b in
+    Format.fprintf ppf "@.analysis passes:@.%-12s  %7s  %8s@." "pass" "records"
+      "findings";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "%-12s  %7d  %8d@." p.p_pass p.p_records p.p_findings)
+      passes;
+    Format.pp_print_flush ppf ();
+    Buffer.contents b
+
+let summary_to_json ?(passes = []) (summaries : summary list) : Json.t =
+  let pass_field =
+    match passes with
+    | [] -> []
+    | _ ->
+      [
+        ( "passes",
+          Json.List
+            (List.map
+               (fun p ->
+                 Json.Obj
+                   [
+                     ("pass", Json.Str p.p_pass);
+                     ("records", Json.Int p.p_records);
+                     ("findings", Json.Int p.p_findings);
+                   ])
+               passes) );
+      ]
+  in
   Json.Obj
-    [
+    ([
       ("schema", Json.Str "tfiris-report/1");
       ( "entries",
         Json.List
@@ -236,6 +313,7 @@ let summary_to_json (summaries : summary list) : Json.t =
                  | Some n -> [ ("median_steps", Json.Int n) ]))
              summaries) );
     ]
+    @ pass_field)
 
 let pp_diff_entry ppf (e : diff_entry) =
   let v = function Some s -> s | None -> "-" in

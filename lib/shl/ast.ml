@@ -283,6 +283,44 @@ and subst2_value bx bf (w : value) : value =
     in
     Rec_fun (g, y, body)
 
+(** {1 Locations mentioned by a term}
+
+    The footprint helpers of the symbolic-heap analyzer
+    ({!Tfiris_analysis}) and the leak differential in the test suite
+    need the set of locations a value can reach {e syntactically}:
+    every [Loc] literal, including those embedded in closure bodies
+    (substitution copies bound locations into [Rec_fun] bodies, so a
+    returned closure keeps the cells it captured alive). *)
+
+module Iset = Set.Make (Int)
+
+let rec locs_expr_acc acc = function
+  | Val v -> locs_value_acc acc v
+  | Var _ -> acc
+  | Rec (_, _, e) | Un_op (_, e) | Fst e | Snd e | Inj_l_e e | Inj_r_e e
+  | Ref e | Load e | Fork e ->
+    locs_expr_acc acc e
+  | App (e1, e2) | Bin_op (_, e1, e2) | Pair_e (e1, e2) | Store (e1, e2)
+  | Let (_, e1, e2) | Seq (e1, e2) ->
+    locs_expr_acc (locs_expr_acc acc e1) e2
+  | If (e1, e2, e3) | Cas (e1, e2, e3) ->
+    locs_expr_acc (locs_expr_acc (locs_expr_acc acc e1) e2) e3
+  | Case (e, (_, e1), (_, e2)) ->
+    locs_expr_acc (locs_expr_acc (locs_expr_acc acc e) e1) e2
+
+and locs_value_acc acc = function
+  | Unit | Bool _ | Int _ -> acc
+  | Loc l -> Iset.add l acc
+  | Pair (v1, v2) -> locs_value_acc (locs_value_acc acc v1) v2
+  | Inj_l v | Inj_r v -> locs_value_acc acc v
+  | Rec_fun (_, _, e) -> locs_expr_acc acc e
+
+(** Sorted list of distinct locations occurring in a value. *)
+let locs_value v = Iset.elements (locs_value_acc Iset.empty v)
+
+(** Sorted list of distinct locations occurring in an expression. *)
+let locs_expr e = Iset.elements (locs_expr_acc Iset.empty e)
+
 (** Size of an expression (number of AST nodes) — used by tests and
     benchmarks. *)
 let rec size_expr = function

@@ -92,6 +92,37 @@ let subheap (a : t) (b : t) : bool =
 let diff (b : t) (a : t) : t =
   { b with map = M.filter (fun l _ -> not (M.mem l a.map)) b.map }
 
+(* ---------- reachability ---------- *)
+
+(** [reachable_from roots h]: the locations reachable from the root
+    values by following [Loc]s through heap cells (including locations
+    captured inside closure bodies).  Sorted.  This is the
+    garbage-collection view of the heap the leak analysis and its
+    machine-side differential both use. *)
+let reachable_from (roots : Ast.value list) (h : t) : Ast.loc list =
+  let seen = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      match lookup l h with
+      | None -> ()
+      | Some v -> List.iter visit (Ast.locs_value v)
+    end
+  in
+  List.iter (fun v -> List.iter visit (Ast.locs_value v)) roots;
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) seen [])
+
+(** [unreachable_from roots h]: the bound locations {e not} reachable
+    from the roots — the cells a program leaked if the roots are its
+    final value.  Sorted. *)
+let unreachable_from (roots : Ast.value list) (h : t) : Ast.loc list =
+  let reach = reachable_from roots h in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace tbl l ()) reach;
+  List.filter_map
+    (fun (l, _) -> if Hashtbl.mem tbl l then None else Some l)
+    (bindings h)
+
 let () =
   Tfiris_robust.Failure.register (function
     | Alloc_failure ->

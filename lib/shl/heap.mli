@@ -49,3 +49,11 @@ val subheap : t -> t -> bool
 
 val diff : t -> t -> t
 (** [diff b a]: remove [a]'s domain from [b]. *)
+
+val reachable_from : Ast.value list -> t -> Ast.loc list
+(** Locations reachable from the root values by following [Loc]s
+    through heap cells (closure bodies included); sorted. *)
+
+val unreachable_from : Ast.value list -> t -> Ast.loc list
+(** Bound locations {e not} reachable from the roots — the leaked
+    cells when the roots are a program's final value; sorted. *)

@@ -154,6 +154,57 @@ let test_interval () =
     (count_id "interval/unreachable-branch" (An.Domains.interval slen_walk)
     + count_id "constprop/unreachable-branch" (An.Domains.constprop slen_walk))
 
+(* ---------- pointer-⊤ heap havoc ----------
+
+   Regression pins for the [Any_sites] escape hatch: once a program
+   writes through a pointer whose allocation sites are unknown (any
+   pointer arithmetic result), the whole abstract heap must go to top —
+   every later load returns ⊤ and no branch may be proved dead from
+   remembered heap contents.  Both mutation forms (Store and Cas) take
+   the same hatch. *)
+
+let test_any_sites_havoc () =
+  (* baseline: through a *known* site, heap contents are tracked and
+     the comparison folds, killing the else branch *)
+  let fs = An.Domains.constprop (parse "let r = ref 7 in if !r = 7 then 1 else 2") in
+  Alcotest.(check int) "known site: heap contents fold" 1
+    (count_id "constprop/unreachable-branch" fs);
+  (* same program, but a store through [r +l 0] — an Any_sites pointer —
+     intervenes: the write may hit any cell, so [!r] must be ⊤ and the
+     branch stays live even though the store wrote the same value *)
+  let fs =
+    An.Domains.constprop
+      (parse "let r = ref 7 in let p = r +l 0 in p := 7; if !r = 7 then 1 else 2")
+  in
+  Alcotest.(check int) "store through unknown pointer havocs the heap" 0
+    (count_id "constprop/unreachable-branch" fs);
+  (* Cas through an unknown pointer is a write too: same havoc *)
+  let fs =
+    An.Domains.constprop
+      (parse
+         "let r = ref 7 in let p = r +l 0 in let _c = cas p 7 7 in if !r = 7 \
+          then 1 else 2")
+  in
+  Alcotest.(check int) "cas through unknown pointer havocs the heap" 0
+    (count_id "constprop/unreachable-branch" fs);
+  (* havoc poisons *reads*, not the value lattice itself: a definite
+     stuck operation before the havoc is still reported *)
+  let fs =
+    An.Domains.interval
+      (parse "let r = ref 7 in let p = r +l 0 in p := 0; 1 quot 0")
+  in
+  Alcotest.(check (option bool)) "pre-existing facts survive havoc"
+    (Some true)
+    (Option.map (fun s -> s = F.Error) (severity_of "interval/div-by-zero" fs));
+  (* and a load after havoc is ⊤, not stale: no div-by-zero claim even
+     though the last remembered store was 0 *)
+  let fs =
+    An.Domains.interval
+      (parse "let r = ref 7 in let p = r +l 0 in p := 0; 10 quot !r")
+  in
+  Alcotest.(check bool) "post-havoc load is top, not stale" false
+    (has_id "interval/div-by-zero" fs)
+
 (* ---------- termination measures, checked against §5 credits ---------- *)
 
 let verdict_of name e =
@@ -339,7 +390,7 @@ let test_golden_json () =
   let r = An.Analyzer.analyze ~label:"e_loop" Prog.e_loop in
   let got = Tfiris.Obs.Json.to_string (An.Analyzer.report_to_json_stable r) in
   let expect =
-    {|{"program":"e_loop","findings":[{"id":"term/non-decreasing","severity":"warning","path":"/fn/fn/body/body/then","message":"recursive call to loop does not visibly decrease its argument"},{"id":"constprop/unreachable-branch","severity":"warning","path":"/fn/fn/body/body/else","message":"condition is always true; else-branch is unreachable"},{"id":"interval/unreachable-branch","severity":"warning","path":"/fn/fn/body/body/else","message":"condition is always true; else-branch is unreachable"}],"counts":{"error":0,"warning":3,"info":0}}|}
+    {|{"program":"e_loop","findings":[{"id":"term/non-decreasing","severity":"warning","path":"/fn/fn/body/body/then","message":"recursive call to loop does not visibly decrease its argument"},{"id":"constprop/unreachable-branch","severity":"warning","path":"/fn/fn/body/body/else","message":"condition is always true; else-branch is unreachable"},{"id":"interval/unreachable-branch","severity":"warning","path":"/fn/fn/body/body/else","message":"condition is always true; else-branch is unreachable"},{"id":"symheap/summary","severity":"info","path":"/fn/fn","message":"[approx] {emp} loop(f, x) {ret=() * junk}"}],"counts":{"error":0,"warning":3,"info":1}}|}
   in
   Alcotest.(check string) "e_loop golden report" expect got;
   let racy = parse "let c = ref 0 in fork (c := 1); c := 2; !c" in
@@ -423,6 +474,7 @@ let suite =
     Alcotest.test_case "lfp and widening" `Quick test_lfp_widening;
     Alcotest.test_case "constant propagation" `Quick test_constprop;
     Alcotest.test_case "interval analysis" `Quick test_interval;
+    Alcotest.test_case "pointer-top heap havoc" `Quick test_any_sites_havoc;
     Alcotest.test_case "termination measures inferred" `Quick
       test_termination_inference;
     Alcotest.test_case "termination measures agree with §5 credits" `Slow

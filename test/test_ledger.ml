@@ -214,6 +214,54 @@ let test_summarize_unstable () =
     Alcotest.(check string) "latest verdict wins" "stuck" a.Report.s_verdict
   | _ -> Alcotest.fail "expected one summary"
 
+(* Analyze records carry per-pass finding counts in [consumed]
+   ("pass.<name>"); [report] folds them into one row per pass.  Other
+   commands' records must not contribute. *)
+let test_pass_summary () =
+  let analyze key consumed =
+    { sample_record with Ledger.key; cmd = "analyze"; consumed; label = key }
+  in
+  let records =
+    [
+      analyze "a" [ ("findings", 3); ("pass.scope", 1); ("pass.symheap", 2) ];
+      rec_of ~key:"r" ~verdict:"value" ~steps:5 ();
+      analyze "b" [ ("findings", 4); ("pass.symheap", 4) ];
+    ]
+  in
+  (match Report.pass_summary records with
+  | [ scope; symheap ] ->
+    Alcotest.(check string) "first-appearance order" "scope" scope.Report.p_pass;
+    Alcotest.(check int) "scope records" 1 scope.Report.p_records;
+    Alcotest.(check int) "scope findings" 1 scope.Report.p_findings;
+    Alcotest.(check string) "symheap row" "symheap" symheap.Report.p_pass;
+    Alcotest.(check int) "symheap summed across records" 2
+      symheap.Report.p_records;
+    Alcotest.(check int) "symheap findings summed" 6 symheap.Report.p_findings
+  | l -> Alcotest.failf "expected 2 pass rows, got %d" (List.length l));
+  (* text appendix renders only when passes exist; JSON gains a
+     "passes" field only when passed some *)
+  Alcotest.(check string) "no passes, no appendix" ""
+    (Report.render_pass_text (Report.pass_summary [ sample_record ]));
+  let j = Json.to_string (Report.summary_to_json (Report.summarize records)) in
+  Alcotest.(check bool)
+    "summary JSON unchanged without passes" false
+    (let rec has i =
+       i + 8 <= String.length j && (String.sub j i 8 = "\"passes\"" || has (i + 1))
+     in
+     has 0);
+  let j =
+    Json.to_string
+      (Report.summary_to_json
+         ~passes:(Report.pass_summary records)
+         (Report.summarize records))
+  in
+  Alcotest.(check bool)
+    "passes field present" true
+    (let rec has i =
+       i + 8 <= String.length j && (String.sub j i 8 = "\"passes\"" || has (i + 1))
+     in
+     has 0)
+
 (* One diff exercising every change class at once — and the injected
    verdict flip the acceptance criteria ask the diff to detect. *)
 let test_diff_classification () =
@@ -602,6 +650,7 @@ let suite =
       test_append_load_roundtrip;
     Alcotest.test_case "corrupt ledger refused" `Quick test_load_malformed;
     Alcotest.test_case "summaries per key" `Quick test_summarize;
+    Alcotest.test_case "per-pass analysis grouping" `Quick test_pass_summary;
     Alcotest.test_case "unstable verdicts surface" `Quick
       test_summarize_unstable;
     Alcotest.test_case "diff classifies changes" `Quick

@@ -12,6 +12,7 @@ let () =
       ("types", Test_types.suite);
       ("concurrent", Test_conc.suite);
       ("analysis", Test_analysis.suite);
+      ("symheap", Test_symheap.suite);
       ("transition", Test_transition.suite);
       ("refinement", Test_refinement.suite);
       ("termination", Test_termination.suite);

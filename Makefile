@@ -58,12 +58,17 @@ analyze-baseline: build
 	dune exec bin/tfiris_cli.exe -- analyze --format=json-stable \
 	  examples/shl/*.shl > BENCH_history/baseline-analyze.json
 
-# The perf gate compares against a baseline usually recorded on a
-# different machine, so the threshold is deliberately loose (4x); use
-# `bench --compare` against a locally saved baseline (threshold 1.3x)
-# for same-machine comparisons.
+# The perf and memory gates compare against a baseline usually
+# recorded on a different machine, so both thresholds are deliberately
+# loose (4x); use `bench --compare` against a locally saved baseline
+# (thresholds 1.3x / 1.5x) for same-machine comparisons.  `dune
+# runtest` (via `test`) includes the 4-domain metrics stress tests and
+# the concurrent-ledger-append test, so a green verify also certifies
+# the domain-safe telemetry core.
 verify: build test
-	dune exec bin/tfiris_cli.exe -- stats -e "let r = ref 0 in r := 41; !r + 1"
+	dune exec bin/tfiris_cli.exe -- stats --gc -e "let r = ref 0 in r := 41; !r + 1"
+	dune exec bin/tfiris_cli.exe -- run examples/shl/memo_fib.shl \
+	  --gc=TELEMETRY.json
 	dune exec bin/tfiris_cli.exe -- analyze --fail-on=error examples/shl/*.shl
 	dune exec bin/tfiris_cli.exe -- analyze --format=json-stable \
 	  examples/shl/*.shl > ANALYZE.json
@@ -72,7 +77,8 @@ verify: build test
 	  run examples/shl/memo_fib.shl
 	dune exec bin/tfiris_cli.exe -- chaos --seeds=10 --out=CHAOS_report.json
 	dune exec bench/main.exe -- --quick --out=BENCH_obs.json \
-	  --compare=BENCH_history/baseline-quick.json --threshold=4
+	  --compare=BENCH_history/baseline-quick.json --threshold=4 \
+	  --mem-threshold=4
 	@echo "verify: OK"
 
 clean:

@@ -748,6 +748,74 @@ let e18 () =
     corpus
 
 (* ------------------------------------------------------------------ *)
+(* E19 — allocation profiles: frame-stack machine vs reference stepper *)
+(* ------------------------------------------------------------------ *)
+
+(* The machine's raw-speed win (PR 4, E16) is an allocation win first:
+   the reference stepper rebuilds the whole term on every step while the
+   machine refocuses in place, so words-per-step is the number that
+   explains the throughput gap — and the one the memory gate watches.
+   Both engines replay the same workloads; step counts must agree (the
+   lockstep oracle guarantees it), and each engine's words/step comes
+   from a Telemetry delta around its run. *)
+let e19 () =
+  section "E19  allocation profiles: machine vs reference stepper";
+  let run_machine (cfg : Shl.Step.config) =
+    let rec go c n =
+      match Shl.Machine.prim_step c with
+      | Ok (c', _) -> go c' (n + 1)
+      | Error _ -> n
+    in
+    go (Shl.Machine.of_config cfg) 0
+  in
+  let run_reference (cfg : Shl.Step.config) =
+    let rec go c n =
+      match Shl.Step.prim_step c with
+      | Ok (c', _) -> go c' (n + 1)
+      | Error _ -> n
+    in
+    go cfg 0
+  in
+  let measure runner cfg =
+    let before = Obs.Telemetry.sample () in
+    let steps = runner cfg in
+    let m = Obs.Telemetry.measure ~before ~after:(Obs.Telemetry.sample ()) in
+    (steps, m)
+  in
+  let workloads =
+    let fib n =
+      ( Printf.sprintf "memo_fib(%d)" n,
+        Shl.Step.config (Shl.Ast.App (Shl.Prog.memo_of Shl.Prog.fib_template,
+                                      Shl.Ast.int_ n)) )
+    in
+    let eloop n m =
+      ( Printf.sprintf "event_loop(%d,%d)" n m,
+        Shl.Step.config (Term.Event_loop.reentrant_client ~n ~m) )
+    in
+    if !quick then [ fib 12; eloop 10 10 ] else [ fib 16; eloop 14 14 ]
+  in
+  List.iter
+    (fun (label, cfg) ->
+      let msteps, mm = measure run_machine cfg in
+      let rsteps, mr = measure run_reference cfg in
+      if msteps <> rsteps then
+        row "  %-22s STEP-COUNT MISMATCH: machine %d vs reference %d\n" label
+          msteps rsteps
+      else
+        let per m steps =
+          if steps = 0 then 0.
+          else float_of_int m.Obs.Telemetry.allocated_words /. float_of_int steps
+        in
+        let wm = per mm msteps and wr = per mr rsteps in
+        row
+          "  %-22s %8d steps | machine %8.1f w/step (%d minor gcs) | \
+           reference %8.1f w/step (%d minor gcs) | %5.1fx less\n"
+          label msteps wm mm.Obs.Telemetry.minor_collections wr
+          mr.Obs.Telemetry.minor_collections
+          (if wm > 0. then wr /. wm else infinity))
+    workloads
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -860,9 +928,11 @@ let run_benches () =
 (* ------------------------------------------------------------------ *)
 (* Driver v2: run every experiment under the metrics registry for      *)
 (* several trials, capture per-experiment counter deltas and robust    *)
-(* wall-time statistics (min/median/p95 with outlier rejection), drop  *)
-(* the record as BENCH_obs.json (schema tfiris-bench-obs/3, see        *)
-(* EXPERIMENTS.md), and optionally gate against a saved baseline.      *)
+(* wall-time statistics (min/median/p95 with outlier rejection) and a  *)
+(* GC/allocation delta, drop the record as BENCH_obs.json (schema      *)
+(* tfiris-bench-obs/4, see EXPERIMENTS.md), and optionally gate        *)
+(* against a saved baseline — on median time and, with                 *)
+(* --mem-threshold, on allocated words.                                *)
 (* ------------------------------------------------------------------ *)
 
 type obs_record = {
@@ -872,6 +942,9 @@ type obs_record = {
   rec_hist_sums : (string * float) list;
       (** histogram totals — e.g. the per-pass analyzer wall times
           under [analysis.pass.*.wall_ns] *)
+  rec_mem : Obs.Telemetry.mem;
+      (** GC delta over the first (counter) trial, so allocation
+          accounting and counters describe the same run *)
 }
 
 (* ---------- robust trial statistics ---------- *)
@@ -935,6 +1008,23 @@ let with_quiet f =
    the deterministic "slowed build" used to test the regression gate. *)
 let handicap : (string * float) option ref = ref None
 
+(* [--mem-handicap=EXP:WORDS] allocates WORDS extra words inside one
+   experiment — the deterministic "leaky build" used to test the memory
+   gate end-to-end. *)
+let mem_handicap : (string * int) option ref = ref None
+
+let alloc_words (words : int) =
+  (* A float array of n elements occupies n+1 words; chunk so huge
+     handicaps don't need one huge array. *)
+  let rec go left =
+    if left > 1 then begin
+      let n = Stdlib.min left 1_000_000 - 1 in
+      ignore (Sys.opaque_identity (Array.make n 0.));
+      go (left - (n + 1))
+    end
+  in
+  go words
+
 (* Run one experiment with metrics on for [trials] runs.  The counter
    deltas come from the first trial (the registry is reset before each
    run, so they are per-run, not accumulated); the later trials measure
@@ -947,12 +1037,19 @@ let observe ~trials name (f : unit -> unit) : obs_record =
     (match !handicap with
     | Some (e, ms) when e = name -> Unix.sleepf (ms /. 1000.)
     | _ -> ());
+    (match !mem_handicap with
+    | Some (e, words) when e = name -> alloc_words words
+    | _ -> ());
     f ();
     let t1 = Obs.Trace.now_ns () in
     Obs.Metrics.set_enabled false;
     Int64.sub t1 t0
   in
+  let gc_before = Obs.Telemetry.sample () in
   let w1 = run_once () in
+  let mem =
+    Obs.Telemetry.measure ~before:gc_before ~after:(Obs.Telemetry.sample ())
+  in
   let snap = Obs.Metrics.snapshot () in
   let counters =
     List.filter_map
@@ -977,9 +1074,10 @@ let observe ~trials name (f : unit -> unit) : obs_record =
     rec_trials_ns = w1 :: rest;
     rec_counters = counters;
     rec_hist_sums = hist_sums;
+    rec_mem = mem;
   }
 
-(* ---------- the JSON record (schema tfiris-bench-obs/3) ---------- *)
+(* ---------- the JSON record (schema tfiris-bench-obs/4) ---------- *)
 
 let json_of_record r =
   let s = record_stats r in
@@ -993,6 +1091,7 @@ let json_of_record r =
          ("p95_ns", Float s.ts_p95);
          ("outliers_dropped", Int s.ts_dropped);
          ("counters", Obj (List.map (fun (n, c) -> (n, Int c)) r.rec_counters));
+         ("mem", Obs.Telemetry.to_json r.rec_mem);
        ]
       @
       if r.rec_hist_sums = [] then []
@@ -1010,7 +1109,7 @@ let obs_doc ~trials records timings =
   Obs.Json.(
     Obj
       ([
-         ("schema", Str "tfiris-bench-obs/3");
+         ("schema", Str "tfiris-bench-obs/4");
          ("engine", Str "shl.machine");
          ("version", Str Tfiris.version);
          ("quick", Bool !quick);
@@ -1044,10 +1143,7 @@ let json_ns = function
   | Obs.Json.Float f -> Some f
   | _ -> None
 
-(* Baseline medians by experiment name; keyed on field names, not the
-   schema string, so /3 readers accept /2 baselines (median_ns) and the
-   older /1 records (wall_ns) unchanged. *)
-let load_baseline path : (string * float) list =
+let load_baseline_experiments path : Obs.Json.t list =
   let src =
     let ic = open_in_bin path in
     let s = really_input_string ic (in_channel_length ic) in
@@ -1057,23 +1153,43 @@ let load_baseline path : (string * float) list =
   match Obs.Json.of_string src with
   | Error m -> failwith (Printf.sprintf "cannot parse baseline %s: %s" path m)
   | Ok doc ->
-    let experiments =
-      Option.bind (Obs.Json.member "experiments" doc) Obs.Json.to_list
-      |> Option.value ~default:[]
-    in
-    List.filter_map
-      (fun e ->
-        match
-          ( Option.bind (Obs.Json.member "name" e) Obs.Json.to_str,
-            Option.bind
-              (match Obs.Json.member "median_ns" e with
-              | Some j -> Some j
-              | None -> Obs.Json.member "wall_ns" e)
-              json_ns )
-        with
-        | Some n, Some ns -> Some (n, ns)
-        | _ -> None)
-      experiments
+    Option.bind (Obs.Json.member "experiments" doc) Obs.Json.to_list
+    |> Option.value ~default:[]
+
+(* Baseline medians by experiment name; keyed on field names, not the
+   schema string, so /4 readers accept /3 and /2 baselines (median_ns)
+   and the older /1 records (wall_ns) unchanged. *)
+let load_baseline path : (string * float) list =
+  List.filter_map
+    (fun e ->
+      match
+        ( Option.bind (Obs.Json.member "name" e) Obs.Json.to_str,
+          Option.bind
+            (match Obs.Json.member "median_ns" e with
+            | Some j -> Some j
+            | None -> Obs.Json.member "wall_ns" e)
+            json_ns )
+      with
+      | Some n, Some ns -> Some (n, ns)
+      | _ -> None)
+    (load_baseline_experiments path)
+
+(* Baseline allocated words by experiment name — empty for pre-/4
+   baselines, which makes the memory gate vacuously green until a /4
+   baseline is committed (same contract as a new experiment). *)
+let load_baseline_mem path : (string * int) list =
+  List.filter_map
+    (fun e ->
+      match
+        ( Option.bind (Obs.Json.member "name" e) Obs.Json.to_str,
+          Option.bind (Obs.Json.member "mem" e) (fun m ->
+              Option.bind
+                (Obs.Json.member "allocated_words" m)
+                Obs.Json.to_int) )
+      with
+      | Some n, Some w -> Some (n, w)
+      | _ -> None)
+    (load_baseline_experiments path)
 
 (* Compare current records against a baseline; returns the regressed
    experiment names.  Experiments present on only one side are reported
@@ -1105,6 +1221,41 @@ let compare_against ~threshold baseline records : string list =
     baseline;
   List.rev !regressions
 
+(* The memory gate: allocated words vs the baseline, through the shared
+   {!Obs.Telemetry.regressions} comparator.  Advisory without
+   [--mem-threshold]; failing with it.  100k words (~0.8 MB) is the
+   absolute noise floor — allocation is deterministic, but the metrics
+   registry itself allocates a little. *)
+let mem_min_delta_w = 100_000
+
+let compare_mem ~threshold ~gated baseline_mem records : string list =
+  section
+    (Printf.sprintf "Memory gate (allocated > %.2fx baseline and +%dk words)%s"
+       threshold (mem_min_delta_w / 1000)
+       (if gated then "" else " [advisory]"));
+  let current =
+    List.map
+      (fun r -> (r.rec_name, r.rec_mem.Obs.Telemetry.allocated_words))
+      records
+  in
+  let regs =
+    Obs.Telemetry.regressions ~threshold ~min_delta_w:mem_min_delta_w
+      ~baseline:baseline_mem current
+  in
+  List.iter
+    (fun (name, cur) ->
+      match List.assoc_opt name baseline_mem with
+      | None -> row "  %-6s %12d words  (no baseline mem; skipped)\n" name cur
+      | Some base ->
+        let regressed =
+          List.exists (fun g -> g.Obs.Telemetry.r_name = name) regs
+        in
+        row "  %-6s %12d words vs %12d words  (%5.2fx)  %s\n" name cur base
+          (if base > 0 then float_of_int cur /. float_of_int base else infinity)
+          (if regressed then "MEM REGRESSION" else "ok"))
+    current;
+  List.map (fun g -> g.Obs.Telemetry.r_name) regs
+
 (* ---------- entry point ---------- *)
 
 let () =
@@ -1113,10 +1264,12 @@ let () =
   let compare_path = ref None in
   let save_baseline = ref None in
   let threshold = ref 1.3 in
+  let mem_threshold = ref None in
   let usage () =
     Printf.eprintf
       "usage: %s [--quick] [--out=FILE] [--trials=N] [--compare=BASE.json] \
-       [--save-baseline=FILE] [--threshold=X] [--handicap=EXP:MS]\n"
+       [--save-baseline=FILE] [--threshold=X] [--mem-threshold=X] \
+       [--handicap=EXP:MS] [--mem-handicap=EXP:WORDS]\n"
       Sys.argv.(0);
     exit 2
   in
@@ -1126,37 +1279,66 @@ let () =
       Some (String.sub arg n (String.length arg - n))
     else None
   in
+  (* EXP:VALUE specs for the two handicap flags *)
+  let split_spec spec =
+    match String.index_opt spec ':' with
+    | Some i ->
+      Some
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> None
+  in
+  let handlers =
+    [
+      ("--out=", fun v -> out := v);
+      ( "--trials=",
+        fun v ->
+          match int_of_string_opt v with
+          | Some n when n >= 1 -> trials_opt := Some n
+          | _ -> usage () );
+      ("--compare=", fun v -> compare_path := Some v);
+      ("--save-baseline=", fun v -> save_baseline := Some v);
+      ( "--threshold=",
+        fun v ->
+          match float_of_string_opt v with
+          | Some x when x > 0. -> threshold := x
+          | _ -> usage () );
+      ( "--mem-threshold=",
+        fun v ->
+          match float_of_string_opt v with
+          | Some x when x > 0. -> mem_threshold := Some x
+          | _ -> usage () );
+      ( "--handicap=",
+        fun v ->
+          match split_spec v with
+          | Some (e, ms) -> (
+            match float_of_string_opt ms with
+            | Some ms when ms >= 0. -> handicap := Some (e, ms)
+            | None | Some _ -> usage ())
+          | None -> usage () );
+      ( "--mem-handicap=",
+        fun v ->
+          match split_spec v with
+          | Some (e, w) -> (
+            match int_of_string_opt w with
+            | Some w when w >= 0 -> mem_handicap := Some (e, w)
+            | None | Some _ -> usage ())
+          | None -> usage () );
+    ]
+  in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         if arg = "--quick" then quick := true
         else
           match
-            ( opt_val arg "--out=", opt_val arg "--trials=",
-              opt_val arg "--compare=", opt_val arg "--save-baseline=",
-              opt_val arg "--threshold=", opt_val arg "--handicap=" )
+            List.find_map
+              (fun (prefix, handle) ->
+                Option.map handle (opt_val arg prefix))
+              handlers
           with
-          | Some f, _, _, _, _, _ -> out := f
-          | _, Some n, _, _, _, _ -> (
-            match int_of_string_opt n with
-            | Some n when n >= 1 -> trials_opt := Some n
-            | _ -> usage ())
-          | _, _, Some f, _, _, _ -> compare_path := Some f
-          | _, _, _, Some f, _, _ -> save_baseline := Some f
-          | _, _, _, _, Some x, _ -> (
-            match float_of_string_opt x with
-            | Some x when x > 0. -> threshold := x
-            | _ -> usage ())
-          | _, _, _, _, _, Some spec -> (
-            match String.index_opt spec ':' with
-            | Some i -> (
-              let e = String.sub spec 0 i in
-              let ms = String.sub spec (i + 1) (String.length spec - i - 1) in
-              match float_of_string_opt ms with
-              | Some ms when ms >= 0. -> handicap := Some (e, ms)
-              | None | Some _ -> usage ())
-            | None -> usage ())
-          | None, None, None, None, None, None -> usage ())
+          | Some () -> ()
+          | None -> usage ())
     Sys.argv;
   (* Full mode reruns are expensive (e4 alone is tens of seconds), so
      multi-trial statistics default on only for --quick; --trials=N
@@ -1170,7 +1352,7 @@ let () =
       ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
       ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-      ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
+      ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
     ]
   in
   let records = List.map (fun (name, f) -> observe ~trials name f) experiments in
@@ -1186,14 +1368,30 @@ let () =
   | Some path ->
     write_json path doc;
     row "Saved baseline %s.\n" path);
-  let regressed =
+  let regressed, mem_regressed =
     match !compare_path with
-    | None -> []
-    | Some base -> compare_against ~threshold:!threshold (load_baseline base) records
+    | None -> ([], [])
+    | Some base ->
+      let time_regs =
+        compare_against ~threshold:!threshold (load_baseline base) records
+      in
+      (* the mem comparison always prints; it only *fails* when
+         --mem-threshold armed the gate *)
+      let gated = Option.is_some !mem_threshold in
+      let mem_regs =
+        compare_mem
+          ~threshold:(Option.value ~default:1.5 !mem_threshold)
+          ~gated (load_baseline_mem base) records
+      in
+      (time_regs, if gated then mem_regs else [])
   in
   row "\nAll experiments executed.\n";
-  if regressed <> [] then begin
-    Printf.eprintf "bench: performance regression in: %s\n"
-      (String.concat ", " regressed);
+  if regressed <> [] || mem_regressed <> [] then begin
+    if regressed <> [] then
+      Printf.eprintf "bench: performance regression in: %s\n"
+        (String.concat ", " regressed);
+    if mem_regressed <> [] then
+      Printf.eprintf "bench: allocation regression in: %s\n"
+        (String.concat ", " mem_regressed);
     exit 3
   end

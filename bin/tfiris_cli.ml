@@ -104,6 +104,19 @@ let print_metrics_snapshot () =
   Obs.Metrics.render_text Format.std_formatter (Obs.Metrics.snapshot ());
   Format.pp_print_flush Format.std_formatter ()
 
+(* GC baseline for the whole invocation, taken at module initialisation
+   — the run-level [mem] block is the delta from here to the moment the
+   ledger record (or the --gc report) is assembled. *)
+let gc0 = Obs.Telemetry.sample ()
+
+let run_mem () =
+  Obs.Telemetry.measure ~before:gc0 ~after:(Obs.Telemetry.sample ())
+
+let print_gc_snapshot () =
+  Format.printf "@[<v>-- gc --@,@]";
+  Obs.Telemetry.render_text Format.std_formatter (run_mem ());
+  Format.pp_print_flush Format.std_formatter ()
+
 let parse_trace_spec (spec : string) : (string * string, string) result =
   let result =
     match String.rindex_opt spec ':' with
@@ -144,11 +157,29 @@ let parse_progress_spec (spec : string) :
     (Ok (None, `Stderr))
     (String.split_on_char ',' spec)
 
-let setup_obs trace_spec metrics progress_spec =
+let setup_obs trace_spec metrics progress_spec gc =
   if metrics then begin
     Obs.Metrics.set_enabled true;
     at_exit print_metrics_snapshot
   end;
+  (match gc with
+  | None -> ()
+  | Some dest ->
+    (* Span-level GC sampling rides on tracing; the run-level report is
+       printed (or written as the JSON "mem" block) at exit either way. *)
+    Obs.Telemetry.set_spans true;
+    at_exit (fun () ->
+        match dest with
+        | "-" -> print_gc_snapshot ()
+        | file -> (
+          try
+            let oc = open_out file in
+            output_string oc
+              (Obs.Json.to_string (Obs.Telemetry.to_json (run_mem ())));
+            output_char oc '\n';
+            close_out oc
+          with Sys_error m ->
+            Format.eprintf "tfiris: cannot write gc report: %s@." m)));
   (match progress_spec with
   | None -> ()
   | Some spec ->
@@ -221,7 +252,19 @@ let obs_term =
              (human-readable lines, the default) or a FILE to write JSONL \
              snapshots to.")
   in
-  Term.(const setup_obs $ trace $ metrics $ progress)
+  let gc =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "gc" ] ~docv:"FILE"
+          ~doc:
+            "Report GC/allocation telemetry for this invocation \
+             (Gc.quick_stat deltas: words allocated, collections, top heap) \
+             and sample per-span GC deltas into the trace when $(b,--trace) \
+             is on. With no $(docv) the report is printed on exit; with a \
+             $(docv) the $(b,mem) block is written there as JSON.")
+  in
+  Term.(const setup_obs $ trace $ metrics $ progress $ gc)
 
 (* ---- the run ledger (--ledger, shared by the verdict commands) ---- *)
 
@@ -231,10 +274,10 @@ let ledger_arg =
     & opt (some string) None
     & info [ "ledger" ] ~docv:"FILE"
         ~doc:
-          "Append one $(b,tfiris-run/1) record for this invocation (content \
-           key, verdict, budget consumption, wall time) to the JSONL run \
-           ledger at $(docv), creating it if missing. Query and diff ledgers \
-           with $(b,tfiris report).")
+          "Append one $(b,tfiris-run/2) record for this invocation (content \
+           key, verdict, budget consumption, wall time, GC/allocation mem \
+           block) to the JSONL run ledger at $(docv), creating it if \
+           missing. Query and diff ledgers with $(b,tfiris report).")
 
 let forensics_pointer () =
   match Obs.Forensics.last () with
@@ -271,6 +314,7 @@ let ledger_append ledger ~cmd ~label ~engine ~program ~spec ?budget ?seed
         detail;
         budget = Option.map Robust.Budget.to_json budget;
         consumed;
+        mem = Some (run_mem ());
         wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
         seed;
         metrics =
@@ -1042,7 +1086,7 @@ let chaos_cmd =
 (* ---- report ---- *)
 
 let report_cmd =
-  let action files diff threshold min_delta fmt =
+  let action files diff threshold min_delta mem_threshold fmt =
     let load path = or_die (Obs.Ledger.load ~path) in
     match (diff, files) with
     | false, [ path ] ->
@@ -1061,14 +1105,16 @@ let report_cmd =
       0
     | true, [ before; after ] ->
       let d =
-        Obs.Report.diff ~threshold ~min_delta_ms:min_delta
+        Obs.Report.diff ~threshold ~min_delta_ms:min_delta ?mem_threshold
           ~before:(load before) ~after:(load after) ()
       in
       (match fmt with
       | `Text -> print_string (Obs.Report.render_diff_text d)
       | `Json -> print_endline (Obs.Json.to_string (Obs.Report.diff_to_json d)));
       (* verdict flips and new failures fail the command; time
-         regressions stay advisory (the bench perf gate owns those) *)
+         regressions stay advisory (the bench perf gate owns those);
+         allocation regressions fail only when --mem-threshold armed
+         the memory gate *)
       if Obs.Report.failed d then 1 else 0
     | false, _ ->
       or_die (Error "report expects exactly one LEDGER (or --diff BEFORE AFTER)")
@@ -1077,7 +1123,7 @@ let report_cmd =
   let files =
     Arg.(
       value & pos_all file []
-      & info [] ~docv:"LEDGER" ~doc:"Run-ledger file(s) (JSONL, tfiris-run/1).")
+      & info [] ~docv:"LEDGER" ~doc:"Run-ledger file(s) (JSONL, tfiris-run/2).")
   in
   let diff =
     Arg.(
@@ -1105,6 +1151,17 @@ let report_cmd =
             "Ignore median-time growth below $(docv) milliseconds — absolute \
              noise floor for the regression classifier.")
   in
+  let mem_threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "mem-threshold" ] ~docv:"X"
+          ~doc:
+            "Arm the memory gate: fail (exit 1) when an entry's median \
+             allocated words grow beyond $(docv) times the baseline. Without \
+             this flag allocation regressions are classified at 1.5x but \
+             stay advisory.")
+  in
   let fmt =
     Arg.(
       value
@@ -1115,12 +1172,12 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:
          "Query the run ledger: list entries per content key (runs, verdict, \
-          wall-time trend, budget use), or diff two ledgers for verdict \
-          flips, new failures and time regressions.")
+          wall-time trend, budget use, allocated words), or diff two ledgers \
+          for verdict flips, new failures and time/memory regressions.")
     Term.(
-      const (fun fs d th md fmt ->
-          Stdlib.exit (protect (fun () -> action fs d th md fmt)))
-      $ files $ diff $ threshold $ min_delta $ fmt)
+      const (fun fs d th md mt fmt ->
+          Stdlib.exit (protect (fun () -> action fs d th md mt fmt)))
+      $ files $ diff $ threshold $ min_delta $ mem_threshold $ fmt)
 
 (* ---- dilemma ---- *)
 

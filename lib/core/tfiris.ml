@@ -41,6 +41,7 @@ module Ord = Tfiris_ordinal.Ord
 module Obs = struct
   module Trace = Tfiris_obs.Trace
   module Metrics = Tfiris_obs.Metrics
+  module Telemetry = Tfiris_obs.Telemetry
   module Json = Tfiris_obs.Json
   module Profile = Tfiris_obs.Profile
   module Forensics = Tfiris_obs.Forensics

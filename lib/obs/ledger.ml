@@ -1,4 +1,4 @@
-(** The append-only cross-run ledger ([tfiris-run/1]).
+(** The append-only cross-run ledger ([tfiris-run/2]).
 
     Verdicts here are deterministic proof-style artifacts: the same
     program, spec and engine either terminates with the same answer or
@@ -23,7 +23,10 @@
     pre-image uses [\x00] separators so field boundaries cannot be
     confused. *)
 
-let schema = "tfiris-run/1"
+let schema = "tfiris-run/2"
+
+(* /1 records (no [mem] block) still load; the reader accepts both. *)
+let schema_v1 = "tfiris-run/1"
 
 type record = {
   key : string;  (** content address, see {!content_key} *)
@@ -36,6 +39,9 @@ type record = {
   wall_ms : float;
   consumed : (string * int) list;
       (** budget consumption, e.g. [("steps", 412)] *)
+  mem : Telemetry.mem option;
+      (** GC/allocation delta over the run ({!Telemetry.measure});
+          absent in [tfiris-run/1] records *)
   detail : string option;  (** free-form, e.g. the final value *)
   budget : Json.t option;  (** the budget the run was given *)
   seed : int option;
@@ -46,9 +52,17 @@ type record = {
 
 (* ---------- content keys ---------- *)
 
+(* The key pre-image is pinned to the original "tfiris-run/1" tag on
+   purpose: content addresses must survive record-schema bumps (the
+   [mem] block changed how runs are {e described}, not what they
+   {e are}), or every schema revision would invalidate the certificate
+   cache keyed on these digests. *)
+let key_domain = "tfiris-run/1"
+
 let content_key ~program ~spec ~engine ~version =
   Digest.to_hex
-    (Digest.string (String.concat "\x00" [ schema; program; spec; engine; version ]))
+    (Digest.string
+       (String.concat "\x00" [ key_domain; program; spec; engine; version ]))
 
 (* ---------- JSON (field order is fixed; golden-tested) ---------- *)
 
@@ -67,6 +81,7 @@ let to_json (r : record) : Json.t =
        ("wall_ms", Json.Float r.wall_ms);
        ("consumed", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.consumed));
      ]
+    @ opt "mem" Telemetry.to_json r.mem
     @ opt "detail" (fun s -> Json.Str s) r.detail
     @ opt "budget" Fun.id r.budget
     @ opt "seed" (fun n -> Json.Int n) r.seed
@@ -82,7 +97,8 @@ let of_json (j : Json.t) : (record, string) result =
   in
   let opt name conv = Option.bind (Json.member name j) conv in
   let* s = req "schema" Json.to_str in
-  if s <> schema then Error (Printf.sprintf "unknown ledger schema %S" s)
+  if s <> schema && s <> schema_v1 then
+    Error (Printf.sprintf "unknown ledger schema %S" s)
   else
     let* key = req "key" Json.to_str in
     let* cmd = req "cmd" Json.to_str in
@@ -111,6 +127,7 @@ let of_json (j : Json.t) : (record, string) result =
         ok;
         wall_ms;
         consumed;
+        mem = Option.bind (Json.member "mem" j) Telemetry.of_json;
         detail = opt "detail" Json.to_str;
         budget = Json.member "budget" j;
         seed = opt "seed" Json.to_int;
@@ -121,15 +138,24 @@ let of_json (j : Json.t) : (record, string) result =
 (* ---------- file IO ---------- *)
 
 (** Append one record to the JSONL file at [path], creating it if
-    needed.  One [open/write/close] per CLI invocation — the ledger is
+    needed.  The whole line (record + newline) goes out in a single
+    [write(2)] on an [O_APPEND] descriptor, which POSIX makes atomic
+    with respect to other appenders on a regular file — so concurrent
+    writers (two CLI processes, or two domains sharing a ledger)
+    interleave whole lines, never bytes, and the resulting file always
+    loads.  One open/write/close per CLI invocation — the ledger is
     written at most once per process, so there is nothing to batch. *)
 let append ~path (r : record) =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let line = Bytes.of_string (Json.to_string (to_json r) ^ "\n") in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> Unix.close fd)
     (fun () ->
-      output_string oc (Json.to_string (to_json r));
-      output_char oc '\n')
+      let len = Bytes.length line in
+      let n = Unix.write fd line 0 len in
+      if n <> len then failwith "Ledger.append: short write")
 
 (** Read a whole ledger back; blank lines are skipped, anything else
     that fails to parse poisons the load with a line-numbered error

@@ -2,10 +2,15 @@
 
     Pure functions behind the [tfiris report] subcommand: {!summarize}
     folds a ledger into one row per content key (runs, latest verdict,
-    wall-time spread, budget use), and {!diff} classifies what changed
-    between two ledgers — verdict flips and new failures are the
-    regressions that fail CI; median-time regressions are advisory
-    (the bench perf gate owns wall time).
+    wall-time spread, budget use, allocated words), and {!diff}
+    classifies what changed between two ledgers — verdict flips and new
+    failures are the regressions that fail CI; median-time regressions
+    are advisory (the bench perf gate owns wall time).  Allocation
+    regressions (median allocated words from the [mem] block of
+    [tfiris-run/2] records) are advisory by default and {e failing}
+    when an explicit [--mem-threshold] arms the memory gate —
+    allocation counts are deterministic enough to gate on, but only
+    when the caller opts in with a threshold they chose.
 
     Records with the same content key are expected to agree on their
     verdict (the key hashes everything the verdict depends on), so the
@@ -42,6 +47,8 @@ type summary = {
   s_min_ms : float;
   s_max_ms : float;
   s_median_steps : int option;  (** median of consumed ["steps"] *)
+  s_alloc_w : int option;
+      (** median allocated words over runs carrying a [mem] block *)
 }
 
 (** One row per content key, in first-appearance order; per-key record
@@ -68,6 +75,14 @@ let summarize (records : Ledger.record list) : summary list =
       let last = List.nth runs (List.length runs - 1) in
       let walls = List.map (fun (r : Ledger.record) -> r.Ledger.wall_ms) runs in
       let steps = List.filter_map (fun r -> consumed_total r "steps") runs in
+      let allocs =
+        List.filter_map
+          (fun (r : Ledger.record) ->
+            Option.map
+              (fun (m : Telemetry.mem) -> m.Telemetry.allocated_words)
+              r.Ledger.mem)
+          runs
+      in
       {
         s_key = key;
         s_cmd = last.Ledger.cmd;
@@ -89,6 +104,11 @@ let summarize (records : Ledger.record list) : summary list =
           | _ ->
             Some
               (int_of_float (median (List.map float_of_int steps))));
+        s_alloc_w =
+          (match allocs with
+          | [] -> None
+          | _ ->
+            Some (int_of_float (median (List.map float_of_int allocs))));
       })
     (group_by_key records)
 
@@ -139,6 +159,9 @@ type change =
   | Verdict_flip  (** key in both ledgers, latest verdict differs *)
   | New_failure  (** key only in [after], and it failed *)
   | Time_regression  (** median wall time crossed the threshold (advisory) *)
+  | Mem_regression
+      (** median allocated words crossed the memory threshold —
+          advisory unless the gate is armed (see {!diff}) *)
   | Added  (** key only in [after] (and passing) *)
   | Removed  (** key only in [before] *)
 
@@ -146,6 +169,7 @@ let change_name = function
   | Verdict_flip -> "verdict-flip"
   | New_failure -> "new-failure"
   | Time_regression -> "time-regression"
+  | Mem_regression -> "mem-regression"
   | Added -> "added"
   | Removed -> "removed"
 
@@ -157,6 +181,8 @@ type diff_entry = {
   d_after : string option;
   d_ms_before : float option;  (** median wall ms *)
   d_ms_after : float option;
+  d_w_before : int option;  (** median allocated words *)
+  d_w_after : int option;
 }
 
 type diff = {
@@ -165,14 +191,23 @@ type diff = {
   flips : int;
   new_failures : int;
   regressions : int;
+  mem_regressions : int;
+  mem_gate : bool;  (** an explicit [mem_threshold] arms the memory gate *)
 }
 
-(** [true] when the diff contains a correctness regression — the CI
-    failure condition.  Time regressions never set this. *)
-let failed (d : diff) = d.flips > 0 || d.new_failures > 0
+(** [true] when the diff contains a regression that should fail CI:
+    a correctness regression always, an allocation regression when the
+    memory gate is armed.  Time regressions never set this. *)
+let failed (d : diff) =
+  d.flips > 0 || d.new_failures > 0 || (d.mem_gate && d.mem_regressions > 0)
 
-let diff ?(threshold = 1.5) ?(min_delta_ms = 20.) ~(before : Ledger.record list)
-    ~(after : Ledger.record list) () : diff =
+(* Below this delta, allocation growth is ignored no matter the ratio —
+   keeps near-zero-allocation entries from tripping the gate on an
+   incidental boxed value or two. *)
+let min_delta_w = 100_000
+
+let diff ?(threshold = 1.5) ?(min_delta_ms = 20.) ?mem_threshold
+    ~(before : Ledger.record list) ~(after : Ledger.record list) () : diff =
   let b = summarize before and a = summarize after in
   let b_tbl = Hashtbl.create 64 in
   List.iter (fun s -> Hashtbl.replace b_tbl s.s_key s) b;
@@ -189,10 +224,18 @@ let diff ?(threshold = 1.5) ?(min_delta_ms = 20.) ~(before : Ledger.record list)
       d_after = Option.map (fun s -> s.s_verdict) sa;
       d_ms_before = Option.map (fun s -> s.s_median_ms) sb;
       d_ms_after = Option.map (fun s -> s.s_median_ms) sa;
+      d_w_before = Option.bind sb (fun s -> s.s_alloc_w);
+      d_w_after = Option.bind sa (fun s -> s.s_alloc_w);
     }
   in
+  let mem_gate = Option.is_some mem_threshold in
+  let mem_t = Option.value ~default:1.5 mem_threshold in
   let compared = ref 0 in
-  let flips = ref [] and fails = ref [] and regs = ref [] and info = ref [] in
+  let flips = ref []
+  and fails = ref []
+  and regs = ref []
+  and mem_regs = ref []
+  and info = ref [] in
   List.iter
     (fun (sa : summary) ->
       match Hashtbl.find_opt b_tbl sa.s_key with
@@ -203,10 +246,20 @@ let diff ?(threshold = 1.5) ?(min_delta_ms = 20.) ~(before : Ledger.record list)
         incr compared;
         if sa.s_verdict <> sb.s_verdict then
           flips := entry Verdict_flip (Some sb) (Some sa) :: !flips
-        else if
-          sa.s_median_ms > (threshold *. sb.s_median_ms)
-          && sa.s_median_ms -. sb.s_median_ms > min_delta_ms
-        then regs := entry Time_regression (Some sb) (Some sa) :: !regs)
+        else begin
+          if
+            sa.s_median_ms > (threshold *. sb.s_median_ms)
+            && sa.s_median_ms -. sb.s_median_ms > min_delta_ms
+          then regs := entry Time_regression (Some sb) (Some sa) :: !regs;
+          match (sb.s_alloc_w, sa.s_alloc_w) with
+          | Some wb, Some wa
+            when Telemetry.regressions ~threshold:mem_t ~min_delta_w
+                   ~baseline:[ (sa.s_key, wb) ]
+                   [ (sa.s_key, wa) ]
+                 <> [] ->
+            mem_regs := entry Mem_regression (Some sb) (Some sa) :: !mem_regs
+          | _ -> ()
+        end)
     a;
   List.iter
     (fun (sb : summary) ->
@@ -214,7 +267,8 @@ let diff ?(threshold = 1.5) ?(min_delta_ms = 20.) ~(before : Ledger.record list)
         info := entry Removed (Some sb) None :: !info)
     b;
   let entries =
-    List.rev !flips @ List.rev !fails @ List.rev !regs @ List.rev !info
+    List.rev !flips @ List.rev !fails @ List.rev !regs @ List.rev !mem_regs
+    @ List.rev !info
   in
   {
     entries;
@@ -222,6 +276,8 @@ let diff ?(threshold = 1.5) ?(min_delta_ms = 20.) ~(before : Ledger.record list)
     flips = List.length !flips;
     new_failures = List.length !fails;
     regressions = List.length !regs;
+    mem_regressions = List.length !mem_regs;
+    mem_gate;
   }
 
 (* ---------- renderings ---------- *)
@@ -236,7 +292,10 @@ let pp_summary_row ppf (s : summary) =
     (match s.s_median_steps with
     | None -> ""
     | Some n -> Printf.sprintf "  %d steps" n)
-    s.s_label
+    s.s_label;
+  match s.s_alloc_w with
+  | None -> ()
+  | Some w -> Format.fprintf ppf "  %a" Telemetry.pp_words w
 
 let render_summary_text (summaries : summary list) : string =
   let b = Buffer.create 512 in
@@ -307,10 +366,13 @@ let summary_to_json ?(passes = []) (summaries : summary list) : Json.t =
                     ("min_ms", Json.Float s.s_min_ms);
                     ("max_ms", Json.Float s.s_max_ms);
                   ]
+                 @ (match s.s_median_steps with
+                   | None -> []
+                   | Some n -> [ ("median_steps", Json.Int n) ])
                  @
-                 match s.s_median_steps with
+                 match s.s_alloc_w with
                  | None -> []
-                 | Some n -> [ ("median_steps", Json.Int n) ]))
+                 | Some w -> [ ("alloc_w", Json.Int w) ]))
              summaries) );
     ]
     @ pass_field)
@@ -323,6 +385,10 @@ let pp_diff_entry ppf (e : diff_entry) =
   | Some b, Some a when e.d_change = Time_regression ->
     Format.fprintf ppf "  (%.1fms -> %.1fms)" b a
   | _ -> ());
+  (match (e.d_w_before, e.d_w_after) with
+  | Some b, Some a when e.d_change = Mem_regression ->
+    Format.fprintf ppf "  (%a -> %a)" Telemetry.pp_words b Telemetry.pp_words a
+  | _ -> ());
   Format.fprintf ppf "  %s" e.d_label
 
 let render_diff_text (d : diff) : string =
@@ -331,13 +397,16 @@ let render_diff_text (d : diff) : string =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_diff_entry e) d.entries;
   Format.fprintf ppf
     "%d compared: %d verdict flip%s, %d new failure%s, %d time regression%s \
-     (advisory)@."
+     (advisory), %d mem regression%s (%s)@."
     d.compared d.flips
     (if d.flips = 1 then "" else "s")
     d.new_failures
     (if d.new_failures = 1 then "" else "s")
     d.regressions
-    (if d.regressions = 1 then "" else "s");
+    (if d.regressions = 1 then "" else "s")
+    d.mem_regressions
+    (if d.mem_regressions = 1 then "" else "s")
+    (if d.mem_gate then "gated" else "advisory");
   Format.pp_print_flush ppf ();
   Buffer.contents b
 
@@ -350,6 +419,8 @@ let diff_to_json (d : diff) : Json.t =
       ("flips", Json.Int d.flips);
       ("new_failures", Json.Int d.new_failures);
       ("regressions", Json.Int d.regressions);
+      ("mem_regressions", Json.Int d.mem_regressions);
+      ("mem_gate", Json.Bool d.mem_gate);
       ("failed", Json.Bool (failed d));
       ( "entries",
         Json.List
@@ -364,6 +435,8 @@ let diff_to_json (d : diff) : Json.t =
                  @ opt "before" (fun s -> Json.Str s) e.d_before
                  @ opt "after" (fun s -> Json.Str s) e.d_after
                  @ opt "ms_before" (fun f -> Json.Float f) e.d_ms_before
-                 @ opt "ms_after" (fun f -> Json.Float f) e.d_ms_after))
+                 @ opt "ms_after" (fun f -> Json.Float f) e.d_ms_after
+                 @ opt "w_before" (fun n -> Json.Int n) e.d_w_before
+                 @ opt "w_after" (fun n -> Json.Int n) e.d_w_after))
              d.entries) );
     ]

@@ -17,6 +17,20 @@
     [trace_event] array format ({!chrome_sink}), loadable in
     [chrome://tracing] / Perfetto.
 
+    {b Domain safety}: every event records the emitting domain's id
+    ([dom]), span-nesting depth is tracked per domain (domain-local
+    storage), and emission into the shared sink is serialised by a
+    mutex — sinks write to shared channels and ring buffers, so
+    unserialised concurrent emits would interleave bytes.  The Chrome
+    sink maps domains to [tid] lanes and announces them with
+    [process_name]/[thread_name] metadata events, so multi-domain
+    traces render as separate threads in Perfetto.
+
+    {b GC spans}: when {!Telemetry.set_spans} is on, every span close
+    carries [gc.alloc_w]/[gc.minor_gcs]/[gc.major_gcs] attributes — the
+    [Gc.quick_stat] delta across the span, tracked on a per-domain
+    stack in lockstep with span nesting.
+
     {b Cost discipline}: tracing is off by default and the hot paths in
     the instrumented libraries guard every emission with {!on}, a single
     load-and-branch, before building any attribute list.  With tracing
@@ -41,7 +55,8 @@ type event = {
   name : string;
   phase : phase;
   ts_ns : int64;  (** timestamp, nanoseconds since an arbitrary origin *)
-  depth : int;  (** span-nesting depth at emission *)
+  depth : int;  (** span-nesting depth at emission (per domain) *)
+  dom : int;  (** id of the emitting domain (0 = the initial domain) *)
   attrs : attr list;
 }
 
@@ -52,9 +67,9 @@ type sink = {
 
 (* ---------- global state ---------- *)
 
-let enabled = ref false
+let enabled = Atomic.make false
 
-let on () = !enabled
+let on () = Atomic.get enabled
 
 (* The clock is pluggable so a harness with a real monotonic clock
    (e.g. Bechamel's) can substitute it — and so the golden tests can
@@ -75,20 +90,38 @@ let null_sink = { emit = (fun _ -> ()); flush = (fun () -> ()) }
 
 let sink = ref null_sink
 
-let depth = ref 0
+(* Serialises sink access: sinks write shared out_channels / ring
+   buffers, so concurrent emits from two domains must not interleave.
+   Held only while tracing is on and an event is actually emitted. *)
+let sink_lock = Mutex.create ()
+
+let with_sink_lock f =
+  Mutex.lock sink_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_lock) f
+
+(* Span-nesting depth, per domain: a global counter would make one
+   domain's spans indent another's. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let depth () = Domain.DLS.get depth_key
+
+(* Per-domain stack of GC samples opened by [span_begin] when
+   {!Telemetry.spans_on}; popped by the matching [span_end]. *)
+let gc_stack_key : Telemetry.sample list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 (* A sink that throws (full disk, closed channel, an injected fault
    from the chaos harness) must never take the traced program down:
    tracing is an observer.  Failures are swallowed and counted — into a
    plain counter (always) and the [robust.trace.sink_errors] metric
    (when metrics are on). *)
-let sink_errors_ = ref 0
-let sink_errors () = !sink_errors_
-let reset_sink_errors () = sink_errors_ := 0
+let sink_errors_ = Atomic.make 0
+let sink_errors () = Atomic.get sink_errors_
+let reset_sink_errors () = Atomic.set sink_errors_ 0
 let c_sink_errors = Metrics.counter "robust.trace.sink_errors"
 
 let note_sink_error () =
-  incr sink_errors_;
+  ignore (Atomic.fetch_and_add sink_errors_ 1);
   if Metrics.on () then Metrics.incr c_sink_errors
 
 let flush_sink s = try s.flush () with _ -> note_sink_error ()
@@ -97,47 +130,80 @@ let set_sink s =
   flush_sink !sink;
   sink := s
 
-let set_enabled b = enabled := b
+let set_enabled b = Atomic.set enabled b
 
 (** Route events to [s] and switch tracing on; returns the previous
     (sink, enabled) pair for {!restore}. *)
 let install s =
-  let prev = (!sink, !enabled) in
+  let prev = (!sink, Atomic.get enabled) in
   sink := s;
-  enabled := true;
+  Atomic.set enabled true;
   prev
 
 let restore (s, e) =
   flush_sink !sink;
   sink := s;
-  enabled := e
+  Atomic.set enabled e
 
 let flush () = flush_sink !sink
 
 (* ---------- emission ---------- *)
 
 let emit phase name attrs =
-  try !sink.emit { name; phase; ts_ns = now_ns (); depth = !depth; attrs }
-  with _ -> note_sink_error ()
+  let ev =
+    {
+      name;
+      phase;
+      ts_ns = now_ns ();
+      depth = !(depth ());
+      dom = (Domain.self () :> int);
+      attrs;
+    }
+  in
+  try with_sink_lock (fun () -> !sink.emit ev) with _ -> note_sink_error ()
 
-let instant ?(attrs = []) name = if !enabled then emit Instant name attrs
+let instant ?(attrs = []) name =
+  if Atomic.get enabled then emit Instant name attrs
 
 let span_begin ?(attrs = []) name =
-  if !enabled then begin
+  if Atomic.get enabled then begin
+    if Telemetry.spans_on () then begin
+      let st = Domain.DLS.get gc_stack_key in
+      st := Telemetry.sample () :: !st
+    end;
     emit Span_begin name attrs;
-    incr depth
+    incr (depth ())
   end
 
+(* GC attributes for a span close: the delta since the matching
+   [span_begin].  An unmatched close (sampling switched on mid-span)
+   finds an empty stack and simply carries no GC attrs. *)
+let gc_close_attrs () =
+  if not (Telemetry.spans_on ()) then []
+  else
+    let st = Domain.DLS.get gc_stack_key in
+    match !st with
+    | [] -> []
+    | before :: rest ->
+      st := rest;
+      let m = Telemetry.measure ~before ~after:(Telemetry.sample ()) in
+      [
+        ("gc.alloc_w", I m.Telemetry.allocated_words);
+        ("gc.minor_gcs", I m.Telemetry.minor_collections);
+        ("gc.major_gcs", I m.Telemetry.major_collections);
+      ]
+
 let span_end ?(attrs = []) name =
-  if !enabled then begin
-    depth := max 0 (!depth - 1);
-    emit Span_end name attrs
+  if Atomic.get enabled then begin
+    let d = depth () in
+    d := max 0 (!d - 1);
+    emit Span_end name (attrs @ gc_close_attrs ())
   end
 
 (** [with_span name f]: run [f] inside a span.  When tracing is off this
     is a tail call to [f]. *)
 let with_span ?(attrs = []) name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
     span_begin ~attrs name;
     Fun.protect ~finally:(fun () -> span_end name) f
@@ -216,15 +282,19 @@ let phase_of_name = function
   | "instant" -> Some Instant
   | _ -> None
 
+(* The "dom" field is elided for domain 0 so single-domain traces keep
+   the exact PR 1 byte format (golden-tested); [event_of_json] defaults
+   it back to 0. *)
 let json_of_event (ev : event) : Json.t =
   Json.Obj
-    [
-      ("ev", Json.Str (phase_name ev.phase));
-      ("name", Json.Str ev.name);
-      ("ts", Json.Int (Int64.to_int ev.ts_ns));
-      ("depth", Json.Int ev.depth);
-      ("attrs", json_of_attrs ev.attrs);
-    ]
+    ([
+       ("ev", Json.Str (phase_name ev.phase));
+       ("name", Json.Str ev.name);
+       ("ts", Json.Int (Int64.to_int ev.ts_ns));
+       ("depth", Json.Int ev.depth);
+     ]
+    @ (if ev.dom = 0 then [] else [ ("dom", Json.Int ev.dom) ])
+    @ [ ("attrs", json_of_attrs ev.attrs) ])
 
 (** Reparse one JSONL line into an event (attribute values come back
     typed as far as JSON allows).  Used by the round-trip tests. *)
@@ -235,6 +305,11 @@ let event_of_json (j : Json.t) : event option =
   let* name = Option.bind (Json.member "name" j) Json.to_str in
   let* ts = Option.bind (Json.member "ts" j) Json.to_int in
   let* depth = Option.bind (Json.member "depth" j) Json.to_int in
+  let dom =
+    match Option.bind (Json.member "dom" j) Json.to_int with
+    | Some d -> d
+    | None -> 0
+  in
   let attrs =
     match Json.member "attrs" j with
     | Some (Json.Obj kvs) ->
@@ -249,7 +324,7 @@ let event_of_json (j : Json.t) : event option =
         kvs
     | _ -> []
   in
-  Some { name; phase; ts_ns = Int64.of_int ts; depth; attrs }
+  Some { name; phase; ts_ns = Int64.of_int ts; depth; dom; attrs }
 
 (** One JSON object per line on [oc]. *)
 let jsonl_sink (oc : out_channel) : sink =
@@ -262,14 +337,39 @@ let jsonl_sink (oc : out_channel) : sink =
   }
 
 (** Chrome [trace_event] array format on [oc]: every span begin/end maps
-    to a ["B"]/["E"] duration event, instants to ["i"].  [flush] closes
-    the JSON array — call it (or {!restore}/{!set_sink}) before reading
-    the file. *)
+    to a ["B"]/["E"] duration event, instants to ["i"].  Domains map to
+    [tid] lanes, announced by ["process_name"]/["thread_name"] metadata
+    events the first time each domain appears, so multi-domain traces
+    render as separate named threads in [chrome://tracing] / Perfetto.
+    [flush] closes the JSON array — call it (or {!restore}/{!set_sink})
+    before reading the file. *)
 let chrome_sink (oc : out_channel) : sink =
   let first = ref true in
   output_string oc "[";
+  let sep () = if !first then first := false else output_string oc ",\n" in
+  let put kvs = output_string oc (Json.to_string (Json.Obj kvs)) in
+  let metadata name tid label =
+    sep ();
+    put
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str label) ]);
+      ]
+  in
+  let doms_seen = Hashtbl.create 4 in
+  let ensure_dom d =
+    if not (Hashtbl.mem doms_seen d) then begin
+      if Hashtbl.length doms_seen = 0 then metadata "process_name" 0 "tfiris";
+      Hashtbl.add doms_seen d ();
+      metadata "thread_name" d (Printf.sprintf "domain %d" d)
+    end
+  in
   let emit ev =
-    if !first then first := false else output_string oc ",\n";
+    ensure_dom ev.dom;
+    sep ();
     let ph =
       match ev.phase with Span_begin -> "B" | Span_end -> "E" | Instant -> "i"
     in
@@ -279,7 +379,7 @@ let chrome_sink (oc : out_channel) : sink =
         ("ph", Json.Str ph);
         ("ts", Json.Float (Int64.to_float ev.ts_ns /. 1e3));
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int ev.dom);
       ]
     in
     let scope = if ev.phase = Instant then [ ("s", Json.Str "t") ] else [] in
@@ -288,7 +388,7 @@ let chrome_sink (oc : out_channel) : sink =
       | [] -> []
       | attrs -> [ ("args", json_of_attrs attrs) ]
     in
-    output_string oc (Json.to_string (Json.Obj (base @ scope @ args)))
+    put (base @ scope @ args)
   in
   let closed = ref false in
   let flush () =

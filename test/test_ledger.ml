@@ -45,6 +45,7 @@ let sample_record =
     ok = true;
     wall_ms = 1.5;
     consumed = [ ("steps", 3) ];
+    mem = None;
     detail = Some "1";
     budget = None;
     seed = None;
@@ -54,15 +55,41 @@ let sample_record =
 
 (* ---------- record shape and content keys ---------- *)
 
+(* A pinned mem block for the /2 goldens. *)
+let sample_mem =
+  {
+    Obs.Telemetry.allocated_words = 1_234;
+    minor_words = 1_200;
+    major_words = 100;
+    promoted_words = 66;
+    minor_collections = 1;
+    major_collections = 0;
+    compactions = 0;
+    top_heap_words = 262_144;
+  }
+
 let test_record_golden () =
   Alcotest.(check string)
-    "tfiris-run/1 record bytes"
-    ("{\"schema\":\"tfiris-run/1\","
+    "tfiris-run/2 record bytes"
+    ("{\"schema\":\"tfiris-run/2\","
    ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
    ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
    ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
    ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},\"detail\":\"1\"}")
-    (Json.to_string (Ledger.to_json sample_record))
+    (Json.to_string (Ledger.to_json sample_record));
+  (* with a mem block: fixed field order between consumed and detail *)
+  Alcotest.(check string)
+    "tfiris-run/2 record bytes with mem"
+    ("{\"schema\":\"tfiris-run/2\","
+   ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+   ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+   ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+   ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},"
+   ^ "\"mem\":{\"allocated_words\":1234,\"minor_words\":1200,"
+   ^ "\"major_words\":100,\"promoted_words\":66,\"minor_collections\":1,"
+   ^ "\"major_collections\":0,\"compactions\":0,\"top_heap_words\":262144},"
+   ^ "\"detail\":\"1\"}")
+    (Json.to_string (Ledger.to_json { sample_record with Ledger.mem = Some sample_mem }))
 
 let test_record_roundtrip () =
   let r =
@@ -72,6 +99,7 @@ let test_record_roundtrip () =
       ok = false;
       seed = Some 42;
       budget = Some (Json.Obj [ ("steps", Json.Int 100) ]);
+      mem = Some sample_mem;
       forensics =
         Some (Json.Obj [ ("component", Json.Str "termination.wp") ]);
     }
@@ -86,7 +114,23 @@ let test_record_roundtrip () =
     in
     (match Ledger.of_json bad with
     | Error _ -> ()
-    | Ok _ -> Alcotest.fail "unknown schema accepted")
+    | Ok _ -> Alcotest.fail "unknown schema accepted");
+    (* a /1 record (no mem block) still loads — forward compatibility
+       with ledgers written before the schema bump *)
+    let v1_line =
+      "{\"schema\":\"tfiris-run/1\","
+      ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+      ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+      ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+      ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},\"detail\":\"1\"}"
+    in
+    (match Result.bind (Json.of_string v1_line) (fun j ->
+         Result.map_error (fun e -> e) (Ledger.of_json j))
+     with
+    | Error e -> Alcotest.failf "/1 record refused: %s" e
+    | Ok r1 ->
+      Alcotest.(check bool) "/1 loads as the same record, mem absent" true
+        (r1 = sample_record))
 
 let test_content_key_stability () =
   let key () =
@@ -137,6 +181,33 @@ let test_append_load_roundtrip () =
       (List.nth rs 0 = sample_record);
     Alcotest.(check string) "order preserved" "stuck"
       (List.nth rs 1).Ledger.verdict);
+  Sys.remove path
+
+(* Appends are line-atomic (one [write(2)] on an O_APPEND fd), so two
+   domains hammering the same ledger interleave whole records, never
+   bytes: the file must load cleanly with every record intact. *)
+let test_append_concurrent () =
+  let path = Filename.temp_file "tfiris_ledger_conc" ".jsonl" in
+  Sys.remove path;
+  let per = 100 in
+  let writer verdict =
+    Domain.spawn (fun () ->
+        for _ = 1 to per do
+          Ledger.append ~path { sample_record with Ledger.verdict }
+        done)
+  in
+  let d1 = writer "left" and d2 = writer "right" in
+  Domain.join d1;
+  Domain.join d2;
+  (match Ledger.load ~path with
+  | Error e -> Alcotest.failf "concurrently written ledger corrupt: %s" e
+  | Ok rs ->
+    Alcotest.(check int) "no record lost" (2 * per) (List.length rs);
+    let count v =
+      List.length (List.filter (fun r -> r.Ledger.verdict = v) rs)
+    in
+    Alcotest.(check int) "left writer's records all there" per (count "left");
+    Alcotest.(check int) "right writer's records all there" per (count "right"));
   Sys.remove path
 
 let test_load_malformed () =
@@ -336,6 +407,89 @@ let test_diff_time_only_is_advisory () =
   let after = [ rec_of ~key:"jitter" ~verdict:"value" ~wall:1.0 () ] in
   let d = Report.diff ~before ~after () in
   Alcotest.(check int) "10x of nothing is nothing" 0 d.Report.regressions
+
+(* ---------- the memory gate ---------- *)
+
+let rec_mem ~key w =
+  {
+    sample_record with
+    Ledger.key;
+    label = key;
+    mem = Some { sample_mem with Obs.Telemetry.allocated_words = w };
+  }
+
+let test_diff_mem_regression () =
+  let before = [ rec_mem ~key:"hot" 1_000_000; rec_mem ~key:"cool" 1_000_000 ] in
+  let after = [ rec_mem ~key:"hot" 5_000_000; rec_mem ~key:"cool" 1_000_100 ] in
+  (* unarmed: the regression is classified and counted but advisory *)
+  let d = Report.diff ~before ~after () in
+  Alcotest.(check int) "one mem regression" 1 d.Report.mem_regressions;
+  Alcotest.(check bool) "gate not armed" false d.Report.mem_gate;
+  Alcotest.(check bool) "advisory by default" false (Report.failed d);
+  (match
+     List.find_opt
+       (fun e -> e.Report.d_change = Report.Mem_regression)
+       d.Report.entries
+   with
+  | None -> Alcotest.fail "mem-regression entry missing"
+  | Some e ->
+    Alcotest.(check (option int)) "words before" (Some 1_000_000)
+      e.Report.d_w_before;
+    Alcotest.(check (option int)) "words after" (Some 5_000_000)
+      e.Report.d_w_after);
+  (* armed with an explicit threshold: same classification, now failing *)
+  let d = Report.diff ~mem_threshold:2.0 ~before ~after () in
+  Alcotest.(check int) "still one regression at 2x" 1 d.Report.mem_regressions;
+  Alcotest.(check bool) "gate armed" true d.Report.mem_gate;
+  Alcotest.(check bool) "armed gate fails the diff" true (Report.failed d);
+  (* a looser threshold lets the same growth through *)
+  let d = Report.diff ~mem_threshold:10.0 ~before ~after () in
+  Alcotest.(check int) "10x tolerates 5x growth" 0 d.Report.mem_regressions;
+  Alcotest.(check bool) "nothing to gate" false (Report.failed d);
+  (* the JSON rendering carries the gate verdict *)
+  let d = Report.diff ~mem_threshold:2.0 ~before ~after () in
+  match Json.of_string (Json.to_string (Report.diff_to_json d)) with
+  | Error e -> Alcotest.failf "diff JSON unparseable: %s" e
+  | Ok j ->
+    Alcotest.(check (option bool)) "json mem_gate" (Some true)
+      (Option.bind (Json.member "mem_gate" j) Json.to_bool);
+    Alcotest.(check (option bool)) "json failed" (Some true)
+      (Option.bind (Json.member "failed" j) Json.to_bool)
+
+(* Growth below the 100k-word absolute floor never trips the gate, no
+   matter the ratio — and records without mem blocks are skipped. *)
+let test_diff_mem_floor_and_missing () =
+  let before = [ rec_mem ~key:"tiny" 10 ] in
+  let after = [ rec_mem ~key:"tiny" 50_000 ] in
+  let d = Report.diff ~mem_threshold:1.5 ~before ~after () in
+  Alcotest.(check int) "5000x of nothing is nothing" 0 d.Report.mem_regressions;
+  Alcotest.(check bool) "floor keeps the diff green" false (Report.failed d);
+  (* a /1-era baseline (no mem) compared against /2 runs: vacuously green *)
+  let before = [ rec_of ~key:"old" ~verdict:"value" () ] in
+  let after = [ rec_mem ~key:"old" 50_000_000 ] in
+  let d = Report.diff ~mem_threshold:1.5 ~before ~after () in
+  Alcotest.(check int) "no baseline mem, no regression" 0
+    d.Report.mem_regressions;
+  Alcotest.(check bool) "still green" false (Report.failed d)
+
+(* The summary medians allocated words per key and renders it. *)
+let test_summarize_alloc () =
+  let records =
+    [ rec_mem ~key:"a" 1_000; rec_mem ~key:"a" 3_000; rec_mem ~key:"a" 2_000 ]
+  in
+  match Report.summarize records with
+  | [ a ] ->
+    Alcotest.(check (option int)) "median allocated words" (Some 2_000)
+      a.Report.s_alloc_w;
+    let j = Json.to_string (Report.summary_to_json [ a ]) in
+    Alcotest.(check bool) "alloc_w in summary JSON" true
+      (let sub = "\"alloc_w\":2000" in
+       let rec go i =
+         i + String.length sub <= String.length j
+         && (String.sub j i (String.length sub) = sub || go (i + 1))
+       in
+       go 0)
+  | l -> Alcotest.failf "expected one summary, got %d" (List.length l)
 
 (* ---------- budget fractions ---------- *)
 
@@ -648,6 +802,8 @@ let suite =
       test_content_key_stability;
     Alcotest.test_case "append/load round-trip" `Quick
       test_append_load_roundtrip;
+    Alcotest.test_case "concurrent appends are line-atomic" `Quick
+      test_append_concurrent;
     Alcotest.test_case "corrupt ledger refused" `Quick test_load_malformed;
     Alcotest.test_case "summaries per key" `Quick test_summarize;
     Alcotest.test_case "per-pass analysis grouping" `Quick test_pass_summary;
@@ -657,6 +813,12 @@ let suite =
       test_diff_classification;
     Alcotest.test_case "time regressions are advisory" `Quick
       test_diff_time_only_is_advisory;
+    Alcotest.test_case "mem regressions: advisory then gated" `Quick
+      test_diff_mem_regression;
+    Alcotest.test_case "mem gate floor and missing baselines" `Quick
+      test_diff_mem_floor_and_missing;
+    Alcotest.test_case "summary medians allocated words" `Quick
+      test_summarize_alloc;
     Alcotest.test_case "budget remaining fraction" `Quick test_remaining_frac;
     Alcotest.test_case "deterministic heartbeat sequence" `Quick
       test_heartbeat_deterministic;

@@ -18,6 +18,7 @@ let () =
       ("termination", Test_termination.suite);
       ("promises", Test_promises.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("ledger", Test_ledger.suite);
       ("profile", Test_profile.suite);
       ("forensics", Test_forensics.suite);

@@ -88,14 +88,16 @@ let ev_testable =
   Alcotest.testable pp ( = )
 
 let test_jsonl_roundtrip () =
-  let mk name phase ts d attrs =
-    Trace.{ name; phase; ts_ns = Int64.of_int ts; depth = d; attrs }
+  let mk ?(dom = 0) name phase ts d attrs =
+    Trace.{ name; phase; ts_ns = Int64.of_int ts; depth = d; dom; attrs }
   in
   let evs =
     [
       mk "a" Trace.Span_begin 10 0 [ ("i", Trace.I 3); ("s", Trace.S "x\"y\n") ];
       mk "b" Trace.Instant 11 1 [ ("f", Trace.F 2.5); ("b", Trace.B true) ];
       mk "a" Trace.Span_end 12 0 [];
+      (* a worker domain's event keeps its id through the round-trip *)
+      mk ~dom:3 "c" Trace.Instant 13 0 [];
     ]
   in
   List.iter
@@ -168,6 +170,7 @@ let test_json_escaping_golden () =
         phase = Trace.Instant;
         ts_ns = 5L;
         depth = 1;
+        dom = 0;
         attrs = [ ("k\"", Trace.S "v\\") ];
       }
   in
@@ -224,14 +227,17 @@ let check_chrome_file ?(require = fun _ -> true) ~ctx path =
           | None -> Alcotest.failf "%s: event missing %s" ctx k
         in
         let _name = str "name" in
-        (match str "ph" with
+        let ph = str "ph" in
+        (match ph with
         | "B" -> incr depth
         | "E" ->
           decr depth;
           if !depth < 0 then Alcotest.failf "%s: E before B" ctx
-        | "i" -> ()
+        | "i" | "M" -> ()
         | ph -> Alcotest.failf "%s: unexpected phase %s" ctx ph);
-        if Json.member "ts" ev = None then Alcotest.failf "%s: no ts" ctx)
+        (* metadata events carry no timestamp *)
+        if ph <> "M" && Json.member "ts" ev = None then
+          Alcotest.failf "%s: no ts" ctx)
       events;
     Alcotest.(check int) (ctx ^ ": spans balanced") 0 !depth;
     if not (require events) then
@@ -259,11 +265,13 @@ let test_chrome_sink_golden () =
   close_out oc;
   let got = read_file path in
   Alcotest.(check string) "chrome bytes"
-    ("[{\"name\":\"a\",\"ph\":\"B\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
-   ^ "{\"name\":\"z\",\"ph\":\"B\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
-   ^ "{\"name\":\"z\",\"ph\":\"E\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
-   ^ "{\"name\":\"a\",\"ph\":\"E\",\"ts\":7.0,\"pid\":1,\"tid\":1},\n"
-   ^ "{\"name\":\"w\",\"ph\":\"i\",\"ts\":7.0,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"q\":\"x\\\"y\"}}]\n")
+    ("[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"tfiris\"}},\n"
+   ^ "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"domain 0\"}},\n"
+   ^ "{\"name\":\"a\",\"ph\":\"B\",\"ts\":7.0,\"pid\":1,\"tid\":0},\n"
+   ^ "{\"name\":\"z\",\"ph\":\"B\",\"ts\":7.0,\"pid\":1,\"tid\":0},\n"
+   ^ "{\"name\":\"z\",\"ph\":\"E\",\"ts\":7.0,\"pid\":1,\"tid\":0},\n"
+   ^ "{\"name\":\"a\",\"ph\":\"E\",\"ts\":7.0,\"pid\":1,\"tid\":0},\n"
+   ^ "{\"name\":\"w\",\"ph\":\"i\",\"ts\":7.0,\"pid\":1,\"tid\":0,\"s\":\"t\",\"args\":{\"q\":\"x\\\"y\"}}]\n")
     got;
   (* and the structural checker still accepts it *)
   check_chrome_file ~ctx:"golden" path ~require:(has_event "w");
@@ -444,15 +452,17 @@ let test_hist_quantiles () =
       | Some d ->
         (* rank ⌈0.5·4⌉ = 2 falls in (1,2]; rank ⌈0.95·4⌉ = 4 is the
            1000 observation, kept in (512,1024] *)
-        Alcotest.(check (float 0.)) "p50" 2. (Metrics.estimate_quantile d 0.5);
-        Alcotest.(check (float 0.))
-          "p95" 1024.
+        Alcotest.(check (option (float 0.)))
+          "p50" (Some 2.)
+          (Metrics.estimate_quantile d 0.5);
+        Alcotest.(check (option (float 0.)))
+          "p95" (Some 1024.)
           (Metrics.estimate_quantile d 0.95);
-        Alcotest.(check (float 0.))
-          "p100 tops out at the last bucket" 1024.
+        Alcotest.(check (option (float 0.)))
+          "p100 tops out at the last bucket" (Some 1024.)
           (Metrics.estimate_quantile d 1.0);
-        Alcotest.(check (float 0.))
-          "p0 clamps to rank 1" 1.
+        Alcotest.(check (option (float 0.)))
+          "p0 clamps to rank 1" (Some 1.)
           (Metrics.estimate_quantile d 0.))
 
 let test_hist_quantiles_boundary_exact () =
@@ -462,18 +472,49 @@ let test_hist_quantiles_boundary_exact () =
       match find_hist "test.obs.quant2" with
       | None -> Alcotest.fail "histogram missing"
       | Some d ->
-        Alcotest.(check (float 0.))
-          "boundary observation is exact (p50)" 4.
+        Alcotest.(check (option (float 0.)))
+          "boundary observation is exact (p50)" (Some 4.)
           (Metrics.estimate_quantile d 0.5);
-        Alcotest.(check (float 0.))
-          "boundary observation is exact (p95)" 4.
+        Alcotest.(check (option (float 0.)))
+          "boundary observation is exact (p95)" (Some 4.)
           (Metrics.estimate_quantile d 0.95))
 
+(* The satellite fix: an empty histogram used to estimate NaN (0/0 on
+   the rank), which leaked into the JSON rendering as [null] fields.
+   It now has no estimate at all, and both renderings omit p50/p95. *)
 let test_hist_quantiles_empty () =
   let d = { Metrics.count = 0; sum = 0.; max = 0.; buckets = [] } in
-  Alcotest.(check bool)
-    "empty histogram has no estimate" true
-    (Float.is_nan (Metrics.estimate_quantile d 0.5))
+  Alcotest.(check (option (float 0.)))
+    "empty histogram has no estimate" None
+    (Metrics.estimate_quantile d 0.5);
+  with_metrics (fun () ->
+      let _h = Metrics.histogram "test.obs.quant_empty" in
+      let snap = Metrics.snapshot () in
+      let text = Format.asprintf "%a" Metrics.render_text snap in
+      let has sub =
+        let rec go i =
+          i + String.length sub <= String.length text
+          && (String.sub text i (String.length sub) = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "text omits p50" false (has "p50<=");
+      Alcotest.(check bool) "text omits p95" false (has "p95<=");
+      match
+        Result.bind
+          (Json.of_string (Json.to_string (Metrics.to_json snap)))
+          (fun j ->
+            Option.to_result ~none:"hist object missing"
+              (Json.member "test.obs.quant_empty" j))
+      with
+      | Error e -> Alcotest.fail e
+      | Ok hist ->
+        Alcotest.(check bool)
+          "json omits p50_le" true
+          (Json.member "p50_le" hist = None);
+        Alcotest.(check bool)
+          "json omits p95_le" true
+          (Json.member "p95_le" hist = None))
 
 (* The estimates ride along in both renderings. *)
 let test_hist_quantiles_rendered () =
@@ -507,6 +548,107 @@ let test_hist_quantiles_rendered () =
         in
         Alcotest.(check (float 0.)) "json p50_le" 2. (field "p50_le");
         Alcotest.(check (float 0.)) "json p95_le" 1024. (field "p95_le"))
+
+(* ---------- snapshot determinism and domain safety ---------- *)
+
+(* Snapshots render sorted by instrument name, whatever the
+   registration order — the Hashtbl's iteration order must never leak
+   into the golden outputs. *)
+let test_snapshot_sorted_golden () =
+  with_metrics (fun () ->
+      (* registered deliberately out of order *)
+      let z = Metrics.counter "test.order.z" in
+      let a = Metrics.counter "test.order.a" in
+      let m = Metrics.gauge "test.order.m" in
+      Metrics.add z 3;
+      Metrics.incr a;
+      Metrics.set m 2.;
+      let snap = Metrics.snapshot () in
+      let names = List.map Metrics.entry_name snap in
+      Alcotest.(check (list string))
+        "whole snapshot is name-sorted"
+        (List.sort String.compare names)
+        names;
+      let text = Format.asprintf "%a" Metrics.render_text snap in
+      Alcotest.(check string) "text golden, sorted"
+        ("test.order.a            1\n"
+       ^ "test.order.m            2\n"
+       ^ "test.order.z            3\n")
+        text)
+
+(* The tentpole stress: one counter hammered from 4 domains; the
+   atomic read-modify-write must lose no increment. *)
+let test_counter_domain_stress () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.obs.dstress.c" in
+      let per = 50_000 in
+      let doms =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per do
+                  Metrics.incr c
+                done))
+      in
+      List.iter Domain.join doms;
+      Alcotest.(check (option int))
+        "exact total after join" (Some (4 * per))
+        (Metrics.counter_value (Metrics.snapshot ()) "test.obs.dstress.c"))
+
+(* Same for histograms: per-domain shards merged after the writers are
+   joined must reproduce count, sum and max exactly.  Domain k observes
+   k*per+1 .. (k+1)*per, so all observations are distinct and the
+   closed-form sum is exact in float (well below 2^53). *)
+let test_histogram_domain_stress () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test.obs.dstress.h" in
+      let per = 20_000 in
+      let doms =
+        List.init 4 (fun k ->
+            Domain.spawn (fun () ->
+                for i = 1 to per do
+                  Metrics.observe_int h ((k * per) + i)
+                done))
+      in
+      List.iter Domain.join doms;
+      match find_hist "test.obs.dstress.h" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some d ->
+        let n = 4 * per in
+        Alcotest.(check int) "exact merged count" n d.Metrics.count;
+        Alcotest.(check (float 0.))
+          "exact merged sum"
+          (float_of_int (n * (n + 1) / 2))
+          d.Metrics.sum;
+        Alcotest.(check (float 0.)) "exact merged max" (float_of_int n)
+          d.Metrics.max;
+        Alcotest.(check int) "bucket counts sum to count" n
+          (List.fold_left (fun acc (_, c) -> acc + c) 0 d.Metrics.buckets))
+
+(* Property form: arbitrary per-domain workloads, exact totals. *)
+let counter_domain_stress_prop =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:15 ~name:"4-domain counter totals are exact"
+       Q.Gen.(list_size (return 4) (int_range 0 5_000))
+       (fun amounts ->
+         Metrics.reset ();
+         Metrics.set_enabled true;
+         let c = Metrics.counter "test.obs.dstress.p" in
+         let doms =
+           List.map
+             (fun n ->
+               Domain.spawn (fun () ->
+                   for _ = 1 to n do
+                     Metrics.incr c
+                   done))
+             amounts
+         in
+         List.iter Domain.join doms;
+         let got =
+           Metrics.counter_value (Metrics.snapshot ()) "test.obs.dstress.p"
+         in
+         Metrics.set_enabled false;
+         Metrics.reset ();
+         got = Some (List.fold_left ( + ) 0 amounts)))
 
 (* ---------- JSON writer audit (satellite S2) ---------- *)
 
@@ -621,6 +763,13 @@ let suite =
       test_hist_quantiles_empty;
     Alcotest.test_case "quantiles in text and JSON renderings" `Quick
       test_hist_quantiles_rendered;
+    Alcotest.test_case "snapshot sorted by name (golden)" `Quick
+      test_snapshot_sorted_golden;
+    Alcotest.test_case "4-domain counter stress" `Quick
+      test_counter_domain_stress;
+    Alcotest.test_case "4-domain histogram stress" `Quick
+      test_histogram_domain_stress;
+    counter_domain_stress_prop;
     Alcotest.test_case "json control chars escape exhaustively" `Quick
       test_json_control_chars_exhaustive;
     Alcotest.test_case "json non-finite floats -> null" `Quick

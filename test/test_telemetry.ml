@@ -1,0 +1,261 @@
+(* Obs.Telemetry: GC samples and deltas, the mem wire form, the shared
+   memory-gate comparator, span-level GC attributes through the tracer,
+   and the bench memory gate end to end through the built harness. *)
+
+open Tfiris
+module Trace = Obs.Trace
+module Telemetry = Obs.Telemetry
+module Json = Obs.Json
+
+(* ---------- measure arithmetic ---------- *)
+
+let s ~minor ~promoted ~major ~mgc ~mjgc ~comp ~top =
+  {
+    Telemetry.s_minor_words = minor;
+    s_promoted_words = promoted;
+    s_major_words = major;
+    s_minor_collections = mgc;
+    s_major_collections = mjgc;
+    s_compactions = comp;
+    s_top_heap_words = top;
+  }
+
+let test_measure_arithmetic () =
+  let before =
+    s ~minor:1_000. ~promoted:100. ~major:200. ~mgc:1 ~mjgc:0 ~comp:0 ~top:500
+  in
+  let after =
+    s ~minor:5_000. ~promoted:300. ~major:700. ~mgc:4 ~mjgc:1 ~comp:1 ~top:900
+  in
+  let m = Telemetry.measure ~before ~after in
+  (* allocated = minor + major - promoted = 4000 + 500 - 200 *)
+  Alcotest.(check int) "allocated words" 4_300 m.Telemetry.allocated_words;
+  Alcotest.(check int) "minor delta" 4_000 m.Telemetry.minor_words;
+  Alcotest.(check int) "major delta" 500 m.Telemetry.major_words;
+  Alcotest.(check int) "promoted delta" 200 m.Telemetry.promoted_words;
+  Alcotest.(check int) "minor gcs" 3 m.Telemetry.minor_collections;
+  Alcotest.(check int) "major gcs" 1 m.Telemetry.major_collections;
+  Alcotest.(check int) "compactions" 1 m.Telemetry.compactions;
+  (* the high-water mark is the closing absolute, not a delta *)
+  Alcotest.(check int) "top heap" 900 m.Telemetry.top_heap_words
+
+(* A real allocation is visible in the delta: the sampled counters are
+   live, not cached. *)
+let test_measure_real_allocation () =
+  let before = Telemetry.sample () in
+  ignore (Sys.opaque_identity (Array.make 100_000 0.));
+  let m = Telemetry.measure ~before ~after:(Telemetry.sample ()) in
+  Alcotest.(check bool)
+    "a 100k-word array shows up" true
+    (m.Telemetry.allocated_words >= 100_000)
+
+(* ---------- wire form ---------- *)
+
+let sample_mem =
+  {
+    Telemetry.allocated_words = 4_300;
+    minor_words = 4_000;
+    major_words = 500;
+    promoted_words = 200;
+    minor_collections = 3;
+    major_collections = 1;
+    compactions = 0;
+    top_heap_words = 900;
+  }
+
+let test_mem_json_golden () =
+  Alcotest.(check string) "mem block bytes"
+    ("{\"allocated_words\":4300,\"minor_words\":4000,\"major_words\":500,"
+   ^ "\"promoted_words\":200,\"minor_collections\":3,\"major_collections\":1,"
+   ^ "\"compactions\":0,\"top_heap_words\":900}")
+    (Json.to_string (Telemetry.to_json sample_mem));
+  match
+    Result.map Telemetry.of_json
+      (Json.of_string (Json.to_string (Telemetry.to_json sample_mem)))
+  with
+  | Ok (Some m) ->
+    Alcotest.(check bool) "round-trips exactly" true (m = sample_mem)
+  | Ok None -> Alcotest.fail "reader lost the block"
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_mem_json_partial () =
+  (* allocated_words is the one required field *)
+  Alcotest.(check bool)
+    "no allocated_words -> None" true
+    (Telemetry.of_json (Json.Obj [ ("minor_words", Json.Int 5) ]) = None);
+  match Telemetry.of_json (Json.Obj [ ("allocated_words", Json.Int 7) ]) with
+  | None -> Alcotest.fail "minimal block refused"
+  | Some m ->
+    Alcotest.(check int) "allocated kept" 7 m.Telemetry.allocated_words;
+    Alcotest.(check int) "missing fields default to 0" 0
+      m.Telemetry.minor_collections
+
+let test_pp_words () =
+  let p w = Format.asprintf "%a" Telemetry.pp_words w in
+  Alcotest.(check string) "plain words" "999w" (p 999);
+  Alcotest.(check string) "kilowords" "12.3kw" (p 12_345);
+  Alcotest.(check string) "megawords" "3.46Mw" (p 3_456_789);
+  Alcotest.(check string) "gigawords" "2.00Gw" (p 2_000_000_000)
+
+(* ---------- the gate comparator ---------- *)
+
+let test_regressions_comparator () =
+  let baseline = [ ("a", 1_000_000); ("b", 1_000_000); ("z", 0) ] in
+  let current =
+    [ ("a", 3_000_000); ("b", 1_000_050); ("c", 9_999_999); ("z", 200_000) ]
+  in
+  let regs =
+    Telemetry.regressions ~threshold:1.5 ~min_delta_w:100_000 ~baseline current
+  in
+  let names = List.map (fun r -> r.Telemetry.r_name) regs in
+  (* "a" trips both conditions; "b" grew 50 words (under the floor);
+     "c" has no baseline (skipped); "z" grew from zero, which is an
+     infinite ratio over the floor *)
+  Alcotest.(check (list string)) "regressed labels" [ "a"; "z" ] names;
+  (match regs with
+  | a :: _ ->
+    Alcotest.(check int) "baseline words" 1_000_000 a.Telemetry.r_base_w;
+    Alcotest.(check int) "current words" 3_000_000 a.Telemetry.r_cur_w;
+    Alcotest.(check (float 1e-9)) "ratio" 3.0 a.Telemetry.r_ratio
+  | [] -> Alcotest.fail "no regressions");
+  (match List.rev regs with
+  | z :: _ ->
+    Alcotest.(check bool) "zero baseline -> infinite ratio" true
+      (z.Telemetry.r_ratio = Float.infinity)
+  | [] -> Alcotest.fail "no regressions");
+  (* under the ratio but over the floor: not a regression *)
+  Alcotest.(check int) "ratio condition required" 0
+    (List.length
+       (Telemetry.regressions ~threshold:1.5 ~min_delta_w:100_000
+          ~baseline:[ ("d", 10_000_000) ]
+          [ ("d", 11_000_000) ]))
+
+(* ---------- span-level GC attributes ---------- *)
+
+let with_memory_trace ?capacity f =
+  let sink, contents = Trace.memory_sink ?capacity () in
+  let prev = Trace.install sink in
+  let r = Fun.protect ~finally:(fun () -> Trace.restore prev) f in
+  (r, contents ())
+
+let attr name (ev : Trace.event) = List.assoc_opt name ev.Trace.attrs
+
+let test_span_gc_attrs () =
+  Telemetry.set_spans true;
+  let (), evs =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.set_spans false)
+      (fun () ->
+        with_memory_trace (fun () ->
+            Trace.with_span "outer" (fun () ->
+                Trace.with_span "alloc" (fun () ->
+                    ignore (Sys.opaque_identity (Array.make 50_000 0.))))))
+  in
+  match List.rev evs with
+  | outer_end :: alloc_end :: _ ->
+    Alcotest.(check string) "outermost close last" "outer"
+      outer_end.Trace.name;
+    (* both closes carry the GC attrs; the inner span's delta covers
+       (at least) the array it allocated *)
+    List.iter
+      (fun (ev : Trace.event) ->
+        match (attr "gc.alloc_w" ev, attr "gc.minor_gcs" ev, attr "gc.major_gcs" ev) with
+        | Some (Trace.I _), Some (Trace.I _), Some (Trace.I _) -> ()
+        | _ -> Alcotest.failf "span %s close missing gc attrs" ev.Trace.name)
+      [ outer_end; alloc_end ];
+    (match attr "gc.alloc_w" alloc_end with
+    | Some (Trace.I w) ->
+      Alcotest.(check bool) "inner delta sees the array" true (w >= 50_000)
+    | _ -> Alcotest.fail "gc.alloc_w missing")
+  | _ -> Alcotest.fail "expected four events"
+
+let test_span_gc_attrs_off_by_default () =
+  let (), evs =
+    with_memory_trace (fun () -> Trace.with_span "quiet" (fun () -> ()))
+  in
+  List.iter
+    (fun (ev : Trace.event) ->
+      Alcotest.(check bool)
+        (ev.Trace.name ^ " carries no gc attrs when sampling is off")
+        true
+        (attr "gc.alloc_w" ev = None))
+    evs
+
+(* ---------- the bench memory gate, end to end ---------- *)
+
+(* The acceptance criterion: a deterministic "leaky build"
+   (--mem-handicap) must fail `bench --compare` when --mem-threshold
+   arms the gate, and stay advisory (exit 0) when it does not. *)
+let bench_exe = "../bench/main.exe"
+
+let sh fmt = Printf.ksprintf (fun cmd -> Sys.command cmd) fmt
+
+let test_bench_mem_gate () =
+  if not (Sys.file_exists bench_exe) then Alcotest.skip ();
+  let dir = Filename.temp_file "tfiris_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let base = Filename.concat dir "base.json" in
+  let out = Filename.concat dir "out.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ base; out ];
+      Sys.rmdir dir)
+    (fun () ->
+      Alcotest.(check int) "baseline run" 0
+        (sh "%s --quick --trials=1 --out=%s --save-baseline=%s > /dev/null"
+           bench_exe (Filename.quote out) (Filename.quote base));
+      (* a 50M-word leak in e1, gate armed at 2x: exit 3.  The time
+         gate is parked at 1000x so only the memory gate is under
+         test (the leak also costs wall time). *)
+      Alcotest.(check int) "armed gate fails the leaky build" 3
+        (sh
+           "%s --quick --trials=1 --out=%s --compare=%s --threshold=1000 \
+            --mem-threshold=2 --mem-handicap=e1:50000000 > /dev/null \
+            2> /dev/null"
+           bench_exe (Filename.quote out) (Filename.quote base));
+      (* same leak, gate not armed: advisory, exit 0 *)
+      Alcotest.(check int) "unarmed gate stays advisory" 0
+        (sh
+           "%s --quick --trials=1 --out=%s --compare=%s --threshold=1000 \
+            --mem-handicap=e1:50000000 > /dev/null 2> /dev/null"
+           bench_exe (Filename.quote out) (Filename.quote base));
+      (* the written document carries the /4 schema with per-experiment
+         mem blocks *)
+      let ic = open_in_bin out in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string src with
+      | Error e -> Alcotest.failf "bench output unparseable: %s" e
+      | Ok doc ->
+        Alcotest.(check (option string)) "schema" (Some "tfiris-bench-obs/4")
+          (Option.bind (Json.member "schema" doc) Json.to_str);
+        let exps =
+          Option.bind (Json.member "experiments" doc) Json.to_list
+          |> Option.value ~default:[]
+        in
+        Alcotest.(check bool) "experiments present" true (exps <> []);
+        List.iter
+          (fun e ->
+            match Option.bind (Json.member "mem" e) Telemetry.of_json with
+            | Some _ -> ()
+            | None -> Alcotest.fail "experiment without a mem block")
+          exps)
+
+let suite =
+  [
+    Alcotest.test_case "measure arithmetic" `Quick test_measure_arithmetic;
+    Alcotest.test_case "measure sees real allocation" `Quick
+      test_measure_real_allocation;
+    Alcotest.test_case "mem block golden + round-trip" `Quick
+      test_mem_json_golden;
+    Alcotest.test_case "mem block partial reads" `Quick test_mem_json_partial;
+    Alcotest.test_case "pp_words" `Quick test_pp_words;
+    Alcotest.test_case "gate comparator semantics" `Quick
+      test_regressions_comparator;
+    Alcotest.test_case "span closes carry GC deltas" `Quick test_span_gc_attrs;
+    Alcotest.test_case "GC spans off by default" `Quick
+      test_span_gc_attrs_off_by_default;
+    Alcotest.test_case "bench memory gate end to end" `Quick
+      test_bench_mem_gate;
+  ]

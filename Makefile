@@ -1,8 +1,8 @@
 # Convenience wrappers around dune; `make verify` is the one-shot
 # pre-push check (build + tests + CLI smoke + quick bench + perf gate).
 
-.PHONY: all build test bench baseline chaos ledger ledger-baseline \
-  analyze-baseline verify clean
+.PHONY: all build test test-domains bench baseline chaos ledger \
+  ledger-baseline analyze-baseline verify clean
 
 all: build
 
@@ -11,6 +11,13 @@ build:
 
 test:
 	dune runtest
+
+# The whole suite again with every ?domains consumer defaulted to the
+# work-stealing parallel explorer (2 workers): the differential
+# property, the race oracle, conc-refinement and the chaos battery all
+# run on the parallel engines.  CI runs this after the plain suite.
+test-domains:
+	TFIRIS_DOMAINS=2 dune runtest --force
 
 bench:
 	dune exec bench/main.exe
@@ -37,6 +44,7 @@ ledger: build
 	rm -f $(LEDGER)
 	dune exec bin/tfiris_cli.exe -- run examples/shl/memo_fib.shl --ledger=$(LEDGER)
 	dune exec bin/tfiris_cli.exe -- run -e "1 + 2 * 3" --engine=lockstep --ledger=$(LEDGER)
+	dune exec bin/tfiris_cli.exe -- run -e "let r = ref 0 in fork (r := 1); fork (r := !r + 1); !r" --domains=2 --ledger=$(LEDGER)
 	dune exec bin/tfiris_cli.exe -- check-term -e "(rec f n. if n = 0 then 0 else f (n - 1)) 64" --ledger=$(LEDGER)
 	dune exec bin/tfiris_cli.exe -- refine --target="1 + 2" --source="3 - 0" --ledger=$(LEDGER)
 	dune exec bin/tfiris_cli.exe -- analyze examples/shl/memo_fib.shl --ledger=$(LEDGER)

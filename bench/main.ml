@@ -816,6 +816,145 @@ let e19 () =
     workloads
 
 (* ------------------------------------------------------------------ *)
+(* E20 — parallel exploration: work-stealing scaling curve              *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR-9 work-stealing explorer against the sequential reference, on
+   the classic concurrent programs and the dynamic race oracle, at
+   1/2/4 domains.  Two things are measured and one is enforced:
+
+   - wall time per domain count (the scaling curve, written as a JSON
+     table to E20_scaling.json next to BENCH_obs.json for CI upload);
+   - the reachable-set signature (state count, sorted finals, race
+     set) at every domain count, which MUST equal the sequential one —
+     a mismatch is a soundness bug and fails the harness, not a slow
+     run;
+   - the >=1.7x-at-4-domains expectation is only meaningful on hardware
+     with 4 real cores, so the shortfall warning is gated on
+     [Domain.recommended_domain_count] — single-core CI runs the whole
+     curve (the differential check still bites) and reports ~1x. *)
+let e20 () =
+  section "E20  parallel exploration: work-stealing scaling (1/2/4 domains)";
+  let module Conc = Shl.Conc in
+  let module An = Tfiris.Analysis in
+  let domain_counts = [ 1; 2; 4 ] in
+  let reps = if !quick then 1 else 3 in
+  let time f =
+    let t0 = Obs.Trace.now_ns () in
+    let x = f () in
+    let t1 = Obs.Trace.now_ns () in
+    (x, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+  in
+  let best f =
+    let x, t0 = time f in
+    let b = ref t0 in
+    for _ = 2 to reps do
+      let _, t = time f in
+      if t < !b then b := t
+    done;
+    (x, !b)
+  in
+  (* one signature type for both workload kinds: a stable string the
+     parallel run must reproduce byte-for-byte, plus a size to print *)
+  let explore_sig e d =
+    let r = Conc.explore ~domains:d (Conc.init e) in
+    let finals =
+      List.sort compare
+        (List.map (fun (v, _) -> Shl.Pretty.value_to_string v)
+           r.Conc.final_values)
+    in
+    ( Printf.sprintf "states=%d finals={%s} stuck=%d" r.Conc.states
+        (String.concat "," finals)
+        (List.length r.Conc.stuck),
+      r.Conc.states )
+  in
+  let oracle_sig e d =
+    let races = An.Races.dynamic_races ~domains:d e in
+    let show r =
+      let k = function
+        | An.Races.D_read -> "r"
+        | An.Races.D_write -> "w"
+        | An.Races.D_cas -> "c"
+      in
+      Printf.sprintf "%d:%s%s" r.An.Races.d_loc (k r.An.Races.k1)
+        (k r.An.Races.k2)
+    in
+    ( Printf.sprintf "races={%s}" (String.concat "," (List.map show races)),
+      List.length races )
+  in
+  let workloads =
+    [
+      ("explore locked_incr", explore_sig Conc.locked_incr);
+      ("explore spinlock_pair", explore_sig Conc.spinlock_pair);
+      ("race oracle spinlock_racy", oracle_sig Conc.spinlock_pair_racy_read);
+    ]
+  in
+  let table = ref [] in
+  let speedups_at_4 = ref [] in
+  List.iter
+    (fun (name, run) ->
+      let seq_sig = ref "" in
+      let seq_t = ref 0. in
+      List.iter
+        (fun d ->
+          let (sg, size), t = best (fun () -> run d) in
+          if d = 1 then begin
+            seq_sig := sg;
+            seq_t := t
+          end
+          else if sg <> !seq_sig then
+            failwith
+              (Printf.sprintf
+                 "E20 %s: %d-domain exploration diverged from sequential \
+                  (%s vs %s)"
+                 name d sg !seq_sig);
+          let speedup = if t > 0. then !seq_t /. t else 1. in
+          if d = 4 then speedups_at_4 := speedup :: !speedups_at_4;
+          table :=
+            Obs.Json.Obj
+              [
+                ("workload", Obs.Json.Str name);
+                ("domains", Obs.Json.Int d);
+                ("wall_ms", Obs.Json.Float t);
+                ("size", Obs.Json.Int size);
+                ("speedup", Obs.Json.Float speedup);
+              ]
+            :: !table;
+          row "  %-28s %d domains %9.3f ms  %5.2fx  (%s)\n" name d t speedup
+            sg)
+        domain_counts)
+    workloads;
+  let recommended = Domain.recommended_domain_count () in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "tfiris-e20/1");
+        ("recommended_domains", Obs.Json.Int recommended);
+        ("quick", Obs.Json.Bool !quick);
+        ("rows", Obs.Json.List (List.rev !table));
+      ]
+  in
+  let oc = open_out "E20_scaling.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  row "  wrote E20_scaling.json (%d rows, %d recommended domains)\n"
+    (List.length !table) recommended;
+  if recommended >= 4 then begin
+    let good = List.length (List.filter (fun s -> s >= 1.7) !speedups_at_4) in
+    if good < 2 then
+      Printf.eprintf
+        "bench: E20 scaling shortfall: %d/%d workloads reached 1.7x at 4 \
+         domains (%d cores available)\n"
+        good
+        (List.length !speedups_at_4)
+        recommended
+  end
+  else
+    row "  (speedup expectation skipped: %d core%s available)\n" recommended
+      (if recommended = 1 then "" else "s")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1353,6 +1492,7 @@ let () =
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
       ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
       ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
+      ("e20", e20);
     ]
   in
   let records = List.map (fun (name, f) -> observe ~trials name f) experiments in

@@ -279,6 +279,21 @@ let ledger_arg =
            block) to the JSONL run ledger at $(docv), creating it if \
            missing. Query and diff ledgers with $(b,tfiris report).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker-domain count for the work-stealing parallel explorer. \
+           $(b,run): switch from scheduled execution to exhaustive \
+           interleaving exploration on $(docv) domains. $(b,analyze): \
+           additionally cross-validate the race pass against the dynamic \
+           oracle on $(docv) domains (stderr; findings are unchanged). \
+           $(b,chaos): size the parallel-explorer check's worker fleet. \
+           Where a subcommand leaves $(docv) unset, the \
+           $(b,TFIRIS_DOMAINS) environment variable supplies the default.")
+
 let forensics_pointer () =
   match Obs.Forensics.last () with
   | None -> None
@@ -297,7 +312,7 @@ let forensics_pointer () =
     half (tool version, wall time, metrics snapshot, forensics pointer)
     is assembled here. *)
 let ledger_append ledger ~cmd ~label ~engine ~program ~spec ?budget ?seed
-    ?(consumed = []) ~t0 ~verdict ~ok ?detail () =
+    ?domains ?(consumed = []) ~t0 ~verdict ~ok ?detail () =
   match ledger with
   | None -> ()
   | Some path ->
@@ -317,6 +332,7 @@ let ledger_append ledger ~cmd ~label ~engine ~program ~spec ?budget ?seed
         mem = Some (run_mem ());
         wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
         seed;
+        domains;
         metrics =
           (if Obs.Metrics.on () then
              Some (Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
@@ -405,10 +421,67 @@ let engine_arg =
            both side by side and report any observational disagreement \
            (exit 2).")
 
+(* run --domains=N: exhaustive interleaving exploration instead of one
+   scheduled execution — every final value, every stuck thread, the
+   whole reachable state count, on N work-stealing domains.  Output is
+   sorted so it is identical at every domain count (the explorer's
+   reachable set is; only traversal order varies). *)
+let run_explore ~label ~e ~fuel ~budget ~stats ~ledger ~t0 n =
+  if n < 1 then or_die (Error "--domains must be >= 1");
+  let budget =
+    match budget with Some b -> b | None -> Robust.Budget.of_steps fuel
+  in
+  let r = Shl.Conc.explore ~budget ~domains:n (Shl.Conc.init e) in
+  let finals =
+    List.sort compare
+      (List.map (fun (v, _) -> Shl.Pretty.value_to_string v)
+         r.Shl.Conc.final_values)
+  in
+  List.iter (fun v -> Format.printf "final: %s@." v) finals;
+  List.iter
+    (fun (tid, redex) -> Format.eprintf "stuck (thread %d) on: %s@." tid redex)
+    (List.sort compare
+       (List.map
+          (fun (tid, redex) -> (tid, Shl.Pretty.expr_to_string redex))
+          r.Shl.Conc.stuck));
+  (match r.Shl.Conc.exhausted with
+  | Some res ->
+    Format.eprintf "out of %s budget after %d states@."
+      (Robust.Budget.resource_name res)
+      r.Shl.Conc.states
+  | None -> ());
+  Format.printf "states: %d@." r.Shl.Conc.states;
+  if stats then
+    List.iter
+      (fun w ->
+        Format.printf "  domain %d: dequeued %d, stolen %d, %.1f ms@."
+          w.Shl.Conc.w_domain w.Shl.Conc.w_dequeued w.Shl.Conc.w_stolen
+          w.Shl.Conc.w_wall_ms)
+      r.Shl.Conc.workers;
+  let verdict, ok =
+    match r.Shl.Conc.exhausted with
+    | Some res -> ("out_of_fuel:" ^ Robust.Budget.resource_name res, false)
+    | None ->
+      if r.Shl.Conc.stuck = [] then ("explored", true) else ("stuck", false)
+  in
+  ledger_append ledger ~cmd:"run" ~label ~engine:"shl.explore"
+    ~program:(Shl.Pretty.expr_to_string e)
+    ~spec:"" ~budget
+    ~domains:
+      (n, List.map (fun w -> w.Shl.Conc.w_wall_ms) r.Shl.Conc.workers)
+    ~consumed:[ ("states", r.Shl.Conc.states) ]
+    ~t0 ~verdict ~ok
+    ~detail:(String.concat "," finals)
+    ();
+  if ok then 0 else 1
+
 let run_cmd =
-  let action program fuel budget stats engine ledger =
+  let action program fuel budget stats engine ledger domains =
     let label, e = or_die (parse_labeled program) in
     let t0 = Unix.gettimeofday () in
+    match domains with
+    | Some n -> run_explore ~label ~e ~fuel ~budget ~stats ~ledger ~t0 n
+    | None ->
     let finish ~engine_id ~verdict ~ok ?detail ?(consumed = []) code =
       ledger_append ledger ~cmd:"run" ~label ~engine:engine_id
         ~program:(Shl.Pretty.expr_to_string e)
@@ -465,10 +538,10 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an SHL program.")
     Term.(
-      const (fun () p f b s g l ->
-          Stdlib.exit (protect (fun () -> action p f b s g l)))
+      const (fun () p f b s g l d ->
+          Stdlib.exit (protect (fun () -> action p f b s g l d)))
       $ obs_term $ program_term $ fuel_arg $ budget_arg $ stats $ engine_arg
-      $ ledger_arg)
+      $ ledger_arg $ domains_arg)
 
 (* ---- stats ---- *)
 
@@ -535,7 +608,8 @@ let analyze_cmd =
       Ok s
     with Sys_error m -> Error m
   in
-  let action expr files fmt fail_on only skip timings ledger =
+  let module Races = Tfiris.Analysis.Races in
+  let action expr files fmt fail_on only skip timings ledger domains =
     List.iter
       (fun p ->
         if not (List.mem p An.pass_names) then
@@ -578,6 +652,30 @@ let analyze_cmd =
       List.iter
         (fun r -> Format.printf "%a@." (An.render_text ~timings) r)
         reports);
+    (* --domains=N: re-derive races dynamically on the parallel explorer
+       and report the cross-validation on stderr.  Findings and stdout
+       stay byte-identical — the corpus baseline diffs them. *)
+    (match domains with
+    | None -> ()
+    | Some n ->
+      let kname = function
+        | Races.D_read -> "read"
+        | Races.D_write -> "write"
+        | Races.D_cas -> "cas"
+      in
+      List.iter
+        (fun (label, e) ->
+          let dyn = Races.dynamic_races ~domains:n e in
+          Format.eprintf "dynamic race oracle (%d domains) %s: %d racy \
+                          location%s@."
+            n label (List.length dyn)
+            (if List.length dyn = 1 then "" else "s");
+          List.iter
+            (fun d ->
+              Format.eprintf "  loc %d: %s/%s@." d.Races.d_loc
+                (kname d.Races.k1) (kname d.Races.k2))
+            dyn)
+        parsed);
     let code =
       if List.exists (fun r -> An.fails ~fail_on r) reports then 1 else 0
     in
@@ -672,10 +770,10 @@ let analyze_cmd =
           intervals, termination measures, race detection, symbolic-heap \
           bi-abduction) over SHL programs.")
     Term.(
-      const (fun () e fs fmt fo po sk t l ->
-          Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t l)))
+      const (fun () e fs fmt fo po sk t l d ->
+          Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t l d)))
       $ obs_term $ expr $ files $ fmt $ fail_on $ only $ skip $ timings
-      $ ledger_arg)
+      $ ledger_arg $ domains_arg)
 
 (* ---- check-term ---- *)
 
@@ -1028,10 +1126,10 @@ let profile_cmd =
 (* ---- chaos ---- *)
 
 let chaos_cmd =
-  let action seeds out ledger =
+  let action seeds out ledger domains =
     if seeds <= 0 then or_die (Error "--seeds must be positive");
     let t0 = Unix.gettimeofday () in
-    let r = Robust.Chaos.run ~seeds () in
+    let r = Robust.Chaos.run ~seeds ?domains () in
     Format.printf "%a@." Robust.Chaos.pp_report r;
     (match out with
     | None -> ()
@@ -1054,6 +1152,7 @@ let chaos_cmd =
           ("failures", failures);
         ]
       ~t0
+      ?domains:(Option.map (fun n -> (n, [])) domains)
       ~verdict:
         (if Robust.Chaos.passed r then "passed"
          else Printf.sprintf "failed:%d" failures)
@@ -1080,8 +1179,9 @@ let chaos_cmd =
           under seeded fault injection: hostile schedulers, failing \
           allocations, throwing trace sinks, skewed clocks.")
     Term.(
-      const (fun () s o l -> Stdlib.exit (protect (fun () -> action s o l)))
-      $ obs_term $ seeds $ out $ ledger_arg)
+      const (fun () s o l d ->
+          Stdlib.exit (protect (fun () -> action s o l d)))
+      $ obs_term $ seeds $ out $ ledger_arg $ domains_arg)
 
 (* ---- report ---- *)
 

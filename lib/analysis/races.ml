@@ -332,21 +332,19 @@ let redex_access (th : Machine.t) : (Ast.loc * dyn_kind) option =
     | Cas (Val (Loc l), Val _, Val _) -> Some (l, D_cas)
     | _ -> None)
 
-(** Enumerate all interleavings breadth-first (as {!Conc.explore} does)
-    and report every pair of {e simultaneously enabled} conflicting
+(** Report every pair of {e simultaneously enabled} conflicting
     next-redexes: same location, distinct threads, at least one plain
-    write.  Returns deduplicated (location, kind, kind) triples. *)
-let dynamic_races ?(max_states = 20_000) (e : expr) : dyn_race list =
-  let seen = Hashtbl.create 256 in
+    write.  Returns deduplicated (location, kind, kind) triples.
+
+    The enumeration rides {!Conc.explore}'s frontier callback instead
+    of a private BFS, so the oracle and the exhaustive checker can
+    never diverge on reachability again; [?domains] runs it on the
+    work-stealing parallel engine (the accumulator is mutex-guarded —
+    the callback fires on worker domains). *)
+let dynamic_races ?(max_states = 20_000) ?domains (e : expr) : dyn_race list =
   let out = Hashtbl.create 16 in
-  let key (c : Conc.cfg) = (Conc.thread_exprs c, Heap.bindings c.Conc.heap) in
-  let q = Queue.create () in
-  Queue.add (Conc.init e) q;
-  Hashtbl.replace seen (key (Conc.init e)) ();
-  let states = ref 0 in
-  while (not (Queue.is_empty q)) && !states < max_states do
-    let c = Queue.pop q in
-    incr states;
+  let mu = Mutex.create () in
+  let scan (c : Conc.cfg) =
     let accs =
       List.filteri (fun i _ -> List.mem i (Conc.runnable c))
         (List.mapi (fun i t -> (i, redex_access t)) c.Conc.threads)
@@ -357,25 +355,20 @@ let dynamic_races ?(max_states = 20_000) (e : expr) : dyn_race list =
       | (i, (l1, k1)) :: rest ->
         List.iter
           (fun (j, (l2, k2)) ->
-            if i <> j && l1 = l2 && (k1 = D_write || k2 = D_write) then
-              Hashtbl.replace out
-                (l1, min k1 k2, max k1 k2)
-                ())
+            if i <> j && l1 = l2 && (k1 = D_write || k2 = D_write) then begin
+              Mutex.lock mu;
+              Hashtbl.replace out (l1, min k1 k2, max k1 k2) ();
+              Mutex.unlock mu
+            end)
           rest;
         pairs rest
     in
-    pairs accs;
-    List.iter
-      (fun i ->
-        match Conc.step_thread c i with
-        | Conc.T_progress c' ->
-          let k = key c' in
-          if not (Hashtbl.mem seen k) then begin
-            Hashtbl.replace seen k ();
-            Queue.add c' q
-          end
-        | Conc.T_value | Conc.T_stuck _ -> ())
-      (Conc.runnable c)
-  done;
+    pairs accs
+  in
+  let (_ : Conc.exploration) =
+    Conc.explore ?domains
+      ~budget:(Tfiris_robust.Budget.of_states max_states)
+      ~on_state:scan (Conc.init e)
+  in
   Hashtbl.fold (fun (l, k1, k2) () acc -> { d_loc = l; k1; k2 } :: acc) out []
   |> List.sort compare

@@ -45,6 +45,11 @@ type record = {
   detail : string option;  (** free-form, e.g. the final value *)
   budget : Json.t option;  (** the budget the run was given *)
   seed : int option;
+  domains : (int * float list) option;
+      (** parallel runs: worker-domain count and the per-domain wall
+          split (ms, by worker index).  Optional and excluded from the
+          content key — parallelism affects how fast a verdict is
+          reached, never which *)
   metrics : Json.t option;  (** {!Metrics.to_json} snapshot if metrics on *)
   forensics : Json.t option;
       (** pointer into the forensics report on rejection *)
@@ -85,6 +90,14 @@ let to_json (r : record) : Json.t =
     @ opt "detail" (fun s -> Json.Str s) r.detail
     @ opt "budget" Fun.id r.budget
     @ opt "seed" (fun n -> Json.Int n) r.seed
+    @ opt "domains"
+        (fun (count, walls) ->
+          Json.Obj
+            [
+              ("count", Json.Int count);
+              ("wall_ms", Json.List (List.map (fun w -> Json.Float w) walls));
+            ])
+        r.domains
     @ opt "metrics" Fun.id r.metrics
     @ opt "forensics" Fun.id r.forensics)
 
@@ -131,6 +144,19 @@ let of_json (j : Json.t) : (record, string) result =
         detail = opt "detail" Json.to_str;
         budget = Json.member "budget" j;
         seed = opt "seed" Json.to_int;
+        domains =
+          (match Json.member "domains" j with
+          | Some d -> (
+            match Option.bind (Json.member "count" d) Json.to_int with
+            | None -> None
+            | Some count ->
+              let walls =
+                match Json.member "wall_ms" d with
+                | Some (Json.List ws) -> List.filter_map Json.to_float ws
+                | _ -> []
+              in
+              Some (count, walls))
+          | None -> None);
         metrics = Json.member "metrics" j;
         forensics = Json.member "forensics" j;
       }

@@ -57,25 +57,35 @@ type plan = {
   alloc_fault_period : int option;
   failing_sink : bool;
   clock_skew : bool;
+  steal_starve : bool;
 }
 
 let plan_of_seed seed =
   let rng = lcg seed in
+  (* the original record literal drew its fields right-to-left (clock,
+     sink, alloc); that order is kept explicit here and [steal_starve]
+     is drawn after them, so pre-existing seeds keep their exact
+     per-seed fault mix *)
+  let clock = rng 2 = 0 in
+  let sink = rng 2 = 0 in
+  let alloc = if rng 2 = 0 then Some (2 + rng 15) else None in
+  let steal = rng 2 = 0 in
   {
     (* period ≥ 2: a period of 1 would fail the very first allocation
        of every check, turning the whole battery into one long
        [Degraded] — legal, but it would stop exercising anything *)
-    alloc_fault_period = (if rng 2 = 0 then Some (2 + rng 15) else None);
-    failing_sink = rng 2 = 0;
-    clock_skew = rng 2 = 0;
+    alloc_fault_period = alloc;
+    failing_sink = sink;
+    clock_skew = clock;
+    steal_starve = steal;
   }
 
 let pp_plan ppf p =
-  Format.fprintf ppf "{alloc=%s; sink=%b; clock=%b}"
+  Format.fprintf ppf "{alloc=%s; sink=%b; clock=%b; steal=%b}"
     (match p.alloc_fault_period with
     | Some n -> string_of_int n
     | None -> "off")
-    p.failing_sink p.clock_skew
+    p.failing_sink p.clock_skew p.steal_starve
 
 let throwing_sink =
   {
@@ -91,6 +101,16 @@ let with_plan (p : plan) (f : unit -> 'a) : 'a =
     Heap.set_alloc_fault (fun _cells ->
         incr k;
         !k mod period = 0));
+  (* an unfair work-stealing world: one worker (picked by the seedless
+     deterministic mix below) never gets to steal at all, and a third
+     of the remaining raids are vetoed — the parallel explorer must
+     still converge, because owners always drain their own deque *)
+  if p.steal_starve then
+    Conc.Par_explore.set_steal_fault
+      (Some
+         (fun ~worker ~victim ->
+           worker land 3 = 1 || (worker + victim) mod 3 = 0))
+  else Conc.Par_explore.set_steal_fault None;
   let prev_trace = if p.failing_sink then Some (Trace.install throwing_sink) else None in
   if p.clock_skew then begin
     (* a clock that drifts backwards and leaps forwards: timestamps are
@@ -104,6 +124,7 @@ let with_plan (p : plan) (f : unit -> 'a) : 'a =
   Fun.protect
     ~finally:(fun () ->
       Heap.clear_alloc_fault ();
+      Conc.Par_explore.set_steal_fault None;
       Trace.reset_clock ();
       match prev_trace with None -> () | Some prev -> Trace.restore prev)
     f
@@ -227,7 +248,31 @@ let check_parser_garbage seed () =
     nasty;
   Ok ()
 
-let battery seed =
+(** The work-stealing parallel explorer under fault (including the
+    plan's starved/unfair stealing): if the exhaustive sweep of the
+    CAS-locked counter completes, it must find exactly the quiet-world
+    answer — final value 2 on every interleaving, no stuck thread.
+    Running out of budget under fault pressure is Degraded-class
+    behaviour (fine); a wrong final set or a stuck thread is unsound. *)
+let check_conc_explore_par domains () =
+  let r =
+    Conc.Par_explore.explore ~domains
+      ~budget:(Budget.of_steps 50_000)
+      (Conc.init Conc.locked_incr)
+  in
+  if r.Conc.exhausted <> None then Ok ()
+  else if r.Conc.stuck <> [] then
+    Error "parallel explorer: locked counter has a stuck thread"
+  else
+    match r.Conc.final_values with
+    | [ (Ast.Int 2, _) ] -> Ok ()
+    | fs ->
+      Error
+        (Printf.sprintf
+           "parallel explorer: locked counter reached %d distinct finals"
+           (List.length fs))
+
+let battery seed ~domains =
   [
     ("existential_fin", check_existential_fin);
     ("existential_trans", check_existential_trans);
@@ -237,6 +282,7 @@ let battery seed =
     ("conc_locked_adversarial", check_conc_locked adversarial seed);
     ("conc_locked_starving", check_conc_locked starving seed);
     ("parser_garbage", check_parser_garbage seed);
+    ("conc_explore_parallel", check_conc_explore_par domains);
   ]
 
 (* ---------- driving ---------- *)
@@ -257,7 +303,14 @@ let classify = function
   | Error f when Failure.is_internal f -> Crashed f
   | Error f -> Degraded f
 
-let run_seed seed : seed_report =
+(* The parallel-explorer check needs >= 2 workers to mean anything, so
+   the default rounds [TFIRIS_DOMAINS] (or 1) up to 2. *)
+let default_domains () = max 2 (Conc.default_domains ())
+
+let run_seed ?domains seed : seed_report =
+  let domains =
+    match domains with Some d -> max 2 d | None -> default_domains ()
+  in
   let plan = plan_of_seed seed in
   let results =
     with_plan plan (fun () ->
@@ -268,7 +321,7 @@ let run_seed seed : seed_report =
             if (not (outcome_ok outcome)) && Metrics.on () then
               Metrics.incr c_failures;
             { check = name; outcome })
-          (battery seed))
+          (battery seed ~domains))
   in
   if Metrics.on () then Metrics.incr c_seeds;
   { seed; plan; results }
@@ -280,12 +333,12 @@ type report = {
   sink_errors : int;
 }
 
-let run ?(seeds = 50) () : report =
+let run ?(seeds = 50) ?domains () : report =
   let sink_errors0 = Trace.sink_errors () in
   let failures = ref [] in
   let checks = ref 0 in
   for seed = 0 to seeds - 1 do
-    let r = run_seed seed in
+    let r = run_seed ?domains seed in
     checks := !checks + List.length r.results;
     List.iter
       (fun cr ->

@@ -43,6 +43,10 @@ type plan = {
       (** every [n]-th allocation raises {!Heap.Alloc_failure} *)
   failing_sink : bool;  (** tracing on, into a sink that throws *)
   clock_skew : bool;  (** trace clock jumps backwards and forwards *)
+  steal_starve : bool;
+      (** unfair work stealing: one worker never steals, a third of the
+          remaining raids are vetoed ({!Conc.Par_explore.set_steal_fault}) —
+          the parallel explorer must stay sound regardless *)
 }
 
 val plan_of_seed : int -> plan
@@ -77,7 +81,10 @@ type seed_report = {
   results : check_result list;
 }
 
-val run_seed : int -> seed_report
+val run_seed : ?domains:int -> int -> seed_report
+(** [?domains] sizes the parallel-explorer check's worker fleet
+    (default: [TFIRIS_DOMAINS] rounded up to 2 — the check needs real
+    concurrency to exercise the stealing fault). *)
 
 type report = {
   seeds : int;
@@ -87,8 +94,9 @@ type report = {
       (** trace-sink throws swallowed and counted across the run *)
 }
 
-val run : ?seeds:int -> unit -> report
-(** Replay the battery under [seeds] (default 50) fault plans. *)
+val run : ?seeds:int -> ?domains:int -> unit -> report
+(** Replay the battery under [seeds] (default 50) fault plans;
+    [?domains] as in {!run_seed}. *)
 
 val passed : report -> bool
 val report_to_json : report -> Tfiris_obs.Json.t

@@ -21,6 +21,7 @@
 open Ast
 module Budget = Tfiris_robust.Budget
 module Progress = Tfiris_obs.Progress
+module Telemetry = Tfiris_obs.Telemetry
 
 type cfg = {
   threads : Machine.t list;  (** thread 0 is the main thread *)
@@ -133,16 +134,31 @@ let run_stats ?fuel ?budget ~(sched : scheduler) (c : cfg) : outcome * int =
 
 let run ?fuel ?budget ~sched c = fst (run_stats ?fuel ?budget ~sched c)
 
-(** Exhaustively explore {b all} interleavings by memoized reachability
-    over configurations (spin loops revisit states, so the state space
-    is finite for the programs here).  Returns the distinct terminal
-    outcomes; [exhausted] reports which budget resource (if any) ran
-    out before the frontier emptied. *)
+(* Exhaustive exploration: enumerate all interleavings by memoized
+   reachability over configurations (spin loops revisit states, so the
+   state space is finite for the programs here).  Returns the distinct
+   terminal outcomes; [exhausted] reports which budget resource (if
+   any) ran out before the frontier emptied. *)
+
+(** Per-worker accounting from a parallel exploration: how the states
+    were split across domains, what stealing did, and each domain's own
+    GC telemetry (sampled on the worker's domain, so the allocation
+    split is per-worker, not just a process total). *)
+type worker_stat = {
+  w_domain : int;
+  w_dequeued : int;  (** configurations this worker expanded *)
+  w_stolen : int;  (** successful steal raids on other deques *)
+  w_wall_ms : float;  (** wall time inside the worker loop *)
+  w_mem : Telemetry.mem;  (** this domain's own GC delta *)
+}
+
 type exploration = {
   final_values : (value * Heap.t) list;  (** deduplicated *)
   stuck : (int * expr) list;
   exhausted : Budget.resource option;
   states : int;  (** distinct configurations visited *)
+  workers : worker_stat list;
+      (** per-domain split; [[]] for the sequential engine *)
 }
 
 (** Canonical visited-set key.  Keying the table on raw [cfg] values is
@@ -155,16 +171,31 @@ type exploration = {
 let canon_key (c : cfg) : (expr list * (loc * value) list) =
   (thread_exprs c, Heap.bindings c.heap)
 
-let explore ?max_states ?budget (c : cfg) : exploration =
+(* The key's structural hash is computed once per configuration, at
+   enqueue time, and carried next to the key: membership tests (and,
+   in the parallel engine, shard selection) never re-hash the plugged
+   programs + sorted bindings spine again. *)
+type hkey = int * (expr list * (loc * value) list)
+
+let hashed_key (c : cfg) : hkey =
+  let k = canon_key c in
+  (Hashtbl.hash k, k)
+
+module Ktbl = Hashtbl.Make (struct
+  type t = hkey
+
+  let equal ((h1, k1) : t) ((h2, k2) : t) = h1 = h2 && k1 = k2
+  let hash ((h, _) : t) = h
+end)
+
+let explore_seq ?max_states ?budget ?on_state (c : cfg) : exploration =
   let b =
     match budget with
     | Some b -> b
     | None -> Budget.of_states (Option.value max_states ~default:200_000)
   in
   let m = Budget.meter b in
-  let visited : (expr list * (loc * value) list, unit) Hashtbl.t =
-    Hashtbl.create 1024
-  in
+  let visited : unit Ktbl.t = Ktbl.create 1024 in
   let finals = ref [] in
   let stucks = ref [] in
   (* state-budget exhaustion stops the frontier from growing but drains
@@ -183,13 +214,13 @@ let explore ?max_states ?budget (c : cfg) : exploration =
   let heartbeat = Progress.tracker ~component:"conc.explore" () in
   let heartbeat_info () =
     {
-      Progress.states = Some (Hashtbl.length visited);
+      Progress.states = Some (Ktbl.length visited);
       Progress.frontier = Some (Queue.length queue);
       Progress.budget_left = Budget.remaining_frac m;
     }
   in
   Queue.add c queue;
-  Hashtbl.replace visited (canon_key c) ();
+  Ktbl.replace visited (hashed_key c) ();
   let _ = Budget.state m in
   while not (Queue.is_empty queue || !aborted) do
     let c = Queue.pop queue in
@@ -198,7 +229,8 @@ let explore ?max_states ?budget (c : cfg) : exploration =
     | None -> ());
     if not (Budget.step m) && Budget.exhausted m <> Some Budget.States then
       aborted := true
-    else
+    else begin
+      (match on_state with Some f -> f c | None -> ());
       match runnable c with
       | [] -> (
         match main_value c with
@@ -209,11 +241,11 @@ let explore ?max_states ?budget (c : cfg) : exploration =
           (fun i ->
             match step_thread c i with
             | T_progress c' ->
-              let k = canon_key c' in
-              if not (Hashtbl.mem visited k) then
+              let k = hashed_key c' in
+              if not (Ktbl.mem visited k) then
                 if not (Budget.state m) then out_of_states := true
                 else begin
-                  Hashtbl.replace visited k ();
+                  Ktbl.replace visited k ();
                   Queue.add c' queue
                 end
             | T_value -> ()
@@ -221,6 +253,7 @@ let explore ?max_states ?budget (c : cfg) : exploration =
               if not (List.mem (i, redex) !stucks) then
                 stucks := (i, redex) :: !stucks)
           rs
+    end
   done;
   {
     final_values = !finals;
@@ -229,8 +262,296 @@ let explore ?max_states ?budget (c : cfg) : exploration =
       (if !aborted || !out_of_states then
          Some (match Budget.exhausted m with Some r -> r | None -> Budget.States)
        else None);
-    states = Hashtbl.length visited;
+    states = Ktbl.length visited;
+    workers = [];
   }
+
+(** Work-stealing parallel BFS over [Domain.t] workers.  The visited
+    set is sharded by the cached canonical-key hash (one small mutex
+    per shard, so membership is owner-independent: whichever worker
+    reaches a state first claims it for the whole fleet); each worker
+    owns a deque of frontier configurations and raids a random victim
+    when its own drains; the budget meter is the shared atomic one, so
+    steps/states/ms/cells exhaust globally with the verdict still
+    resource-named.  The sequential engine above stays the reference —
+    the differential QCheck property in the test suite holds the two
+    to identical reachable sets at 1/2/4 domains. *)
+module Par_explore = struct
+  (* Chaos hook: when set, [f ~worker ~victim] vetoes that steal
+     attempt — an unfair/starving scheduler.  Soundness must not
+     depend on stealing (every enqueued state lives in some worker's
+     own deque, and owners always drain their deque), so the battery
+     check asserts vetoed runs still converge to the same verdicts. *)
+  let steal_fault : (worker:int -> victim:int -> bool) option Atomic.t =
+    Atomic.make None
+
+  let set_steal_fault f = Atomic.set steal_fault f
+
+  type deque = { mu : Mutex.t; q : cfg Queue.t }
+
+  type shard = { smu : Mutex.t; tbl : unit Ktbl.t }
+
+  let nshards = 64 (* power of two: shard index is [hash land mask] *)
+
+  let explore ?max_states ?budget ?on_state ~domains (c0 : cfg) : exploration =
+    let n = max 1 domains in
+    let b =
+      match budget with
+      | Some b -> b
+      | None -> Budget.of_states (Option.value max_states ~default:200_000)
+    in
+    let m = Budget.Shared.create b in
+    let shards =
+      Array.init nshards (fun _ ->
+          { smu = Mutex.create (); tbl = Ktbl.create 64 })
+    in
+    let shard_of h = shards.(h land (nshards - 1)) in
+    let visited_count = Atomic.make 0 in
+    (* enqueued-but-not-fully-expanded configurations: when this hits 0
+       no further work can ever appear, which is the termination signal
+       idle workers poll *)
+    let pending = Atomic.make 0 in
+    let abort = Atomic.make false in
+    let out_of_states = Atomic.make false in
+    let exn_slot = Atomic.make None in
+    let deques =
+      Array.init n (fun _ -> { mu = Mutex.create (); q = Queue.create () })
+    in
+    let finals = Array.make n [] in
+    let stucks = Array.make n [] in
+    let stats = Array.make n None in
+    (* One tracker, ticked by every worker under a mutex: units count
+       fleet-wide expanded states, gauges read the shared atomics. *)
+    let heartbeat = Progress.tracker ~component:"conc.explore" () in
+    let hb_mu = Mutex.create () in
+    let heartbeat_info () =
+      {
+        Progress.states = Some (Atomic.get visited_count);
+        Progress.frontier = Some (Atomic.get pending);
+        Progress.budget_left = Budget.Shared.remaining_frac m;
+      }
+    in
+    (* The initial configuration mirrors the sequential engine: marked
+       unconditionally, charged once with the result ignored. *)
+    let hk0 = hashed_key c0 in
+    Ktbl.replace (shard_of (fst hk0)).tbl hk0 ();
+    Atomic.incr visited_count;
+    let (_ : bool) = Budget.Shared.state m in
+    Atomic.incr pending;
+    Queue.add c0 deques.(0).q;
+    let push wid c =
+      Atomic.incr pending;
+      let d = deques.(wid) in
+      Mutex.lock d.mu;
+      Queue.add c d.q;
+      Mutex.unlock d.mu
+    in
+    let pop_own wid =
+      let d = deques.(wid) in
+      Mutex.lock d.mu;
+      let r = if Queue.is_empty d.q then None else Some (Queue.pop d.q) in
+      Mutex.unlock d.mu;
+      r
+    in
+    (* Raid [vid]: move about half its frontier (their [pending] charges
+       move with them) onto our own deque in one lock acquisition. *)
+    let steal_from wid vid =
+      let v = deques.(vid) in
+      Mutex.lock v.mu;
+      let k = min ((Queue.length v.q + 1) / 2) 64 in
+      let got = ref [] in
+      for _ = 1 to k do
+        got := Queue.pop v.q :: !got
+      done;
+      Mutex.unlock v.mu;
+      match !got with
+      | [] -> 0
+      | items ->
+        let d = deques.(wid) in
+        Mutex.lock d.mu;
+        List.iter (fun c -> Queue.add c d.q) items;
+        Mutex.unlock d.mu;
+        List.length items
+    in
+    let process wid c =
+      (match heartbeat with
+      | Some hb ->
+        Mutex.lock hb_mu;
+        Progress.tick hb heartbeat_info;
+        Mutex.unlock hb_mu
+      | None -> ());
+      (if
+         (not (Budget.Shared.step m))
+         && Budget.Shared.exhausted m <> Some Budget.States
+       then Atomic.set abort true
+       else begin
+         (match on_state with Some f -> f c | None -> ());
+         match runnable c with
+         | [] -> (
+           match main_value c with
+           | Some v ->
+             if
+               not
+                 (List.exists
+                    (fun (v', h') -> v = v' && Heap.equal h' c.heap)
+                    finals.(wid))
+             then finals.(wid) <- (v, c.heap) :: finals.(wid)
+           | None -> ())
+         | rs ->
+           List.iter
+             (fun i ->
+               match step_thread c i with
+               | T_progress c' ->
+                 let ((h, _) as hk) = hashed_key c' in
+                 let s = shard_of h in
+                 (* membership + state charge + insert under the shard
+                    lock: a successful charge corresponds to exactly one
+                    distinct inserted state, so [states:]-capped counts
+                    stay deterministic at every domain count *)
+                 Mutex.lock s.smu;
+                 if Ktbl.mem s.tbl hk then Mutex.unlock s.smu
+                 else if Budget.Shared.state m then begin
+                   Ktbl.replace s.tbl hk ();
+                   Mutex.unlock s.smu;
+                   Atomic.incr visited_count;
+                   push wid c'
+                 end
+                 else begin
+                   Mutex.unlock s.smu;
+                   Atomic.set out_of_states true
+                 end
+               | T_value -> ()
+               | T_stuck redex ->
+                 if not (List.mem (i, redex) stucks.(wid)) then
+                   stucks.(wid) <- (i, redex) :: stucks.(wid))
+             rs
+       end);
+      Atomic.decr pending
+    in
+    let worker wid () =
+      let t0 = Unix.gettimeofday () in
+      let g0 = Telemetry.sample () in
+      let dequeued = ref 0 in
+      let stolen = ref 0 in
+      let rng = ref ((0x9E3779 * (wid + 1)) land 0x3FFFFFFF) in
+      let next_victim () =
+        rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+        !rng lsr 16 mod n
+      in
+      let rec loop idle =
+        if Atomic.get abort then ()
+        else
+          match pop_own wid with
+          | Some c ->
+            incr dequeued;
+            process wid c;
+            loop 0
+          | None ->
+            if Atomic.get pending = 0 then ()
+            else begin
+              (* randomized stealing: probe the fleet from a random
+                 starting victim; chaos may veto individual attempts *)
+              let veto = Atomic.get steal_fault in
+              let got = ref 0 in
+              let v0 = next_victim () in
+              let j = ref 0 in
+              while !got = 0 && !j < n do
+                let vid = (v0 + !j) mod n in
+                let vetoed =
+                  match veto with
+                  | Some f -> f ~worker:wid ~victim:vid
+                  | None -> false
+                in
+                if (not vetoed) && vid <> wid then got := steal_from wid vid;
+                incr j
+              done;
+              if !got > 0 then begin
+                incr stolen;
+                loop 0
+              end
+              else begin
+                (* back off: spin briefly, then yield the core — idle
+                   workers must sleep on oversubscribed or single-core
+                   hosts or they starve whoever holds the work *)
+                if idle < 32 then Domain.cpu_relax ()
+                else Unix.sleepf 0.0002;
+                loop (min (idle + 1) 1000)
+              end
+            end
+      in
+      (try loop 0
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Atomic.set abort true;
+         ignore (Atomic.compare_and_set exn_slot None (Some (e, bt))));
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      stats.(wid) <-
+        Some
+          {
+            w_domain = wid;
+            w_dequeued = !dequeued;
+            w_stolen = !stolen;
+            w_wall_ms = wall_ms;
+            w_mem = Telemetry.measure ~before:g0 ~after:(Telemetry.sample ());
+          }
+    in
+    let handles = Array.init (n - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
+    Array.iter Domain.join handles;
+    (match Atomic.get exn_slot with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    let merged_finals =
+      Array.fold_left
+        (fun acc l ->
+          List.fold_left
+            (fun acc (v, h) ->
+              if List.exists (fun (v', h') -> v = v' && Heap.equal h h') acc
+              then acc
+              else (v, h) :: acc)
+            acc l)
+        [] finals
+    in
+    let merged_stucks =
+      Array.fold_left
+        (fun acc l ->
+          List.fold_left
+            (fun acc s -> if List.mem s acc then acc else s :: acc)
+            acc l)
+        [] stucks
+    in
+    {
+      final_values = merged_finals;
+      stuck = merged_stucks;
+      exhausted =
+        (if Atomic.get abort || Atomic.get out_of_states then
+           Some
+             (match Budget.Shared.exhausted m with
+             | Some r -> r
+             | None -> Budget.States)
+         else None);
+      states = Atomic.get visited_count;
+      workers = Array.to_list stats |> List.filter_map Fun.id;
+    }
+end
+
+(** [TFIRIS_DOMAINS] sets the default worker count for every [explore]
+    call that does not pass [~domains] — how CI runs the whole test
+    suite once over the parallel engine. *)
+let default_domains () =
+  match Sys.getenv_opt "TFIRIS_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> 1
+
+let explore ?max_states ?budget ?domains ?on_state (c : cfg) : exploration =
+  let n =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  if n <= 1 then explore_seq ?max_states ?budget ?on_state c
+  else Par_explore.explore ?max_states ?budget ?on_state ~domains:n c
 
 (** {1 Classic concurrent programs} *)
 

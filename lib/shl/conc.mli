@@ -60,6 +60,15 @@ val run_stats :
     (default 10⁶ scheduling decisions); heap-cell charges use the O(1)
     allocation counter, so they are deterministic too. *)
 
+(** Per-worker accounting from a parallel exploration. *)
+type worker_stat = {
+  w_domain : int;
+  w_dequeued : int;  (** configurations this worker expanded *)
+  w_stolen : int;  (** successful steal raids on other deques *)
+  w_wall_ms : float;  (** wall time inside the worker loop *)
+  w_mem : Tfiris_obs.Telemetry.mem;  (** this domain's own GC delta *)
+}
+
 type exploration = {
   final_values : (value * Heap.t) list;  (** deduplicated terminals *)
   stuck : (int * expr) list;
@@ -67,15 +76,65 @@ type exploration = {
       (** the budget resource that ran out before the frontier emptied,
           if any ([States] for the classic [max_states] cap) *)
   states : int;  (** distinct configurations visited *)
+  workers : worker_stat list;
+      (** per-domain split; [[]] for the sequential engine *)
 }
 
+val default_domains : unit -> int
+(** The worker count the [TFIRIS_DOMAINS] environment variable asks
+    for (>= 1; 1 when unset or unparsable) — the default every
+    [?domains] consumer falls back to, so CI can run the whole suite
+    once over the parallel engines. *)
+
 val explore :
-  ?max_states:int -> ?budget:Tfiris_robust.Budget.t -> cfg -> exploration
+  ?max_states:int ->
+  ?budget:Tfiris_robust.Budget.t ->
+  ?domains:int ->
+  ?on_state:(cfg -> unit) ->
+  cfg ->
+  exploration
 (** All interleavings, by memoized reachability over configurations
     (finite for the spin-loop programs here).  The visited set is keyed
     on a canonical form — plugged thread programs plus sorted heap
     bindings — so states whose heaps were built in different insertion
-    orders are recognised as equal. *)
+    orders are recognised as equal; the key's structural hash is cached
+    per configuration at enqueue.
+
+    [~domains:n] with [n >= 2] switches to the work-stealing parallel
+    engine ({!Par_explore}); omitted, the [TFIRIS_DOMAINS] environment
+    variable supplies the default (else 1, the sequential reference
+    engine).  [~on_state] is invoked once per expanded configuration —
+    the frontier callback the dynamic race oracle rides on; with
+    [domains >= 2] it runs on worker domains and must be thread-safe.
+
+    Exhaustion semantics at any domain count: a [states:] cap stops the
+    frontier from growing but drains what was enqueued, so the visited
+    count is exactly [min (cap, |reachable|)] — deterministic even in
+    parallel; [steps:]/[ms:] exhaustion aborts the sweep. *)
+
+(** The work-stealing parallel engine itself: a visited set sharded by
+    the cached canonical-key hash (owner-independent membership), one
+    frontier deque per domain with randomized stealing, and a shared
+    atomic budget meter so the fleet exhausts globally.  The
+    sequential engine is the reference: a QCheck differential property
+    holds both to identical reachable sets at 1/2/4 domains. *)
+module Par_explore : sig
+  val explore :
+    ?max_states:int ->
+    ?budget:Tfiris_robust.Budget.t ->
+    ?on_state:(cfg -> unit) ->
+    domains:int ->
+    cfg ->
+    exploration
+  (** Run on [domains] workers (the calling domain plus [domains - 1]
+      spawned ones); [domains = 1] exercises the parallel machinery
+      without spawning. *)
+
+  val set_steal_fault : (worker:int -> victim:int -> bool) option -> unit
+  (** Chaos hook: veto individual steal attempts (an unfair/starving
+      scheduler).  Soundness must not depend on stealing — owners always
+      drain their own deque — which the chaos battery asserts. *)
+end
 
 (** {1 Classic concurrent programs} *)
 

@@ -356,3 +356,69 @@ let promise_term : Promises.Syntax.term Q.t =
   Q.sized_size (Q.int_bound 3) (fun d -> int_term (Stdlib.min d 3) [])
 
 let print_promise t = Promises.Syntax.to_string t
+
+(* ---------- fork-heavy concurrent SHL programs ---------- *)
+
+(* Closed programs for the parallel-explorer differential property:
+   1–2 shared cells allocated up front, 1–3 forked threads plus the
+   main thread, each a short straight line of loads / stores / cas over
+   those cells.  No loops and no recursion, so every interleaving
+   terminates and the reachable state space is finite (typically tens
+   to a few hundred configurations) — small enough to explore
+   exhaustively 500 times per test run, contended enough that the
+   work-stealing engine's sharded visited set and shared budget meter
+   are actually exercised. *)
+let conc_expr : Shl.Ast.expr Q.t =
+  let open Q in
+  let open Shl.Ast in
+  let rname i = Printf.sprintf "r%d" i in
+  let cell nrefs = map rname (int_bound (nrefs - 1)) in
+  (* int-valued atoms: constants, loads, load-plus-constant *)
+  let aexp nrefs =
+    let ld = map (fun r -> Load (Var r)) (cell nrefs) in
+    oneof
+      [
+        map int_ (int_bound 5);
+        ld;
+        (let* a = ld in
+         let* n = int_range 1 3 in
+         return (Bin_op (Add, a, int_ n)));
+      ]
+  in
+  (* one effectful statement; cas's bool result is discarded by Seq *)
+  let stmt nrefs =
+    oneof
+      [
+        (let* r = cell nrefs in
+         let* a = aexp nrefs in
+         return (Store (Var r, a)));
+        (let* r = cell nrefs in
+         let* a = aexp nrefs in
+         let* b = aexp nrefs in
+         return (Cas (Var r, a, b)));
+      ]
+  in
+  let straight_line nrefs len =
+    let* n = int_range 1 len in
+    let* stmts = list_repeat n (stmt nrefs) in
+    return
+      (match stmts with
+      | [] -> Val Unit
+      | s :: rest -> List.fold_left (fun acc s' -> Seq (acc, s')) s rest)
+  in
+  let* nrefs = int_range 1 2 in
+  let* nforks = int_range 1 3 in
+  let* forks = list_repeat nforks (straight_line nrefs 2) in
+  let* main_work = straight_line nrefs 2 in
+  let* observe = cell nrefs in
+  let body =
+    List.fold_right
+      (fun f acc -> Seq (Fork f, acc))
+      forks
+      (Seq (main_work, Load (Var observe)))
+  in
+  return
+    (List.fold_left
+       (fun acc i -> Let (rname (nrefs - 1 - i), Ref (int_ 0), acc))
+       body
+       (List.init nrefs Fun.id))

@@ -241,6 +241,122 @@ let test_interleaving_diamond_dedup () =
   | _ -> Alcotest.fail "expected main to finish with ()");
   Alcotest.(check int) "diamond, not a schedule tree" 7 r.Conc.states
 
+(* ---------- the parallel explorer (PR 9) ---------- *)
+
+module Budget = Tfiris_robust.Budget
+
+(* The full observable signature of an exploration, as a comparable
+   value: state count, sorted final (value, heap) pairs, sorted stuck
+   redexes, and which resource (if any) ran out.  The work-stealing
+   engine must reproduce the sequential engine's signature exactly —
+   only traversal order may differ. *)
+let signature (r : Conc.exploration) =
+  ( r.Conc.states,
+    List.sort compare
+      (List.map
+         (fun (v, h) ->
+           (Shl.Pretty.value_to_string v, Tfiris_shl.Heap.bindings h))
+         r.Conc.final_values),
+    List.sort compare
+      (List.map
+         (fun (tid, redex) -> (tid, Shl.Pretty.expr_to_string redex))
+         r.Conc.stuck),
+    r.Conc.exhausted )
+
+let par_differential_prop =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:500
+       ~name:"parallel explore ≡ sequential at 1/2/4 domains"
+       ~print:Gen.print_shl Gen.conc_expr
+       (fun e ->
+         let budget = Budget.of_states 4_000 in
+         let seq_r = Conc.explore ~budget ~domains:1 (Conc.init e) in
+         let seq = signature seq_r in
+         List.for_all
+           (fun d ->
+             let par_r =
+               Conc.Par_explore.explore ~budget ~domains:d (Conc.init e)
+             in
+             match seq_r.Conc.exhausted with
+             | None -> signature par_r = seq
+             | Some res ->
+               (* a tripped states cap still admits exactly min(cap,
+                  |reachable|) states at every domain count, but *which*
+                  finals were collected while draining depends on
+                  traversal order — only count and verdict are
+                  deterministic *)
+               par_r.Conc.states = seq_r.Conc.states
+               && par_r.Conc.exhausted = Some res)
+           [ 1; 2; 4 ]))
+
+let test_par_budget_steps_exhaustion () =
+  (* a steps budget must exhaust globally and name the right resource
+     at every domain count *)
+  List.iter
+    (fun d ->
+      let r =
+        Conc.explore ~budget:(Budget.of_steps 40) ~domains:d
+          (Conc.init Conc.locked_incr)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "steps named at %d domains" d)
+        true
+        (r.Conc.exhausted = Some Budget.Steps))
+    [ 1; 2; 4 ]
+
+let test_par_budget_states_prefix () =
+  (* a states cap admits exactly min(cap, |reachable|) visited states —
+     deterministic at every domain count, because membership + charge +
+     insert happen under one shard lock *)
+  let full =
+    (Conc.explore ~domains:1 (Conc.init Conc.locked_incr)).Conc.states
+  in
+  List.iter
+    (fun cap ->
+      List.iter
+        (fun d ->
+          let r =
+            Conc.explore ~budget:(Budget.of_states cap) ~domains:d
+              (Conc.init Conc.locked_incr)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "states at cap %d, %d domains" cap d)
+            (Stdlib.min cap full) r.Conc.states;
+          Alcotest.(check bool)
+            (Printf.sprintf "verdict at cap %d, %d domains" cap d)
+            (cap < full)
+            (r.Conc.exhausted = Some Budget.States))
+        [ 1; 2; 4 ])
+    [ 1; 10; full - 1; full; full + 50 ]
+
+let test_par_worker_stats () =
+  (* the parallel engine reports one stat per domain and the dequeue
+     total covers the whole visited set; the sequential engine reports
+     none *)
+  let seq = Conc.explore ~domains:1 (Conc.init Conc.spinlock_pair) in
+  Alcotest.(check int) "sequential: no worker stats" 0
+    (List.length seq.Conc.workers);
+  let par = Conc.Par_explore.explore ~domains:3 (Conc.init Conc.spinlock_pair) in
+  Alcotest.(check int) "one stat per domain" 3 (List.length par.Conc.workers);
+  Alcotest.(check int) "dequeues cover the state space" par.Conc.states
+    (List.fold_left
+       (fun acc w -> acc + w.Conc.w_dequeued)
+       0 par.Conc.workers)
+
+let test_par_races_oracle_agrees () =
+  (* the dynamic race oracle rides the shared explorer's frontier
+     callback: its findings must not depend on the domain count *)
+  let module Races = Tfiris.Analysis.Races in
+  let seq = Races.dynamic_races ~domains:1 Conc.spinlock_pair_racy_read in
+  Alcotest.(check bool) "oracle finds races sequentially" true (seq <> []);
+  List.iter
+    (fun d ->
+      let par = Races.dynamic_races ~domains:d Conc.spinlock_pair_racy_read in
+      Alcotest.(check bool)
+        (Printf.sprintf "oracle identical at %d domains" d)
+        true (par = seq))
+    [ 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "racy counter loses updates" `Quick test_racy_counter;
@@ -270,4 +386,13 @@ let suite =
       test_canonical_visited_key;
     Alcotest.test_case "explore dedups commuting interleavings" `Quick
       test_interleaving_diamond_dedup;
+    par_differential_prop;
+    Alcotest.test_case "parallel explore: steps budget exhausts globally"
+      `Quick test_par_budget_steps_exhaustion;
+    Alcotest.test_case "parallel explore: states cap is a deterministic prefix"
+      `Quick test_par_budget_states_prefix;
+    Alcotest.test_case "parallel explore: per-worker accounting" `Quick
+      test_par_worker_stats;
+    Alcotest.test_case "race oracle is domain-count independent" `Quick
+      test_par_races_oracle_agrees;
   ]

@@ -49,6 +49,7 @@ let sample_record =
     detail = Some "1";
     budget = None;
     seed = None;
+    domains = None;
     metrics = None;
     forensics = None;
   }
@@ -131,6 +132,29 @@ let test_record_roundtrip () =
     | Ok r1 ->
       Alcotest.(check bool) "/1 loads as the same record, mem absent" true
         (r1 = sample_record))
+
+let test_record_domains () =
+  (* the PR-9 [domains] block: optional, rendered between seed and
+     metrics, round-trips, and — crucially — never enters the content
+     key (parallelism affects how fast a verdict lands, never which) *)
+  let r =
+    { sample_record with Ledger.domains = Some (4, [ 1.5; 2.; 0.5; 3. ]) }
+  in
+  Alcotest.(check string)
+    "record bytes with domains"
+    ("{\"schema\":\"tfiris-run/2\","
+   ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+   ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+   ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+   ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},\"detail\":\"1\","
+   ^ "\"domains\":{\"count\":4,\"wall_ms\":[1.5,2.0,0.5,3.0]}}")
+    (Json.to_string (Ledger.to_json r));
+  (match Ledger.of_json (Ledger.to_json r) with
+  | Error e -> Alcotest.failf "domains round-trip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check bool) "domains round-trips exactly" true (r = r'));
+  Alcotest.(check string) "content key ignores domains" sample_record.Ledger.key
+    r.Ledger.key
 
 let test_content_key_stability () =
   let key () =
@@ -798,6 +822,8 @@ let suite =
   [
     Alcotest.test_case "run record golden" `Quick test_record_golden;
     Alcotest.test_case "record round-trip" `Quick test_record_roundtrip;
+    Alcotest.test_case "domains block: bytes, round-trip, key-neutral" `Quick
+      test_record_domains;
     Alcotest.test_case "content key stability" `Quick
       test_content_key_stability;
     Alcotest.test_case "append/load round-trip" `Quick

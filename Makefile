@@ -2,7 +2,7 @@
 # pre-push check (build + tests + CLI smoke + quick bench + perf gate).
 
 .PHONY: all build test test-domains bench baseline chaos ledger \
-  ledger-baseline analyze-baseline verify clean
+  ledger-baseline analyze-baseline corpus verify clean
 
 all: build
 
@@ -66,6 +66,24 @@ analyze-baseline: build
 	dune exec bin/tfiris_cli.exe -- analyze --format=json-stable \
 	  examples/shl/*.shl > BENCH_history/baseline-analyze.json
 
+# Incremental re-verification through the certificate cache: a cold
+# sweep over the examples stores one certificate per (program, stage),
+# the warm sweep must replay ≥90% of lookups from disk, and `report
+# --diff` holds the two ledgers to zero verdict flips — cached replay
+# may be faster, never different.  `make corpus` is self-contained
+# (fresh cache each time); point CACHE at a persistent directory to
+# verify incrementally across source changes.
+CACHE ?= .tfiris-cache
+
+corpus: build
+	rm -rf $(CACHE) CORPUS_cold.jsonl CORPUS_warm.jsonl
+	dune exec bin/tfiris_cli.exe -- verify-corpus examples/shl \
+	  --cache=$(CACHE) --ledger=CORPUS_cold.jsonl
+	dune exec bin/tfiris_cli.exe -- verify-corpus examples/shl \
+	  --cache=$(CACHE) --ledger=CORPUS_warm.jsonl --min-hit-rate=90
+	dune exec bin/tfiris_cli.exe -- report --diff CORPUS_cold.jsonl CORPUS_warm.jsonl
+	dune exec bin/tfiris_cli.exe -- cache stats --cache=$(CACHE)
+
 # The perf and memory gates compare against a baseline usually
 # recorded on a different machine, so both thresholds are deliberately
 # loose (4x); use `bench --compare` against a locally saved baseline
@@ -84,6 +102,7 @@ verify: build test
 	dune exec bin/tfiris_cli.exe -- profile --collapsed=PROFILE.collapsed -- \
 	  run examples/shl/memo_fib.shl
 	dune exec bin/tfiris_cli.exe -- chaos --seeds=10 --out=CHAOS_report.json
+	$(MAKE) corpus
 	dune exec bench/main.exe -- --quick --out=BENCH_obs.json \
 	  --compare=BENCH_history/baseline-quick.json --threshold=4 \
 	  --mem-threshold=4

@@ -955,6 +955,135 @@ let e20 () =
       (if recommended = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
+(* E21 — certificate cache: cold vs warm corpus sweep                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The O(changes) claim, measured: sweep the committed corpus twice
+   through a fresh certificate cache — the cold pass runs the
+   interpreter and the full analyzer and stores every definitive
+   verdict, the warm pass must answer every lookup from the store
+   without touching a driver.  Every warm verdict must be byte-equal
+   to its cold one (a flip is a soundness bug and fails the harness,
+   like E20's signature divergence), and the wall-time ratio is the
+   figure of merit. *)
+let e21 () =
+  section "E21  certificate cache: cold vs warm corpus sweep";
+  let module An = Tfiris.Analysis.Analyzer in
+  let module Cc = Obs.Certcache in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tfiris-e21-cache-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  let t = Cc.open_ ~dir in
+  let corpus =
+    let d = "examples/shl" in
+    if Sys.file_exists d && Sys.is_directory d then
+      Sys.readdir d |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".shl")
+      |> List.sort compare
+      |> List.map (fun f ->
+             (f, Shl.Parser.parse_exn (read_file (Filename.concat d f))))
+    else [ ("slen (fallback)", Shl.Prog.rec_of Shl.Prog.slen_template) ]
+  in
+  let time f =
+    let t0 = Obs.Trace.now_ns () in
+    let x = f () in
+    let t1 = Obs.Trace.now_ns () in
+    (x, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+  in
+  (* the two verdict-producing stages of `tfiris verify-corpus`,
+     computed the expensive way (interpreter + all analyzer passes) *)
+  let run_verdict e =
+    match Shl.Interp.exec ~fuel:10_000_000 e with
+    | Shl.Interp.Value _, _ -> "value"
+    | Shl.Interp.Stuck _, _ -> "stuck"
+    | Shl.Interp.Out_of_fuel (r, _), _ ->
+      "out_of_fuel:" ^ Tfiris.Robust.Budget.resource_name r
+  in
+  let analyze_verdict label e =
+    let r = An.analyze ~passes:An.pass_names ~label e in
+    match List.length r.An.findings with
+    | 0 -> "clean"
+    | n -> Printf.sprintf "findings:%d" n
+  in
+  let key_of ~engine ~program ~spec =
+    Obs.Ledger.content_key ~program ~spec ~engine ~version:Tfiris.version
+  in
+  let stages (label, e) =
+    let program = Shl.Pretty.expr_to_string e in
+    [
+      ( key_of ~engine:"shl.machine" ~program ~spec:"",
+        "run",
+        fun () -> run_verdict e );
+      ( key_of ~engine:"analysis" ~program
+          ~spec:(String.concat "," An.pass_names),
+        "analyze",
+        fun () -> analyze_verdict label e );
+    ]
+  in
+  let work = List.concat_map stages corpus in
+  let cold, t_cold =
+    time (fun () ->
+        List.map
+          (fun (key, cmd, compute) ->
+            let verdict = compute () in
+            ignore
+              (Cc.store t
+                 {
+                   Cc.key;
+                   cmd;
+                   label = "e21";
+                   engine = cmd;
+                   version = Tfiris.version;
+                   verdict;
+                   ok = true;
+                   detail = None;
+                   consumed = [];
+                   replay = None;
+                 }
+                : bool);
+            (key, verdict))
+          work)
+  in
+  let warm, t_warm =
+    time (fun () ->
+        List.map
+          (fun (key, _, _) ->
+            match Cc.find t ~key with
+            | Some c -> (key, c.Cc.verdict)
+            | None -> (key, "<miss>"))
+          work)
+  in
+  let hits =
+    List.length (List.filter (fun (_, v) -> v <> "<miss>") warm)
+  in
+  List.iter2
+    (fun (k1, cold_v) (_, warm_v) ->
+      if warm_v = "<miss>" then
+        failwith (Printf.sprintf "E21: warm sweep missed key %s" k1)
+      else if warm_v <> cold_v then
+        failwith
+          (Printf.sprintf "E21: cached verdict flipped for %s: %S vs %S" k1
+             cold_v warm_v))
+    cold warm;
+  rm_rf dir;
+  row "  %-34s %9.3f ms  (%d verdicts computed + stored)\n" "cold sweep"
+    t_cold (List.length cold);
+  row "  %-34s %9.3f ms  (%d/%d hits, all verdicts byte-equal)\n"
+    "warm sweep" t_warm hits (List.length warm);
+  row "  warm/cold ratio: %.3f\n"
+    (if t_cold > 0. then t_warm /. t_cold else 1.)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1492,7 +1621,7 @@ let () =
       ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
       ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
       ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
-      ("e20", e20);
+      ("e20", e20); ("e21", e21);
     ]
   in
   let records = List.map (fun (name, f) -> observe ~trials name f) experiments in

@@ -312,7 +312,7 @@ let forensics_pointer () =
     half (tool version, wall time, metrics snapshot, forensics pointer)
     is assembled here. *)
 let ledger_append ledger ~cmd ~label ~engine ~program ~spec ?budget ?seed
-    ?domains ?(consumed = []) ~t0 ~verdict ~ok ?detail () =
+    ?domains ?(consumed = []) ?(cached = false) ~t0 ~verdict ~ok ?detail () =
   match ledger with
   | None -> ()
   | Some path ->
@@ -329,6 +329,7 @@ let ledger_append ledger ~cmd ~label ~engine ~program ~spec ?budget ?seed
         detail;
         budget = Option.map Robust.Budget.to_json budget;
         consumed;
+        cached;
         mem = Some (run_mem ());
         wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
         seed;
@@ -339,6 +340,80 @@ let ledger_append ledger ~cmd ~label ~engine ~program ~spec ?budget ?seed
            else None);
         forensics = (if ok then None else forensics_pointer ());
       }
+
+(* ---- the certificate cache (--cache, shared by the verdict
+   commands) ----
+
+   The cache is keyed by the same content key as the ledger, so a hit
+   is exactly "a previous run of this (program, spec, engine, version)
+   already produced the verdict": the driver is skipped entirely and
+   the replayed verdict goes to the ledger with a key-neutral
+   [cached: true] block.  Only budget-independent verdicts are stored
+   (Certcache.cacheable_verdict); an exhaustion verdict depends on the
+   budget, which the key deliberately excludes. *)
+
+let cache_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some ".tfiris-cache") (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "TFIRIS_CACHE")
+        ~doc:
+          "Replay verdicts from (and store new ones into) the \
+           content-addressed certificate cache at $(docv) (default \
+           $(b,.tfiris-cache) when the flag is given bare). On a hit the \
+           driver is skipped and the ledger record is marked \
+           $(b,cached: true); only budget-independent (definitive) \
+           verdicts are ever cached. Inspect with $(b,tfiris cache \
+           stats), evict with $(b,tfiris cache gc).")
+
+let cache_open = Option.map (fun dir -> Obs.Certcache.open_ ~dir)
+
+(** Look up the certificate for this invocation's content key.  The
+    stored command must match — the engine id already separates
+    subcommands in the key, so a mismatch means a corrupt entry and is
+    treated as a miss. *)
+let cache_lookup cache ~cmd ~engine ~program ~spec =
+  match cache with
+  | None -> None
+  | Some t -> (
+    let key =
+      Obs.Ledger.content_key ~program ~spec ~engine ~version:Tfiris.version
+    in
+    match Obs.Certcache.find t ~key with
+    | Some c when c.Obs.Certcache.cmd = cmd -> Some c
+    | Some _ | None -> None)
+
+(** Store a fresh verdict after a miss.  Uncacheable (budget-dependent)
+    verdicts are silently skipped; rejections carry the forensics
+    pointer as their replay certificate. *)
+let cache_put cache ~cmd ~label ~engine ~program ~spec ~verdict ~ok ?detail
+    ?(consumed = []) () =
+  match cache with
+  | None -> ()
+  | Some t ->
+    let key =
+      Obs.Ledger.content_key ~program ~spec ~engine ~version:Tfiris.version
+    in
+    ignore
+      (Obs.Certcache.store t
+         {
+           Obs.Certcache.key;
+           cmd;
+           label;
+           engine;
+           version = Tfiris.version;
+           verdict;
+           ok;
+           detail;
+           consumed;
+           replay = (if ok then None else forensics_pointer ());
+         }
+        : bool)
+
+let note_cache_hit (c : Obs.Certcache.cert) =
+  Format.eprintf "tfiris: cache hit (%s, %s)@." c.Obs.Certcache.engine
+    c.Obs.Certcache.verdict
 
 (* ---- failure forensics (--explain) ---- *)
 
@@ -476,18 +551,52 @@ let run_explore ~label ~e ~fuel ~budget ~stats ~ledger ~t0 n =
   if ok then 0 else 1
 
 let run_cmd =
-  let action program fuel budget stats engine ledger domains =
+  let action program fuel budget stats engine ledger domains cache =
     let label, e = or_die (parse_labeled program) in
     let t0 = Unix.gettimeofday () in
     match domains with
-    | Some n -> run_explore ~label ~e ~fuel ~budget ~stats ~ledger ~t0 n
+    | Some n ->
+      (* exploration is not cached: its verdict comes with per-domain
+         wall splits and a full final-value set the certificate does
+         not carry *)
+      run_explore ~label ~e ~fuel ~budget ~stats ~ledger ~t0 n
     | None ->
+    let program_text = Shl.Pretty.expr_to_string e in
+    let cache = cache_open cache in
+    let engine_id =
+      match engine with
+      | `Machine -> "shl.machine"
+      | `Reference -> "shl.reference"
+      | `Lockstep -> "shl.lockstep"
+    in
     let finish ~engine_id ~verdict ~ok ?detail ?(consumed = []) code =
+      cache_put cache ~cmd:"run" ~label ~engine:engine_id
+        ~program:program_text ~spec:"" ~verdict ~ok ?detail ~consumed ();
       ledger_append ledger ~cmd:"run" ~label ~engine:engine_id
-        ~program:(Shl.Pretty.expr_to_string e)
-        ~spec:"" ?budget ~consumed ~t0 ~verdict ~ok ?detail ();
+        ~program:program_text ~spec:"" ?budget ~consumed ~t0 ~verdict ~ok
+        ?detail ();
       code
     in
+    match
+      cache_lookup cache ~cmd:"run" ~engine:engine_id ~program:program_text
+        ~spec:""
+    with
+    | Some c ->
+      (* replay: the certificate's detail is the final value (stdout)
+         or the stuck redex (stderr); the driver never runs *)
+      note_cache_hit c;
+      (match (c.Obs.Certcache.verdict, c.Obs.Certcache.detail) with
+      | "value", Some v -> Format.printf "%s@." v
+      | "value", None -> ()
+      | verdict, Some d -> Format.eprintf "%s (cached) on: %s@." verdict d
+      | verdict, None -> Format.eprintf "%s (cached)@." verdict);
+      ledger_append ledger ~cmd:"run" ~label ~engine:engine_id
+        ~program:program_text ~spec:"" ?budget
+        ~consumed:c.Obs.Certcache.consumed ~cached:true ~t0
+        ~verdict:c.Obs.Certcache.verdict ~ok:c.Obs.Certcache.ok
+        ?detail:c.Obs.Certcache.detail ();
+      if c.Obs.Certcache.ok then 0 else 1
+    | None -> (
     match engine with
     | `Lockstep -> (
       let o = Shl.Machine.lockstep ~fuel ?budget e in
@@ -521,6 +630,7 @@ let run_cmd =
         Format.eprintf "stuck after %d steps on: %s@." st.Shl.Interp.steps
           (Shl.Pretty.expr_to_string redex);
         finish ~verdict:"stuck" ~ok:false
+          ~detail:(Shl.Pretty.expr_to_string redex)
           ~consumed:[ ("steps", st.Shl.Interp.steps) ]
           1
       | Shl.Interp.Out_of_fuel (r, _), st ->
@@ -531,17 +641,17 @@ let run_cmd =
           ~verdict:("out_of_fuel:" ^ Robust.Budget.resource_name r)
           ~ok:false
           ~consumed:[ ("steps", st.Shl.Interp.steps) ]
-          1)
+          1))
   in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print step statistics.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an SHL program.")
     Term.(
-      const (fun () p f b s g l d ->
-          Stdlib.exit (protect (fun () -> action p f b s g l d)))
+      const (fun () p f b s g l d c ->
+          Stdlib.exit (protect (fun () -> action p f b s g l d c)))
       $ obs_term $ program_term $ fuel_arg $ budget_arg $ stats $ engine_arg
-      $ ledger_arg $ domains_arg)
+      $ ledger_arg $ domains_arg $ cache_arg)
 
 (* ---- stats ---- *)
 
@@ -609,7 +719,7 @@ let analyze_cmd =
     with Sys_error m -> Error m
   in
   let module Races = Tfiris.Analysis.Races in
-  let action expr files fmt fail_on only skip timings ledger domains =
+  let action expr files fmt fail_on only skip timings ledger domains cache =
     List.iter
       (fun p ->
         if not (List.mem p An.pass_names) then
@@ -635,6 +745,35 @@ let analyze_cmd =
         (fun (label, src) -> (label, or_die (parse_program src)))
         programs
     in
+    let cache = cache_open cache in
+    let label_all = String.concat "," (List.map fst programs) in
+    let program_all =
+      String.concat "\x00"
+        (List.map (fun (_, e) -> Shl.Pretty.expr_to_string e) parsed)
+    in
+    let spec_all = String.concat "," selected in
+    match
+      cache_lookup cache ~cmd:"analyze" ~engine:"analysis" ~program:program_all
+        ~spec:spec_all
+    with
+    | Some c ->
+      (* replay: the certificate stores the deterministic json-stable
+         report (the corpus-baseline form); a different --format on the
+         replaying invocation degrades to that form with a note *)
+      note_cache_hit c;
+      (match (fmt, c.Obs.Certcache.detail) with
+      | _, None -> ()
+      | `Json_stable, Some d -> print_endline d
+      | (`Text | `Json), Some d ->
+        Format.eprintf
+          "tfiris: cached analyze reports are stored in json-stable form@.";
+        print_endline d);
+      ledger_append ledger ~cmd:"analyze" ~label:label_all ~engine:"analysis"
+        ~program:program_all ~spec:spec_all
+        ~consumed:c.Obs.Certcache.consumed ~cached:true ~t0
+        ~verdict:c.Obs.Certcache.verdict ~ok:c.Obs.Certcache.ok ();
+      if c.Obs.Certcache.ok then 0 else 1
+    | None ->
     let reports =
       List.map
         (fun (label, e) -> An.analyze ~passes:selected ~label e)
@@ -697,16 +836,18 @@ let analyze_cmd =
               0 reports ))
         selected
     in
-    ledger_append ledger ~cmd:"analyze"
-      ~label:(String.concat "," (List.map fst programs))
-      ~engine:"analysis"
-      ~program:
-        (String.concat "\x00"
-           (List.map (fun (_, e) -> Shl.Pretty.expr_to_string e) parsed))
-      ~spec:(String.concat "," selected)
-      ~consumed:(("findings", total) :: per_pass)
-      ~t0
-      ~verdict:(if total = 0 then "clean" else Printf.sprintf "findings:%d" total)
+    let verdict =
+      if total = 0 then "clean" else Printf.sprintf "findings:%d" total
+    in
+    let consumed = ("findings", total) :: per_pass in
+    cache_put cache ~cmd:"analyze" ~label:label_all ~engine:"analysis"
+      ~program:program_all ~spec:spec_all ~verdict ~ok:(code = 0)
+      ~detail:
+        (Obs.Json.to_string
+           (Obs.Json.List (List.map An.report_to_json_stable reports)))
+      ~consumed ();
+    ledger_append ledger ~cmd:"analyze" ~label:label_all ~engine:"analysis"
+      ~program:program_all ~spec:spec_all ~consumed ~t0 ~verdict
       ~ok:(code = 0) ();
     code
   in
@@ -770,10 +911,10 @@ let analyze_cmd =
           intervals, termination measures, race detection, symbolic-heap \
           bi-abduction) over SHL programs.")
     Term.(
-      const (fun () e fs fmt fo po sk t l d ->
-          Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t l d)))
+      const (fun () e fs fmt fo po sk t l d c ->
+          Stdlib.exit (protect (fun () -> action e fs fmt fo po sk t l d c)))
       $ obs_term $ expr $ files $ fmt $ fail_on $ only $ skip $ timings
-      $ ledger_arg $ domains_arg)
+      $ ledger_arg $ domains_arg $ cache_arg)
 
 (* ---- check-term ---- *)
 
@@ -790,10 +931,25 @@ let parse_credit s =
     | _ -> Error (Printf.sprintf "cannot parse credit %S (try: 100, w, w*2, w^2, w^w)" s))
 
 let check_term_cmd =
-  let action program credit budget explain ledger =
+  let action program credit budget explain ledger cache =
     let label, e = or_die (parse_labeled program) in
     let credits = or_die (parse_credit credit) in
     let t0 = Unix.gettimeofday () in
+    let engine = "termination.wp/adaptive" in
+    let program_text = Shl.Pretty.expr_to_string e in
+    let spec = Ord.to_string credits in
+    let cache = cache_open cache in
+    match cache_lookup cache ~cmd:"check-term" ~engine ~program:program_text ~spec with
+    | Some c ->
+      note_cache_hit c;
+      Format.printf "%s (cached)@." c.Obs.Certcache.verdict;
+      ledger_append ledger ~cmd:"check-term" ~label ~engine
+        ~program:program_text ~spec ?budget
+        ~consumed:c.Obs.Certcache.consumed ~cached:true ~t0
+        ~verdict:c.Obs.Certcache.verdict ~ok:c.Obs.Certcache.ok
+        ?detail:c.Obs.Certcache.detail ();
+      if c.Obs.Certcache.ok then 0 else 1
+    | None ->
     with_explain explain (fun () ->
         let v =
           Termination.Wp.run ?budget ~credits (Termination.Wp.adaptive ())
@@ -806,16 +962,16 @@ let check_term_cmd =
           | Termination.Wp.Rejected (r, st) ->
             ("rejected:" ^ Termination.Wp.rule_name r, false, st)
         in
-        ledger_append ledger ~cmd:"check-term" ~label
-          ~engine:"termination.wp/adaptive"
-          ~program:(Shl.Pretty.expr_to_string e)
-          ~spec:(Ord.to_string credits) ?budget
-          ~consumed:
-            [
-              ("steps", st.Termination.Wp.steps);
-              ("limit_refinements", st.Termination.Wp.limit_refinements);
-            ]
-          ~t0 ~verdict ~ok ();
+        let consumed =
+          [
+            ("steps", st.Termination.Wp.steps);
+            ("limit_refinements", st.Termination.Wp.limit_refinements);
+          ]
+        in
+        cache_put cache ~cmd:"check-term" ~label ~engine
+          ~program:program_text ~spec ~verdict ~ok ~consumed ();
+        ledger_append ledger ~cmd:"check-term" ~label ~engine
+          ~program:program_text ~spec ?budget ~consumed ~t0 ~verdict ~ok ();
         if ok then 0 else 1)
   in
   let credit =
@@ -828,15 +984,15 @@ let check_term_cmd =
     (Cmd.info "check-term"
        ~doc:"Verify termination of an SHL program with transfinite time credits.")
     Term.(
-      const (fun () p c b x l ->
-          Stdlib.exit (protect (fun () -> action p c b x l)))
+      const (fun () p c b x l ca ->
+          Stdlib.exit (protect (fun () -> action p c b x l ca)))
       $ obs_term $ program_term $ credit $ budget_arg $ explain_term
-      $ ledger_arg)
+      $ ledger_arg $ cache_arg)
 
 (* ---- refine ---- *)
 
 let refine_cmd =
-  let action target source fuel budget explain ledger =
+  let action target source fuel budget explain ledger cache =
     let parse_arg what = function
       | Some s -> parse_program s
       | None -> Error ("missing --" ^ what)
@@ -845,8 +1001,39 @@ let refine_cmd =
     let s = or_die (parse_arg "source" source) in
     let tc = Shl.Step.config t and sc = Shl.Step.config s in
     let t0 = Unix.gettimeofday () in
+    let cache = cache_open cache in
     (* the refinement judgement has two texts: the target is the
        "program", the source is its specification *)
+    let program_text = Shl.Pretty.expr_to_string t in
+    let spec_text = Shl.Pretty.expr_to_string s in
+    let label =
+      Obs.Forensics.trunc ~limit:40 program_text
+      ^ " =< "
+      ^ Obs.Forensics.trunc ~limit:40 spec_text
+    in
+    (* which strategy certifies the pair (oracle vs lockstep fallback)
+       is itself an outcome of the run, and the engine id — hence the
+       content key — records it; a lookup therefore probes both
+       possible keys *)
+    let cached_cert =
+      List.find_map
+        (fun strategy ->
+          cache_lookup cache ~cmd:"refine"
+            ~engine:("refinement.driver/" ^ strategy)
+            ~program:program_text ~spec:spec_text)
+        [ "oracle"; "lockstep" ]
+    in
+    match cached_cert with
+    | Some c ->
+      note_cache_hit c;
+      Format.printf "%s (cached)@." c.Obs.Certcache.verdict;
+      ledger_append ledger ~cmd:"refine" ~label ~engine:c.Obs.Certcache.engine
+        ~program:program_text ~spec:spec_text ?budget
+        ~consumed:c.Obs.Certcache.consumed ~cached:true ~t0
+        ~verdict:c.Obs.Certcache.verdict ~ok:c.Obs.Certcache.ok
+        ?detail:c.Obs.Certcache.detail ();
+      if c.Obs.Certcache.ok then 0 else 1
+    | None ->
     let finish ~strategy v =
       let verdict, ok, st =
         match v with
@@ -858,22 +1045,20 @@ let refine_cmd =
         | Refinement.Driver.Rejected (r, st) ->
           ("rejected:" ^ Refinement.Driver.rule_name r, false, st)
       in
-      ledger_append ledger ~cmd:"refine"
-        ~label:
-          (Obs.Forensics.trunc ~limit:40 (Shl.Pretty.expr_to_string t)
-          ^ " =< "
-          ^ Obs.Forensics.trunc ~limit:40 (Shl.Pretty.expr_to_string s))
+      let consumed =
+        [
+          ("steps", st.Refinement.Driver.target_steps);
+          ("source_steps", st.Refinement.Driver.source_steps);
+          ("stutters", st.Refinement.Driver.stutters);
+        ]
+      in
+      cache_put cache ~cmd:"refine" ~label
         ~engine:("refinement.driver/" ^ strategy)
-        ~program:(Shl.Pretty.expr_to_string t)
-        ~spec:(Shl.Pretty.expr_to_string s)
-        ?budget
-        ~consumed:
-          [
-            ("steps", st.Refinement.Driver.target_steps);
-            ("source_steps", st.Refinement.Driver.source_steps);
-            ("stutters", st.Refinement.Driver.stutters);
-          ]
-        ~t0 ~verdict ~ok ();
+        ~program:program_text ~spec:spec_text ~verdict ~ok ~consumed ();
+      ledger_append ledger ~cmd:"refine" ~label
+        ~engine:("refinement.driver/" ^ strategy)
+        ~program:program_text ~spec:spec_text ?budget ~consumed ~t0 ~verdict
+        ~ok ();
       match v with
       | Refinement.Driver.Accepted _ -> 0
       | Refinement.Driver.Rejected _ -> 1
@@ -913,10 +1098,10 @@ let refine_cmd =
     (Cmd.info "refine"
        ~doc:"Check a termination-preserving refinement between two SHL programs.")
     Term.(
-      const (fun () t s f b x l ->
-          Stdlib.exit (protect (fun () -> action t s f b x l)))
+      const (fun () t s f b x l c ->
+          Stdlib.exit (protect (fun () -> action t s f b x l c)))
       $ obs_term $ target $ source $ fuel_arg $ budget_arg $ explain_term
-      $ ledger_arg)
+      $ ledger_arg $ cache_arg)
 
 (* ---- prove ---- *)
 
@@ -1279,6 +1464,234 @@ let report_cmd =
           Stdlib.exit (protect (fun () -> action fs d th md mt fmt)))
       $ files $ diff $ threshold $ min_delta $ mem_threshold $ fmt)
 
+(* ---- cache (stats / gc) ---- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string ".tfiris-cache"
+    & info [ "cache" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "TFIRIS_CACHE")
+        ~doc:"The certificate-cache directory to operate on.")
+
+let cache_cmd =
+  let stats_sub =
+    let action () dir =
+      let t = Obs.Certcache.open_ ~dir in
+      let s = Obs.Certcache.stats t in
+      Format.printf "cache: %s@." (Obs.Certcache.dir t);
+      Format.printf "entries: %d@." s.Obs.Certcache.st_entries;
+      Format.printf "bytes: %d@." s.Obs.Certcache.st_bytes;
+      Format.printf "corrupt: %d@." s.Obs.Certcache.st_corrupt;
+      Format.printf "tmp: %d@." s.Obs.Certcache.st_tmp;
+      0
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Walk the certificate cache and report entry count, total bytes, \
+            unparseable (corrupt) entries and leftover temp files.")
+      Term.(
+        const (fun () d -> Stdlib.exit (protect (fun () -> action () d)))
+        $ obs_term $ cache_dir_arg)
+  in
+  let gc_sub =
+    let action () dir max_entries max_age =
+      let t = Obs.Certcache.open_ ~dir in
+      let r =
+        Obs.Certcache.gc ?max_entries ?max_age_s:max_age
+          ~now:(Unix.gettimeofday ()) t
+      in
+      Format.printf "scanned: %d@." r.Obs.Certcache.gc_scanned;
+      Format.printf "deleted: %d@." r.Obs.Certcache.gc_deleted;
+      Format.printf "kept: %d@." r.Obs.Certcache.gc_kept;
+      Format.printf "freed_bytes: %d@." r.Obs.Certcache.gc_freed_bytes;
+      Format.printf "tmp_swept: %d@." r.Obs.Certcache.gc_tmp_swept;
+      0
+    in
+    let max_entries =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-entries" ] ~docv:"N"
+            ~doc:"Keep at most $(docv) certificates, evicting oldest first.")
+    in
+    let max_age =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "max-age" ] ~docv:"SECONDS"
+            ~doc:"Evict certificates whose mtime is older than $(docv) seconds.")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Evict certificates (oldest first) beyond $(b,--max-entries) or \
+            older than $(b,--max-age), and sweep leftover temp files.")
+      Term.(
+        const (fun () d n a ->
+            Stdlib.exit (protect (fun () -> action () d n a)))
+        $ obs_term $ cache_dir_arg $ max_entries $ max_age)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain the content-addressed certificate cache (see \
+          $(b,--cache) on the verdict-producing subcommands).")
+    [ stats_sub; gc_sub ]
+
+(* ---- verify-corpus ---- *)
+
+(* The incremental-re-verification driver: every committed example goes
+   through the run and analyze stages against the certificate cache.
+   A cold sweep computes and stores every verdict; a warm sweep replays
+   them (the drivers never run), which is the O(changes) property CI
+   asserts with --min-hit-rate and a cold-vs-warm ledger diff. *)
+let verify_corpus_cmd =
+  let module An = Tfiris.Analysis.Analyzer in
+  let action dir cache_dir ledger min_hit_rate =
+    let t_start = Unix.gettimeofday () in
+    let cache = cache_open (Some cache_dir) in
+    let files =
+      match Sys.readdir dir with
+      | exception Sys_error m -> or_die (Error m)
+      | names ->
+        Array.to_list names
+        |> List.filter (fun f -> Filename.check_suffix f ".shl")
+        |> List.sort compare
+        |> List.map (Filename.concat dir)
+    in
+    if files = [] then
+      or_die (Error (Printf.sprintf "no .shl programs under %s" dir));
+    let lookups = ref 0 and hits = ref 0 in
+    (* one cache round per (file, stage): replay on hit, compute and
+       store on miss; either way the ledger gets a record whose verdict
+       is stage-deterministic, so a cold/warm `report --diff` is
+       flip-free by construction unless the cache lied *)
+    let stage ~cmd ~engine ~label ~program ~spec compute =
+      let t0 = Unix.gettimeofday () in
+      incr lookups;
+      match cache_lookup cache ~cmd ~engine ~program ~spec with
+      | Some c ->
+        incr hits;
+        ledger_append ledger ~cmd ~label ~engine ~program ~spec
+          ~consumed:c.Obs.Certcache.consumed ~cached:true ~t0
+          ~verdict:c.Obs.Certcache.verdict ~ok:c.Obs.Certcache.ok
+          ?detail:c.Obs.Certcache.detail ();
+        (true, c.Obs.Certcache.verdict)
+      | None ->
+        let verdict, ok, detail, consumed = compute () in
+        cache_put cache ~cmd ~label ~engine ~program ~spec ~verdict ~ok
+          ?detail ~consumed ();
+        ledger_append ledger ~cmd ~label ~engine ~program ~spec ~consumed ~t0
+          ~verdict ~ok ?detail ();
+        (false, verdict)
+    in
+    let row hit stage_name file verdict =
+      Format.printf "%-4s %-8s %-32s %s@."
+        (if hit then "HIT" else "MISS")
+        stage_name file verdict
+    in
+    List.iter
+      (fun file ->
+        let src =
+          let ic = open_in file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let e = or_die (parse_program src) in
+        let program = Shl.Pretty.expr_to_string e in
+        let hit, verdict =
+          stage ~cmd:"run" ~engine:"shl.machine" ~label:file ~program ~spec:""
+            (fun () ->
+              match Shl.Interp.exec ~fuel:10_000_000 e with
+              | Shl.Interp.Value (v, _), st ->
+                ( "value",
+                  true,
+                  Some (Shl.Pretty.value_to_string v),
+                  [ ("steps", st.Shl.Interp.steps) ] )
+              | Shl.Interp.Stuck (_, redex), st ->
+                ( "stuck",
+                  false,
+                  Some (Shl.Pretty.expr_to_string redex),
+                  [ ("steps", st.Shl.Interp.steps) ] )
+              | Shl.Interp.Out_of_fuel (r, _), st ->
+                ( "out_of_fuel:" ^ Robust.Budget.resource_name r,
+                  false,
+                  None,
+                  [ ("steps", st.Shl.Interp.steps) ] ))
+        in
+        row hit "run" file verdict;
+        let hit, verdict =
+          stage ~cmd:"analyze" ~engine:"analysis" ~label:file ~program
+            ~spec:(String.concat "," An.pass_names)
+            (fun () ->
+              let r = An.analyze ~passes:An.pass_names ~label:file e in
+              let total = List.length r.An.findings in
+              let per_pass =
+                List.map
+                  (fun p ->
+                    ( "pass." ^ p,
+                      List.fold_left
+                        (fun acc t ->
+                          if t.An.t_pass = p then acc + t.An.t_found else acc)
+                        0 r.An.timings ))
+                  An.pass_names
+              in
+              ( (if total = 0 then "clean"
+                 else Printf.sprintf "findings:%d" total),
+                not (An.fails ~fail_on:Tfiris.Analysis.Finding.Error r),
+                Some
+                  (Obs.Json.to_string
+                     (Obs.Json.List [ An.report_to_json_stable r ])),
+                ("findings", total) :: per_pass ))
+        in
+        row hit "analyze" file verdict)
+      files;
+    let wall_ms = (Unix.gettimeofday () -. t_start) *. 1000. in
+    let rate =
+      if !lookups = 0 then 0.
+      else 100. *. float_of_int !hits /. float_of_int !lookups
+    in
+    let _, _, corrupt, stores = Obs.Certcache.session () in
+    Format.printf
+      "corpus: %d programs, %d lookups, %d hits (%.1f%%), %d stored, %d \
+       corrupt, %.1f ms@."
+      (List.length files) !lookups !hits rate stores corrupt wall_ms;
+    if rate < min_hit_rate then begin
+      Format.eprintf "tfiris: cache hit rate %.1f%% is below --min-hit-rate=%g@."
+        rate min_hit_rate;
+      1
+    end
+    else 0
+  in
+  let dir =
+    Arg.(
+      value
+      & pos 0 dir "examples/shl"
+      & info [] ~docv:"DIR" ~doc:"Corpus directory of .shl programs.")
+  in
+  let min_hit_rate =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "min-hit-rate" ] ~docv:"PCT"
+          ~doc:
+            "Exit 1 when fewer than $(docv) percent of lookups hit the \
+             cache — the warm-sweep gate CI runs with $(docv)=90.")
+  in
+  Cmd.v
+    (Cmd.info "verify-corpus"
+       ~doc:
+         "Re-check every committed example (run + analyze stages) through \
+          the certificate cache: cold sweeps compute and store verdicts, \
+          warm sweeps replay them without running the drivers.")
+    Term.(
+      const (fun () d c l r ->
+          Stdlib.exit (protect (fun () -> action d c l r)))
+      $ obs_term $ dir $ cache_dir_arg $ ledger_arg $ min_hit_rate)
+
 (* ---- dilemma ---- *)
 
 let dilemma_cmd =
@@ -1307,6 +1720,8 @@ let () =
             check_term_cmd;
             refine_cmd;
             report_cmd;
+            cache_cmd;
+            verify_corpus_cmd;
             chaos_cmd;
             profile_cmd;
             dilemma_cmd;

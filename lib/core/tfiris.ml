@@ -47,6 +47,7 @@ module Obs = struct
   module Forensics = Tfiris_obs.Forensics
   module Progress = Tfiris_obs.Progress
   module Ledger = Tfiris_obs.Ledger
+  module Certcache = Tfiris_obs.Certcache
   module Report = Tfiris_obs.Report
 end
 

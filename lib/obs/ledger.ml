@@ -39,6 +39,12 @@ type record = {
   wall_ms : float;
   consumed : (string * int) list;
       (** budget consumption, e.g. [("steps", 412)] *)
+  cached : bool;
+      (** the verdict was replayed from the certificate cache instead
+          of re-computed.  Key-neutral on purpose: a cached record and
+          the original share a content key (same program, spec, engine,
+          version ⇒ same verdict), so [report --diff] never sees a
+          flip from cache replay — only wall time changes *)
   mem : Telemetry.mem option;
       (** GC/allocation delta over the run ({!Telemetry.measure});
           absent in [tfiris-run/1] records *)
@@ -86,6 +92,9 @@ let to_json (r : record) : Json.t =
        ("wall_ms", Json.Float r.wall_ms);
        ("consumed", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.consumed));
      ]
+    (* [cached] is emitted only when true: every pre-cache record stays
+       byte-identical, and the goldens pinning them keep holding *)
+    @ (if r.cached then [ ("cached", Json.Bool true) ] else [])
     @ opt "mem" Telemetry.to_json r.mem
     @ opt "detail" (fun s -> Json.Str s) r.detail
     @ opt "budget" Fun.id r.budget
@@ -121,13 +130,56 @@ let of_json (j : Json.t) : (record, string) result =
     let* verdict = req "verdict" Json.to_str in
     let* ok = req "ok" Json.to_bool in
     let* wall_ms = req "wall_ms" Json.to_float in
-    let consumed =
+    (* a corrupt count must poison the load like every other field —
+       silently dropping it would let [report --diff] compare a run
+       whose consumption record was mangled as if it consumed nothing *)
+    let* consumed =
       match Json.member "consumed" j with
       | Some (Json.Obj kvs) ->
-        List.filter_map
-          (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v))
-          kvs
-      | _ -> []
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match Json.to_int v with
+            | Some n -> Ok ((k, n) :: acc)
+            | None ->
+              Error (Printf.sprintf "ill-typed \"consumed\" entry %S" k))
+          (Ok []) kvs
+        |> Result.map List.rev
+      | Some _ -> Error "ill-typed field \"consumed\""
+      | None -> Ok []
+    in
+    let* cached =
+      match Json.member "cached" j with
+      | None -> Ok false
+      | Some (Json.Bool b) -> Ok b
+      | Some _ -> Error "ill-typed field \"cached\""
+    in
+    (* a malformed [domains] block is rejected, not silently dropped —
+       a parallel run must never be compared as sequential *)
+    let* domains =
+      match Json.member "domains" j with
+      | None -> Ok None
+      | Some d -> (
+        match Option.bind (Json.member "count" d) Json.to_int with
+        | None -> Error "malformed \"domains\" block: missing or ill-typed \"count\""
+        | Some count ->
+          let* walls =
+            match Json.member "wall_ms" d with
+            | Some (Json.List ws) ->
+              List.fold_left
+                (fun acc w ->
+                  let* acc = acc in
+                  match Json.to_float w with
+                  | Some f -> Ok (f :: acc)
+                  | None ->
+                    Error
+                      "malformed \"domains\" block: ill-typed \"wall_ms\" entry")
+                (Ok []) ws
+              |> Result.map List.rev
+            | Some _ -> Error "malformed \"domains\" block: ill-typed \"wall_ms\""
+            | None -> Ok []
+          in
+          Ok (Some (count, walls)))
     in
     Ok
       {
@@ -140,23 +192,12 @@ let of_json (j : Json.t) : (record, string) result =
         ok;
         wall_ms;
         consumed;
+        cached;
         mem = Option.bind (Json.member "mem" j) Telemetry.of_json;
         detail = opt "detail" Json.to_str;
         budget = Json.member "budget" j;
         seed = opt "seed" Json.to_int;
-        domains =
-          (match Json.member "domains" j with
-          | Some d -> (
-            match Option.bind (Json.member "count" d) Json.to_int with
-            | None -> None
-            | Some count ->
-              let walls =
-                match Json.member "wall_ms" d with
-                | Some (Json.List ws) -> List.filter_map Json.to_float ws
-                | _ -> []
-              in
-              Some (count, walls))
-          | None -> None);
+        domains;
         metrics = Json.member "metrics" j;
         forensics = Json.member "forensics" j;
       }
@@ -170,7 +211,20 @@ let of_json (j : Json.t) : (record, string) result =
     writers (two CLI processes, or two domains sharing a ledger)
     interleave whole lines, never bytes, and the resulting file always
     loads.  One open/write/close per CLI invocation — the ledger is
-    written at most once per process, so there is nothing to batch. *)
+    written at most once per process, so there is nothing to batch.
+
+    The write retries on [EINTR] and on short writes until the whole
+    line is out (a signal landing mid-append must not lose the record);
+    genuine I/O failures escape as [Unix.Unix_error], which the
+    {!Tfiris_robust.Failure} taxonomy classifies as a structured
+    [Io_error] at the CLI boundary — exit 2, never a backtrace.
+
+    Note the short-write caveat: if the line does get split across
+    multiple [write(2)]s (only possible on a disk-full or quota
+    boundary for regular files), the atomicity guarantee above is lost
+    for that one line — but the record is still written completely,
+    which beats the old behaviour of dying with an unstructured
+    [Failure "short write"] and losing it. *)
 let append ~path (r : record) =
   let line = Bytes.of_string (Json.to_string (to_json r) ^ "\n") in
   let fd =
@@ -180,8 +234,15 @@ let append ~path (r : record) =
     ~finally:(fun () -> Unix.close fd)
     (fun () ->
       let len = Bytes.length line in
-      let n = Unix.write fd line 0 len in
-      if n <> len then failwith "Ledger.append: short write")
+      let rec go pos =
+        if pos < len then
+          let n =
+            try Unix.write fd line pos (len - pos)
+            with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+          in
+          go (pos + n)
+      in
+      go 0)
 
 (** Read a whole ledger back; blank lines are skipped, anything else
     that fails to parse poisons the load with a line-numbered error

@@ -58,18 +58,20 @@ type plan = {
   failing_sink : bool;
   clock_skew : bool;
   steal_starve : bool;
+  cache_corrupt : bool;
 }
 
 let plan_of_seed seed =
   let rng = lcg seed in
   (* the original record literal drew its fields right-to-left (clock,
-     sink, alloc); that order is kept explicit here and [steal_starve]
-     is drawn after them, so pre-existing seeds keep their exact
-     per-seed fault mix *)
+     sink, alloc); that order is kept explicit here and later faults
+     ([steal_starve], then [cache_corrupt]) are drawn after them, so
+     pre-existing seeds keep their exact per-seed fault mix *)
   let clock = rng 2 = 0 in
   let sink = rng 2 = 0 in
   let alloc = if rng 2 = 0 then Some (2 + rng 15) else None in
   let steal = rng 2 = 0 in
+  let cache = rng 2 = 0 in
   {
     (* period ≥ 2: a period of 1 would fail the very first allocation
        of every check, turning the whole battery into one long
@@ -78,14 +80,28 @@ let plan_of_seed seed =
     failing_sink = sink;
     clock_skew = clock;
     steal_starve = steal;
+    cache_corrupt = cache;
   }
 
 let pp_plan ppf p =
-  Format.fprintf ppf "{alloc=%s; sink=%b; clock=%b; steal=%b}"
+  Format.fprintf ppf "{alloc=%s; sink=%b; clock=%b; steal=%b; cache=%b}"
     (match p.alloc_fault_period with
     | Some n -> string_of_int n
     | None -> "off")
-    p.failing_sink p.clock_skew p.steal_starve
+    p.failing_sink p.clock_skew p.steal_starve p.cache_corrupt
+
+(* The cache-corrupting read fault: certificate bytes are deterministically
+   mangled between disk and parser — truncated mid-object and bit-flipped —
+   exercising exactly the corruption tolerance {!Tfiris_obs.Certcache.find}
+   promises (a bad entry is a miss, never a crash, never a wrong verdict). *)
+let mangle_cert_bytes (raw : string) : string =
+  let n = String.length raw in
+  if n = 0 then raw
+  else
+    let keep = max 1 (n / 2) in
+    String.init keep (fun i ->
+        if i mod 7 = 3 then Char.chr (Char.code raw.[i] lxor 0x20)
+        else raw.[i])
 
 let throwing_sink =
   {
@@ -111,6 +127,8 @@ let with_plan (p : plan) (f : unit -> 'a) : 'a =
          (fun ~worker ~victim ->
            worker land 3 = 1 || (worker + victim) mod 3 = 0))
   else Conc.Par_explore.set_steal_fault None;
+  Tfiris_obs.Certcache.set_read_fault
+    (if p.cache_corrupt then Some mangle_cert_bytes else None);
   let prev_trace = if p.failing_sink then Some (Trace.install throwing_sink) else None in
   if p.clock_skew then begin
     (* a clock that drifts backwards and leaps forwards: timestamps are
@@ -125,6 +143,7 @@ let with_plan (p : plan) (f : unit -> 'a) : 'a =
     ~finally:(fun () ->
       Heap.clear_alloc_fault ();
       Conc.Par_explore.set_steal_fault None;
+      Tfiris_obs.Certcache.set_read_fault None;
       Trace.reset_clock ();
       match prev_trace with None -> () | Some prev -> Trace.restore prev)
     f
@@ -272,7 +291,64 @@ let check_conc_explore_par domains () =
            "parallel explorer: locked counter reached %d distinct finals"
            (List.length fs))
 
-let battery seed ~domains =
+(** The certificate cache under the corrupting read fault: a stored
+    definitive certificate is looked up again.  With the fault armed
+    the mangled entry {e must} degrade to a miss (re-verification);
+    without it the hit must replay the exact stored verdict.  Anything
+    else — a hit with a different verdict, above all — is unsound. *)
+let check_cert_cache seed ~corrupt () =
+  let module Certcache = Tfiris_obs.Certcache in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tfiris-chaos-cache-%d-%d" (Unix.getpid ()) seed)
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let key = Digest.to_hex (Digest.string (Printf.sprintf "chaos-cert-%d" seed)) in
+  let cert =
+    {
+      Certcache.key;
+      cmd = "run";
+      label = "<chaos>";
+      engine = "shl.machine";
+      version = "chaos";
+      verdict = "value";
+      ok = true;
+      detail = Some "42";
+      consumed = [ ("steps", 7) ];
+      replay = None;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let t = Certcache.open_ ~dir in
+      if not (Certcache.store t cert) then
+        Error "store refused a definitive certificate"
+      else
+        match (Certcache.find t ~key, corrupt) with
+        | None, true -> Ok () (* corrupt entry degraded to a miss *)
+        | None, false -> Error "intact certificate failed to hit"
+        | Some _, true -> Error "corrupted certificate still hit"
+        | Some c, false ->
+          if
+            c.Certcache.verdict = cert.Certcache.verdict
+            && c.Certcache.ok = cert.Certcache.ok
+            && c.Certcache.detail = cert.Certcache.detail
+            && c.Certcache.consumed = cert.Certcache.consumed
+          then Ok ()
+          else
+            Error
+              (Printf.sprintf "cache hit changed the verdict: %s (ok=%b)"
+                 c.Certcache.verdict c.Certcache.ok))
+
+let battery seed ~domains ~plan =
   [
     ("existential_fin", check_existential_fin);
     ("existential_trans", check_existential_trans);
@@ -283,6 +359,7 @@ let battery seed ~domains =
     ("conc_locked_starving", check_conc_locked starving seed);
     ("parser_garbage", check_parser_garbage seed);
     ("conc_explore_parallel", check_conc_explore_par domains);
+    ("cert_cache", check_cert_cache seed ~corrupt:plan.cache_corrupt);
   ]
 
 (* ---------- driving ---------- *)
@@ -321,7 +398,7 @@ let run_seed ?domains seed : seed_report =
             if (not (outcome_ok outcome)) && Metrics.on () then
               Metrics.incr c_failures;
             { check = name; outcome })
-          (battery seed ~domains))
+          (battery seed ~domains ~plan))
   in
   if Metrics.on () then Metrics.incr c_seeds;
   { seed; plan; results }

@@ -47,6 +47,11 @@ type plan = {
       (** unfair work stealing: one worker never steals, a third of the
           remaining raids are vetoed ({!Conc.Par_explore.set_steal_fault}) —
           the parallel explorer must stay sound regardless *)
+  cache_corrupt : bool;
+      (** certificate-cache reads return truncated, bit-flipped bytes
+          ({!Tfiris_obs.Certcache.set_read_fault}) — a corrupt entry
+          must degrade to a miss (re-verification), never flip a
+          verdict or crash *)
 }
 
 val plan_of_seed : int -> plan

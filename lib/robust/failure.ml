@@ -22,6 +22,15 @@ let builtin : exn -> t option = function
   | Error t -> Some t
   | Tfiris_obs.Json.Parse_error m -> Some (Ill_formed { pos = None; msg = m })
   | Sys_error m -> Some (Io_error m)
+  (* Raw [Unix] errors escape the ledger and certificate cache (both
+     below this library, both writing through [Unix.write]); a failed
+     append or cert store is an I/O error, not an internal crash. *)
+  | Unix.Unix_error (e, fn, arg) ->
+    Some
+      (Io_error
+         (Printf.sprintf "%s%s: %s" fn
+            (if arg = "" then "" else " " ^ arg)
+            (Unix.error_message e)))
   | Stack_overflow -> Some (Internal "stack overflow")
   | Out_of_memory -> Some (Internal "out of memory")
   | Stdlib.Failure m -> Some (Internal m)

@@ -1,0 +1,39 @@
+(* Regenerates test/content_keys.golden — the committed byte-stability
+   witness for Ledger.content_key over the example corpus.
+
+     dune exec test/gen/gen_content_keys.exe -- examples/shl \
+       > test/content_keys.golden
+
+   Only regenerate after an intentional corpus, pretty-printer, or key
+   schema change; the diff is the review surface. *)
+
+open Tfiris
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "examples/shl" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".shl")
+    |> List.sort compare
+  in
+  List.iter
+    (fun f ->
+      let e = Shl.Parser.parse_exn (read_file (Filename.concat dir f)) in
+      let program = Shl.Pretty.expr_to_string e in
+      List.iter
+        (fun (cmd, spec, engine) ->
+          Printf.printf "%s  %s %s\n"
+            (Obs.Ledger.content_key ~program ~spec ~engine ~version)
+            f cmd)
+        [
+          ("run", "", "shl.machine");
+          ("analyze", "all", "analysis");
+          ("check-term", "w", "termination.wp/adaptive");
+        ])
+    files

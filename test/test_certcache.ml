@@ -1,0 +1,419 @@
+(* The content-addressed certificate cache: JSON goldens, the
+   budget-independence split, atomic store/find round-trips, the
+   corruption-tolerance contract (bad entry = miss + counted corrupt,
+   never a crash), gc/stats, and the CLI replay path end to end. *)
+
+open Tfiris
+module Json = Obs.Json
+module Ledger = Obs.Ledger
+module Cc = Obs.Certcache
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* A fresh empty cache directory per test. *)
+let with_cache f =
+  let dir = Filename.temp_file "tfiris_cc" "" in
+  Sys.remove dir;
+  let t = Cc.open_ ~dir in
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm_rf (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f t)
+
+let sample_key = "15669f5e73b4bc124153de3076768bbe"
+
+let sample_cert : Cc.cert =
+  {
+    Cc.key = sample_key;
+    cmd = "run";
+    label = "<expr>";
+    engine = "shl.machine";
+    version = "1.0.0";
+    verdict = "value";
+    ok = true;
+    detail = Some "1";
+    consumed = [ ("steps", 3) ];
+    replay = None;
+  }
+
+(* ---------- JSON ---------- *)
+
+let test_cert_golden () =
+  Alcotest.(check string) "certificate bytes"
+    ("{\"schema\":\"tfiris-cert/1\","
+   ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+   ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+   ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+   ^ "\"consumed\":{\"steps\":3},\"detail\":\"1\"}")
+    (Json.to_string (Cc.to_json sample_cert))
+
+let test_cert_roundtrip () =
+  let certs =
+    [
+      sample_cert;
+      { sample_cert with Cc.detail = None; consumed = [] };
+      {
+        sample_cert with
+        Cc.verdict = "rejected:decreasing";
+        ok = false;
+        replay =
+          Some
+            (Json.Obj
+               [
+                 ("component", Json.Str "refinement.driver");
+                 ("rule", Json.Str "decreasing");
+               ]);
+      };
+    ]
+  in
+  List.iter
+    (fun c ->
+      match Cc.of_json (Cc.to_json c) with
+      | Ok c' -> Alcotest.(check bool) "round-trips" true (c = c')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    certs
+
+let test_cert_of_json_strict () =
+  let refuse why s =
+    match Result.bind (Json.of_string s) Cc.of_json with
+    | Ok _ -> Alcotest.failf "accepted %s" why
+    | Error _ -> ()
+  in
+  refuse "wrong schema"
+    "{\"schema\":\"tfiris-cert/9\",\"key\":\"ab\",\"cmd\":\"run\",\
+     \"label\":\"l\",\"engine\":\"e\",\"version\":\"v\",\
+     \"verdict\":\"value\",\"ok\":true}";
+  refuse "missing verdict"
+    "{\"schema\":\"tfiris-cert/1\",\"key\":\"ab\",\"cmd\":\"run\",\
+     \"label\":\"l\",\"engine\":\"e\",\"version\":\"v\",\"ok\":true}";
+  refuse "ill-typed consumed entry"
+    "{\"schema\":\"tfiris-cert/1\",\"key\":\"ab\",\"cmd\":\"run\",\
+     \"label\":\"l\",\"engine\":\"e\",\"version\":\"v\",\
+     \"verdict\":\"value\",\"ok\":true,\"consumed\":{\"steps\":\"x\"}}";
+  refuse "ill-typed detail"
+    "{\"schema\":\"tfiris-cert/1\",\"key\":\"ab\",\"cmd\":\"run\",\
+     \"label\":\"l\",\"engine\":\"e\",\"version\":\"v\",\
+     \"verdict\":\"value\",\"ok\":true,\"detail\":7}"
+
+(* ---------- cacheability: only budget-independent verdicts ---------- *)
+
+let test_cacheable_verdicts () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v ^ " cacheable") true (Cc.cacheable_verdict v))
+    [
+      "value";
+      "stuck";
+      "terminated";
+      "accepted";
+      "rejected:decreasing";
+      "clean";
+      "findings:2";
+      "explored";
+    ];
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (v ^ " budget-dependent, not cacheable")
+        false (Cc.cacheable_verdict v))
+    [
+      "out_of_fuel:steps";
+      "fuel_exhausted";
+      "rejected:out_of_budget";
+      "disagree";
+      "disagree:step 7";
+    ]
+
+(* ---------- store / find ---------- *)
+
+let test_store_find_roundtrip () =
+  with_cache (fun t ->
+      Cc.reset_session ();
+      Alcotest.(check bool) "cold lookup misses" true
+        (Cc.find t ~key:sample_key = None);
+      Alcotest.(check bool) "store succeeds" true (Cc.store t sample_cert);
+      (match Cc.find t ~key:sample_key with
+      | Some c -> Alcotest.(check bool) "hit returns the cert" true (c = sample_cert)
+      | None -> Alcotest.fail "stored cert not found");
+      (* git-style two-level layout, and no temp leftovers *)
+      let expected_path =
+        Filename.concat
+          (Filename.concat (Cc.dir t) (String.sub sample_key 0 2))
+          (String.sub sample_key 2 30 ^ ".json")
+      in
+      Alcotest.(check bool) "two-level entry path" true
+        (Sys.file_exists expected_path);
+      let st = Cc.stats t in
+      Alcotest.(check int) "one entry" 1 st.Cc.st_entries;
+      Alcotest.(check int) "no temp leftovers" 0 st.Cc.st_tmp;
+      Alcotest.(check int) "nothing corrupt" 0 st.Cc.st_corrupt;
+      let hits, misses, corrupt, stores = Cc.session () in
+      Alcotest.(check (list int)) "session counters"
+        [ 1; 1; 0; 1 ]
+        [ hits; misses; corrupt; stores ])
+
+let test_store_refusals () =
+  with_cache (fun t ->
+      Alcotest.(check bool) "exhaustion verdict refused" false
+        (Cc.store t { sample_cert with Cc.verdict = "out_of_fuel:steps" });
+      Alcotest.(check bool) "traversal key refused" false
+        (Cc.store t { sample_cert with Cc.key = "../../etc/passwd" });
+      Alcotest.(check bool) "short key refused" false
+        (Cc.store t { sample_cert with Cc.key = "ab" });
+      let st = Cc.stats t in
+      Alcotest.(check int) "nothing written" 0 st.Cc.st_entries)
+
+(* ---------- corruption tolerance: bad entry = miss, never a crash ---------- *)
+
+let entry_path_of t key =
+  Filename.concat
+    (Filename.concat (Cc.dir t) (String.sub key 0 2))
+    (String.sub key 2 (String.length key - 2) ^ ".json")
+
+let test_corrupt_entry_is_miss () =
+  let mangle name f =
+    with_cache (fun t ->
+        Cc.reset_session ();
+        Alcotest.(check bool) "stored" true (Cc.store t sample_cert);
+        let path = entry_path_of t sample_key in
+        f path;
+        Alcotest.(check bool) (name ^ " degrades to a miss") true
+          (Cc.find t ~key:sample_key = None);
+        let _, _, corrupt, _ = Cc.session () in
+        Alcotest.(check int) (name ^ " counted as corrupt") 1 corrupt)
+  in
+  mangle "garbage bytes" (fun p -> write_file p "}{ not json");
+  mangle "truncated entry" (fun p ->
+      let raw = read_file p in
+      write_file p (String.sub raw 0 (String.length raw / 2)));
+  mangle "mis-keyed entry" (fun p ->
+      (* a valid certificate whose stored key disagrees with its
+         address: the bytes are not the certificate for this tuple *)
+      write_file p
+        (Json.to_string
+           (Cc.to_json
+              { sample_cert with Cc.key = String.make 32 'a' })
+        ^ "\n"))
+
+let test_read_fault_hook () =
+  with_cache (fun t ->
+      Cc.reset_session ();
+      Alcotest.(check bool) "stored" true (Cc.store t sample_cert);
+      Cc.set_read_fault (Some (fun raw -> String.sub raw 0 (String.length raw / 3)));
+      Fun.protect
+        ~finally:(fun () -> Cc.set_read_fault None)
+        (fun () ->
+          Alcotest.(check bool) "faulted read is a miss" true
+            (Cc.find t ~key:sample_key = None));
+      (* hook restored: the entry on disk was never damaged *)
+      match Cc.find t ~key:sample_key with
+      | Some c -> Alcotest.(check bool) "intact after fault" true (c = sample_cert)
+      | None -> Alcotest.fail "entry lost after read fault")
+
+(* ---------- stats and gc ---------- *)
+
+let cert_with_key key = { sample_cert with Cc.key }
+
+let test_gc () =
+  with_cache (fun t ->
+      let keys =
+        List.map
+          (fun i -> Printf.sprintf "%032x" (0xbeef + i))
+          [ 0; 1; 2; 3; 4 ]
+      in
+      List.iter
+        (fun k -> Alcotest.(check bool) "stored" true (Cc.store t (cert_with_key k)))
+        keys;
+      (* a leftover temp file from a crashed writer *)
+      let tmp =
+        Filename.concat
+          (Filename.concat (Cc.dir t) (String.sub (List.hd keys) 0 2))
+          "cert-dead.tmp"
+      in
+      write_file tmp "partial";
+      Alcotest.(check int) "tmp visible in stats" 1 (Cc.stats t).Cc.st_tmp;
+      let now = 1_000_000. in
+      (* age the first two entries past the horizon *)
+      List.iteri
+        (fun i k ->
+          let mtime = if i < 2 then now -. 7_200. else now -. 60. in
+          Unix.utimes (entry_path_of t k) mtime mtime)
+        keys;
+      let r = Cc.gc ~max_age_s:3_600. ~now t in
+      Alcotest.(check int) "scanned all" 5 r.Cc.gc_scanned;
+      Alcotest.(check int) "expired the aged pair" 2 r.Cc.gc_deleted;
+      Alcotest.(check int) "kept the fresh" 3 r.Cc.gc_kept;
+      Alcotest.(check bool) "freed bytes counted" true (r.Cc.gc_freed_bytes > 0);
+      Alcotest.(check int) "tmp swept" 1 r.Cc.gc_tmp_swept;
+      (* overflow eviction: cap below the survivor count, oldest goes *)
+      let r2 = Cc.gc ~max_entries:2 ~now t in
+      Alcotest.(check int) "overflow deleted" 1 r2.Cc.gc_deleted;
+      Alcotest.(check int) "cap respected" 2 r2.Cc.gc_kept;
+      Alcotest.(check int) "stats agree" 2 (Cc.stats t).Cc.st_entries)
+
+(* ---------- end to end through the binary ---------- *)
+
+let exe = "../bin/tfiris_cli.exe"
+let sh fmt = Printf.ksprintf (fun cmd -> Sys.command cmd) fmt
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "tfiris_cc_e2e" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm_rf (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Second identical run must replay from the cache: byte-identical
+   stdout, a [cached] ledger marker, and the same content key (the
+   marker is key-neutral). *)
+let test_cli_run_cache_replay () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      let led = Filename.concat dir "LEDGER.jsonl" in
+      let out1 = Filename.concat dir "out1" in
+      let out2 = Filename.concat dir "out2" in
+      Alcotest.(check int) "cold run" 0
+        (sh "%s run -e '1 + 2' --cache=%s --ledger=%s > %s" exe
+           (Filename.quote cache) (Filename.quote led) (Filename.quote out1));
+      Alcotest.(check int) "warm run" 0
+        (sh "%s run -e '1 + 2' --cache=%s --ledger=%s > %s 2>/dev/null" exe
+           (Filename.quote cache) (Filename.quote led) (Filename.quote out2));
+      Alcotest.(check string) "stdout byte-identical" (read_file out1)
+        (read_file out2);
+      match Ledger.load ~path:led with
+      | Error e -> Alcotest.failf "ledger unreadable: %s" e
+      | Ok [ cold; warm ] ->
+        Alcotest.(check bool) "cold not cached" false cold.Ledger.cached;
+        Alcotest.(check bool) "warm cached" true warm.Ledger.cached;
+        Alcotest.(check string) "cached marker is key-neutral" cold.Ledger.key
+          warm.Ledger.key;
+        Alcotest.(check string) "verdict replayed" cold.Ledger.verdict
+          warm.Ledger.verdict;
+        Alcotest.(check bool) "consumed replayed" true
+          (cold.Ledger.consumed = warm.Ledger.consumed)
+      | Ok rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs))
+
+let test_cli_cache_stats_and_gc () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      Alcotest.(check int) "seed the cache" 0
+        (sh "%s run -e '1 + 2' --cache=%s > /dev/null" exe
+           (Filename.quote cache));
+      let stats_out = Filename.concat dir "stats" in
+      Alcotest.(check int) "cache stats" 0
+        (sh "%s cache stats --cache=%s > %s" exe (Filename.quote cache)
+           (Filename.quote stats_out));
+      let rendered = read_file stats_out in
+      Alcotest.(check bool) "stats mention one entry" true
+        (let needle = "entries: 1" in
+         let rec has i =
+           i + String.length needle <= String.length rendered
+           && (String.sub rendered i (String.length needle) = needle
+              || has (i + 1))
+         in
+         has 0);
+      (* gc with a zero cap empties the store *)
+      Alcotest.(check int) "cache gc" 0
+        (sh "%s cache gc --max-entries=0 --cache=%s > /dev/null" exe
+           (Filename.quote cache));
+      let t = Cc.open_ ~dir:cache in
+      Alcotest.(check int) "gc emptied the cache" 0 (Cc.stats t).Cc.st_entries)
+
+(* verify-corpus: cold run stores, warm run replays ≥90% and flips no
+   verdict; a corrupted entry re-verifies (miss), never lies. *)
+let test_cli_verify_corpus () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      let cold = Filename.concat dir "cold.jsonl" in
+      let warm = Filename.concat dir "warm.jsonl" in
+      Alcotest.(check int) "cold corpus run" 0
+        (sh "%s verify-corpus ../examples/shl --cache=%s --ledger=%s > /dev/null"
+           exe (Filename.quote cache) (Filename.quote cold));
+      Alcotest.(check int) "warm corpus run gated at 90%% hits" 0
+        (sh
+           "%s verify-corpus ../examples/shl --cache=%s --ledger=%s \
+            --min-hit-rate=90 > /dev/null"
+           exe (Filename.quote cache) (Filename.quote warm));
+      (* an impossible gate on a cold cache must fail *)
+      let empty = Filename.concat dir "empty-cache" in
+      Alcotest.(check int) "cold cache cannot meet the gate" 1
+        (sh
+           "%s verify-corpus ../examples/shl --cache=%s --min-hit-rate=90 \
+            > /dev/null 2>&1"
+           exe (Filename.quote empty));
+      let verdicts path =
+        match Ledger.load ~path with
+        | Error e -> Alcotest.failf "ledger unreadable: %s" e
+        | Ok rs ->
+          List.map (fun r -> (r.Ledger.label, r.Ledger.cmd, r.Ledger.verdict)) rs
+      in
+      Alcotest.(check bool) "zero verdict flips warm vs cold" true
+        (verdicts cold = verdicts warm);
+      (match Ledger.load ~path:warm with
+      | Ok rs ->
+        let cached = List.filter (fun r -> r.Ledger.cached) rs in
+        Alcotest.(check bool) "≥90% of warm records replayed" true
+          (10 * List.length cached >= 9 * List.length rs)
+      | Error e -> Alcotest.failf "warm ledger unreadable: %s" e);
+      (* corrupt one committed entry: the third run re-verifies it and
+         still agrees with the cold verdicts *)
+      let t = Cc.open_ ~dir:cache in
+      let certs, _ = Cc.entries t in
+      (match certs with
+      | (path, _, _) :: _ -> write_file path "corrupt"
+      | [] -> Alcotest.fail "cold run stored nothing");
+      let third = Filename.concat dir "third.jsonl" in
+      Alcotest.(check int) "corrupted entry re-verifies" 0
+        (sh "%s verify-corpus ../examples/shl --cache=%s --ledger=%s > /dev/null"
+           exe (Filename.quote cache) (Filename.quote third));
+      Alcotest.(check bool) "re-verification flips nothing" true
+        (verdicts cold = verdicts third))
+
+let suite =
+  [
+    Alcotest.test_case "certificate JSON golden" `Quick test_cert_golden;
+    Alcotest.test_case "certificate round-trip" `Quick test_cert_roundtrip;
+    Alcotest.test_case "ill-typed certificates refused" `Quick
+      test_cert_of_json_strict;
+    Alcotest.test_case "only budget-independent verdicts cacheable" `Quick
+      test_cacheable_verdicts;
+    Alcotest.test_case "store/find round-trip, layout, counters" `Quick
+      test_store_find_roundtrip;
+    Alcotest.test_case "store refuses uncacheable and unsafe" `Quick
+      test_store_refusals;
+    Alcotest.test_case "corrupt entry degrades to miss" `Quick
+      test_corrupt_entry_is_miss;
+    Alcotest.test_case "read-fault hook: miss, not crash" `Quick
+      test_read_fault_hook;
+    Alcotest.test_case "gc: age, cap, tmp sweep" `Quick test_gc;
+    Alcotest.test_case "cli: warm run replays byte-identically" `Quick
+      test_cli_run_cache_replay;
+    Alcotest.test_case "cli: cache stats and gc" `Quick
+      test_cli_cache_stats_and_gc;
+    Alcotest.test_case "cli: verify-corpus cold/warm/corrupt" `Slow
+      test_cli_verify_corpus;
+  ]

@@ -45,6 +45,7 @@ let sample_record =
     ok = true;
     wall_ms = 1.5;
     consumed = [ ("steps", 3) ];
+    cached = false;
     mem = None;
     detail = Some "1";
     budget = None;
@@ -155,6 +156,191 @@ let test_record_domains () =
     Alcotest.(check bool) "domains round-trips exactly" true (r = r'));
   Alcotest.(check string) "content key ignores domains" sample_record.Ledger.key
     r.Ledger.key
+
+(* A record whose [consumed] block was mangled must poison the load
+   like every other ill-typed field — silently dropping the entry (the
+   old List.filter_map behaviour) would let report --diff compare a
+   run as if it had consumed nothing. *)
+let test_consumed_strict () =
+  let base = Json.to_string (Ledger.to_json sample_record) in
+  let patch ~from ~to_ s =
+    let rec go i =
+      if i + String.length from > String.length s then s
+      else if String.sub s i (String.length from) = from then
+        String.sub s 0 i ^ to_
+        ^ String.sub s
+            (i + String.length from)
+            (String.length s - i - String.length from)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let load line =
+    Result.bind (Json.of_string line) Ledger.of_json
+  in
+  (* the pristine line still loads *)
+  (match load base with
+  | Ok r -> Alcotest.(check bool) "sanity: intact line loads" true (r = sample_record)
+  | Error e -> Alcotest.failf "sanity load failed: %s" e);
+  (* a string where a count should be *)
+  (match load (patch ~from:"{\"steps\":3}" ~to_:"{\"steps\":\"three\"}" base) with
+  | Ok _ -> Alcotest.fail "ill-typed consumed entry silently dropped"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the entry (%s)" e)
+      true
+      (String.length e > 0));
+  (* consumed itself not an object *)
+  (match load (patch ~from:"{\"steps\":3}" ~to_:"17" base) with
+  | Ok _ -> Alcotest.fail "non-object consumed accepted"
+  | Error _ -> ());
+  (* absent consumed is still fine (defaults to []) *)
+  match load (patch ~from:",\"consumed\":{\"steps\":3}" ~to_:"" base) with
+  | Ok r -> Alcotest.(check bool) "absent consumed -> []" true (r.Ledger.consumed = [])
+  | Error e -> Alcotest.failf "absent consumed refused: %s" e
+
+(* A [domains] object with a missing or ill-typed [count] used to load
+   silently as a sequential record; it must be rejected so report
+   --diff can never compare a parallel run as sequential. *)
+let test_domains_strict () =
+  let with_domains d =
+    "{\"schema\":\"tfiris-run/2\","
+    ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+    ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+    ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+    ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},\"detail\":\"1\","
+    ^ "\"domains\":" ^ d ^ "}"
+  in
+  let load line = Result.bind (Json.of_string line) Ledger.of_json in
+  (* sanity: a well-formed block round-trips *)
+  (match load (with_domains "{\"count\":2,\"wall_ms\":[1.0,2.0]}") with
+  | Ok r ->
+    Alcotest.(check bool) "well-formed domains kept" true
+      (r.Ledger.domains = Some (2, [ 1.0; 2.0 ]))
+  | Error e -> Alcotest.failf "well-formed domains refused: %s" e);
+  (* count missing *)
+  (match load (with_domains "{\"wall_ms\":[1.0]}") with
+  | Ok _ -> Alcotest.fail "domains without count silently dropped"
+  | Error _ -> ());
+  (* count ill-typed *)
+  (match load (with_domains "{\"count\":\"four\"}") with
+  | Ok _ -> Alcotest.fail "ill-typed count silently dropped"
+  | Error _ -> ());
+  (* a garbage wall entry *)
+  (match load (with_domains "{\"count\":2,\"wall_ms\":[1.0,\"x\"]}") with
+  | Ok _ -> Alcotest.fail "ill-typed wall_ms entry silently dropped"
+  | Error _ -> ());
+  (* wall_ms not a list *)
+  match load (with_domains "{\"count\":2,\"wall_ms\":7}") with
+  | Ok _ -> Alcotest.fail "non-list wall_ms accepted"
+  | Error _ -> ()
+
+(* The PR-10 [cached] marker: rendered only when true (pre-cache
+   records stay byte-identical), placed right after [consumed],
+   round-trips, rejects garbage — and never enters the content key
+   (a replayed verdict and its original share an address). *)
+let test_cached_field () =
+  let r = { sample_record with Ledger.cached = true } in
+  Alcotest.(check string)
+    "record bytes with cached"
+    ("{\"schema\":\"tfiris-run/2\","
+   ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+   ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+   ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+   ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},\"cached\":true,"
+   ^ "\"detail\":\"1\"}")
+    (Json.to_string (Ledger.to_json r));
+  (match Ledger.of_json (Ledger.to_json r) with
+  | Ok r' -> Alcotest.(check bool) "cached round-trips" true (r = r')
+  | Error e -> Alcotest.failf "cached round-trip failed: %s" e);
+  Alcotest.(check string) "content key ignores cached" sample_record.Ledger.key
+    r.Ledger.key;
+  let line =
+    "{\"schema\":\"tfiris-run/2\","
+    ^ "\"key\":\"15669f5e73b4bc124153de3076768bbe\","
+    ^ "\"cmd\":\"run\",\"label\":\"<expr>\",\"engine\":\"shl.machine\","
+    ^ "\"version\":\"1.0.0\",\"verdict\":\"value\",\"ok\":true,"
+    ^ "\"wall_ms\":1.5,\"consumed\":{\"steps\":3},\"cached\":\"yes\","
+    ^ "\"detail\":\"1\"}"
+  in
+  match Result.bind (Json.of_string line) Ledger.of_json with
+  | Ok _ -> Alcotest.fail "ill-typed cached accepted"
+  | Error _ -> ()
+
+(* ---------- content keys across runs: the cache's contract ---------- *)
+
+(* The certificate cache persists keys across processes, so the key
+   function must be injective on real inputs (no two corpus tuples
+   collide) and byte-stable against a committed golden. *)
+let corpus_key_tuples () =
+  let dir = "../examples/shl" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".shl")
+    |> List.sort compare
+  in
+  List.concat_map
+    (fun f ->
+      let e = Shl.Parser.parse_exn (read_file (Filename.concat dir f)) in
+      let program = Shl.Pretty.expr_to_string e in
+      (* the two verify-corpus stages plus a termination spec: distinct
+         engine/spec tuples over the same program text *)
+      [
+        (f, "run", program, "", "shl.machine");
+        (f, "analyze", program, "all", "analysis");
+        (f, "check-term", program, "w", "termination.wp/adaptive");
+      ])
+    files
+
+let test_content_key_injective_on_corpus () =
+  let tuples = corpus_key_tuples () in
+  Alcotest.(check bool) "corpus found" true (List.length tuples >= 3 * 5);
+  let keys =
+    List.map
+      (fun (_, _, program, spec, engine) ->
+        Ledger.content_key ~program ~spec ~engine ~version:Tfiris.version)
+      tuples
+  in
+  let distinct = List.sort_uniq compare keys in
+  Alcotest.(check int) "no two corpus tuples collide" (List.length keys)
+    (List.length distinct)
+
+let test_content_key_corpus_golden () =
+  (* committed golden: one "<key>  <file> <cmd>" line per corpus tuple.
+     Regenerate (after an intentional corpus or pretty-printer change)
+     with:  dune exec test/gen_content_keys.exe > test/content_keys.golden *)
+  let expected = read_file "content_keys.golden" in
+  let got =
+    String.concat ""
+      (List.map
+         (fun (f, cmd, program, spec, engine) ->
+           Printf.sprintf "%s  %s %s\n"
+             (Ledger.content_key ~program ~spec ~engine
+                ~version:Tfiris.version)
+             f cmd)
+         (corpus_key_tuples ()))
+  in
+  Alcotest.(check string) "corpus content keys byte-stable" expected got
+
+(* QCheck: distinct tuples yield distinct keys (the \x00 canonical
+   pre-image means collisions would be MD5 collisions — not reachable
+   from printable fuzz inputs). *)
+let test_content_key_injective_prop =
+  let module Q = QCheck2 in
+  let field = Q.Gen.(string_size ~gen:printable (0 -- 12)) in
+  let tup = Q.Gen.quad field field field field in
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:300
+       ~name:"content_key: distinct tuples, distinct keys"
+       (Q.Gen.pair tup tup)
+       (fun ((p1, s1, e1, v1), (p2, s2, e2, v2)) ->
+         let k1 =
+           Ledger.content_key ~program:p1 ~spec:s1 ~engine:e1 ~version:v1
+         in
+         let k2 =
+           Ledger.content_key ~program:p2 ~spec:s2 ~engine:e2 ~version:v2
+         in
+         if (p1, s1, e1, v1) = (p2, s2, e2, v2) then k1 = k2 else k1 <> k2))
 
 let test_content_key_stability () =
   let key () =
@@ -824,8 +1010,19 @@ let suite =
     Alcotest.test_case "record round-trip" `Quick test_record_roundtrip;
     Alcotest.test_case "domains block: bytes, round-trip, key-neutral" `Quick
       test_record_domains;
+    Alcotest.test_case "ill-typed consumed entries refused" `Quick
+      test_consumed_strict;
+    Alcotest.test_case "malformed domains block refused" `Quick
+      test_domains_strict;
+    Alcotest.test_case "cached marker: bytes, round-trip, key-neutral" `Quick
+      test_cached_field;
     Alcotest.test_case "content key stability" `Quick
       test_content_key_stability;
+    Alcotest.test_case "content key injective on corpus" `Quick
+      test_content_key_injective_on_corpus;
+    Alcotest.test_case "content keys match committed golden" `Quick
+      test_content_key_corpus_golden;
+    test_content_key_injective_prop;
     Alcotest.test_case "append/load round-trip" `Quick
       test_append_load_roundtrip;
     Alcotest.test_case "concurrent appends are line-atomic" `Quick

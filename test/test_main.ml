@@ -20,6 +20,7 @@ let () =
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
       ("ledger", Test_ledger.suite);
+      ("certcache", Test_certcache.suite);
       ("profile", Test_profile.suite);
       ("forensics", Test_forensics.suite);
       ("robust", Test_robust.suite);

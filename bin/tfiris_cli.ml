@@ -370,19 +370,20 @@ let cache_arg =
 let cache_open = Option.map (fun dir -> Obs.Certcache.open_ ~dir)
 
 (** Look up the certificate for this invocation's content key.  The
-    stored command must match — the engine id already separates
-    subcommands in the key, so a mismatch means a corrupt entry and is
-    treated as a miss. *)
-let cache_lookup cache ~cmd ~engine ~program ~spec =
+    stored command must match (and pass any command-specific
+    [validate]) — the engine id already separates subcommands in the
+    key, so a mismatch means a corrupt entry, which {!Obs.Certcache.find}
+    counts as a corrupt miss, not a hit. *)
+let cache_lookup ?(validate = fun (_ : Obs.Certcache.cert) -> true) cache ~cmd
+    ~engine ~program ~spec =
   match cache with
   | None -> None
-  | Some t -> (
+  | Some t ->
     let key =
       Obs.Ledger.content_key ~program ~spec ~engine ~version:Tfiris.version
     in
-    match Obs.Certcache.find t ~key with
-    | Some c when c.Obs.Certcache.cmd = cmd -> Some c
-    | Some _ | None -> None)
+    Obs.Certcache.find t ~key ~validate:(fun c ->
+        c.Obs.Certcache.cmd = cmd && validate c)
 
 (** Store a fresh verdict after a miss.  Uncacheable (budget-dependent)
     verdicts are silently skipped; rejections carry the forensics
@@ -414,6 +415,37 @@ let cache_put cache ~cmd ~label ~engine ~program ~spec ~verdict ~ok ?detail
 let note_cache_hit (c : Obs.Certcache.cert) =
   Format.eprintf "tfiris: cache hit (%s, %s)@." c.Obs.Certcache.engine
     c.Obs.Certcache.verdict
+
+(* Analyze certificates additionally carry per-severity finding counts
+   ("sev.info"/"sev.warning"/"sev.error" in [consumed]): the content
+   key deliberately excludes --fail-on, so the producing run's exit
+   code is not the replaying run's — a replay recomputes it from the
+   counts against THIS invocation's --fail-on.  A cert without the
+   counts cannot be replayed safely and is rejected as corrupt (a
+   re-verification), never replayed with a possibly-flipped verdict. *)
+
+let all_severities = Tfiris.Analysis.Finding.[ Info; Warning; Error ]
+
+let sev_key s = "sev." ^ Tfiris.Analysis.Finding.severity_to_string s
+
+let sev_consumed (findings : Tfiris.Analysis.Finding.t list) =
+  List.map
+    (fun s -> (sev_key s, Tfiris.Analysis.Finding.count_severity findings s))
+    all_severities
+
+let analyze_cert_has_sevs (c : Obs.Certcache.cert) =
+  List.for_all
+    (fun s -> List.mem_assoc (sev_key s) c.Obs.Certcache.consumed)
+    all_severities
+
+(** [ok] of a cached analyze verdict under this invocation's
+    [--fail-on]: no finding at or above it, per the stored counts. *)
+let analyze_cert_ok ~fail_on (c : Obs.Certcache.cert) =
+  List.for_all
+    (fun s ->
+      (not (Tfiris.Analysis.Finding.severity_ge s fail_on))
+      || List.assoc_opt (sev_key s) c.Obs.Certcache.consumed = Some 0)
+    all_severities
 
 (* ---- failure forensics (--explain) ---- *)
 
@@ -563,6 +595,13 @@ let run_cmd =
     | None ->
     let program_text = Shl.Pretty.expr_to_string e in
     let cache = cache_open cache in
+    (* a certificate cannot reproduce lockstep's agree/disagree line or
+       the --stats step report, so those invocations never replay; a
+       lockstep run stores nothing either (its cert would be dead
+       weight), while a --stats run still stores — its verdict is
+       stats-independent and replayable by plain runs *)
+    let cache = match engine with `Lockstep -> None | _ -> cache in
+    let replayable = not stats in
     let engine_id =
       match engine with
       | `Machine -> "shl.machine"
@@ -578,8 +617,10 @@ let run_cmd =
       code
     in
     match
-      cache_lookup cache ~cmd:"run" ~engine:engine_id ~program:program_text
-        ~spec:""
+      if not replayable then None
+      else
+        cache_lookup cache ~cmd:"run" ~engine:engine_id ~program:program_text
+          ~spec:""
     with
     | Some c ->
       (* replay: the certificate's detail is the final value (stdout)
@@ -753,26 +794,31 @@ let analyze_cmd =
     in
     let spec_all = String.concat "," selected in
     match
-      cache_lookup cache ~cmd:"analyze" ~engine:"analysis" ~program:program_all
-        ~spec:spec_all
+      (* a certificate stores only the json-stable report, so only a
+         json-stable invocation can replay it byte-identically; other
+         formats (and --domains, whose dynamic race oracle must run)
+         skip the cache and compute fresh — a format mismatch is never
+         answered with the wrong rendering *)
+      if fmt <> `Json_stable || domains <> None then None
+      else
+        cache_lookup cache ~cmd:"analyze" ~engine:"analysis"
+          ~program:program_all ~spec:spec_all ~validate:analyze_cert_has_sevs
     with
     | Some c ->
-      (* replay: the certificate stores the deterministic json-stable
-         report (the corpus-baseline form); a different --format on the
-         replaying invocation degrades to that form with a note *)
+      (* replay: stdout is the stored json-stable report; the exit code
+         is recomputed from the per-severity counts against THIS
+         invocation's --fail-on (the producing run's may differ — the
+         content key deliberately excludes it) *)
       note_cache_hit c;
-      (match (fmt, c.Obs.Certcache.detail) with
-      | _, None -> ()
-      | `Json_stable, Some d -> print_endline d
-      | (`Text | `Json), Some d ->
-        Format.eprintf
-          "tfiris: cached analyze reports are stored in json-stable form@.";
-        print_endline d);
+      (match c.Obs.Certcache.detail with
+      | Some d -> print_endline d
+      | None -> ());
+      let ok = analyze_cert_ok ~fail_on c in
       ledger_append ledger ~cmd:"analyze" ~label:label_all ~engine:"analysis"
         ~program:program_all ~spec:spec_all
         ~consumed:c.Obs.Certcache.consumed ~cached:true ~t0
-        ~verdict:c.Obs.Certcache.verdict ~ok:c.Obs.Certcache.ok ();
-      if c.Obs.Certcache.ok then 0 else 1
+        ~verdict:c.Obs.Certcache.verdict ~ok ();
+      if ok then 0 else 1
     | None ->
     let reports =
       List.map
@@ -839,7 +885,11 @@ let analyze_cmd =
     let verdict =
       if total = 0 then "clean" else Printf.sprintf "findings:%d" total
     in
-    let consumed = ("findings", total) :: per_pass in
+    let consumed =
+      ("findings", total)
+      :: sev_consumed (List.concat_map (fun r -> r.An.findings) reports)
+      @ per_pass
+    in
     cache_put cache ~cmd:"analyze" ~label:label_all ~engine:"analysis"
       ~program:program_all ~spec:spec_all ~verdict ~ok:(code = 0)
       ~detail:
@@ -1568,15 +1618,18 @@ let verify_corpus_cmd =
        store on miss; either way the ledger gets a record whose verdict
        is stage-deterministic, so a cold/warm `report --diff` is
        flip-free by construction unless the cache lied *)
-    let stage ~cmd ~engine ~label ~program ~spec compute =
+    let stage ~cmd ~engine ~label ~program ~spec
+        ?(validate = fun (_ : Obs.Certcache.cert) -> true)
+        ?(ok_of_cert = fun (c : Obs.Certcache.cert) -> c.Obs.Certcache.ok)
+        compute =
       let t0 = Unix.gettimeofday () in
       incr lookups;
-      match cache_lookup cache ~cmd ~engine ~program ~spec with
+      match cache_lookup cache ~cmd ~engine ~program ~spec ~validate with
       | Some c ->
         incr hits;
         ledger_append ledger ~cmd ~label ~engine ~program ~spec
           ~consumed:c.Obs.Certcache.consumed ~cached:true ~t0
-          ~verdict:c.Obs.Certcache.verdict ~ok:c.Obs.Certcache.ok
+          ~verdict:c.Obs.Certcache.verdict ~ok:(ok_of_cert c)
           ?detail:c.Obs.Certcache.detail ();
         (true, c.Obs.Certcache.verdict)
       | None ->
@@ -1624,8 +1677,12 @@ let verify_corpus_cmd =
         in
         row hit "run" file verdict;
         let hit, verdict =
+          (* analyze certs replay only via their per-severity counts,
+             recomputed here against the corpus gate (--fail-on error) *)
           stage ~cmd:"analyze" ~engine:"analysis" ~label:file ~program
             ~spec:(String.concat "," An.pass_names)
+            ~validate:analyze_cert_has_sevs
+            ~ok_of_cert:(analyze_cert_ok ~fail_on:Tfiris.Analysis.Finding.Error)
             (fun () ->
               let r = An.analyze ~passes:An.pass_names ~label:file e in
               let total = List.length r.An.findings in
@@ -1645,7 +1702,7 @@ let verify_corpus_cmd =
                 Some
                   (Obs.Json.to_string
                      (Obs.Json.List [ An.report_to_json_stable r ])),
-                ("findings", total) :: per_pass ))
+                ("findings", total) :: sev_consumed r.An.findings @ per_pass ))
         in
         row hit "analyze" file verdict)
       files;

@@ -223,9 +223,11 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (** Look up [key].  A missing entry is a miss; an entry that cannot be
-    read, parsed, or whose stored key disagrees with its address is a
-    miss plus a counted [cache.corrupt].  Never raises. *)
-let find (t : t) ~key : cert option =
+    read, parsed, whose stored key disagrees with its address, or that
+    [validate] rejects (the caller's cmd/shape check — bytes that are
+    not a certificate this invocation can replay) is a miss plus a
+    counted [cache.corrupt].  Never raises. *)
+let find ?(validate = fun (_ : cert) -> true) (t : t) ~key : cert option =
   if not (valid_key key) then begin
     count_miss ();
     None
@@ -245,13 +247,14 @@ let find (t : t) ~key : cert option =
           Result.bind (Json.of_string raw) of_json
       in
       match parsed with
-      | Ok cert when cert.key = key ->
+      | Ok cert when cert.key = key && validate cert ->
         count_hit ();
         Some cert
       | Ok _ | Error _ ->
-        (* mis-keyed entries are corruption too: the address is the
-           content hash, so a disagreeing key field means the bytes are
-           not the certificate for this tuple *)
+        (* mis-keyed and validate-rejected entries are corruption too:
+           the address is the content hash, so a disagreeing key (or a
+           certificate shape the caller cannot replay) means the bytes
+           are not the certificate for this tuple *)
         count_corrupt ();
         count_miss ();
         None
@@ -289,6 +292,10 @@ let store (t : t) (c : cert) : bool =
        Fun.protect
          ~finally:(fun () -> Unix.close fd)
          (fun () -> write_all fd line 0 (Bytes.length line));
+       (* Filename.temp_file created the file 0600; committed entries
+          must be world-readable like any content-addressed store (the
+          cache dir is shared between users and uploaded from CI) *)
+       Unix.chmod tmp 0o644;
        Sys.rename tmp path
      with e ->
        (try Sys.remove tmp with Sys_error _ -> ());

@@ -19,6 +19,14 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
+let contains haystack needle =
+  let n = String.length needle in
+  let rec has i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || has (i + 1))
+  in
+  has 0
+
 (* A fresh empty cache directory per test. *)
 let with_cache f =
   let dir = Filename.temp_file "tfiris_cc" "" in
@@ -210,6 +218,36 @@ let test_corrupt_entry_is_miss () =
               { sample_cert with Cc.key = String.make 32 'a' })
         ^ "\n"))
 
+(* A parseable entry the caller's validate rejects (e.g. a cmd
+   mismatch) is a corrupt miss, not a hit — the session stats must not
+   over-report hits for certificates the invocation cannot replay. *)
+let test_validate_reject_is_corrupt_miss () =
+  with_cache (fun t ->
+      Alcotest.(check bool) "stored" true (Cc.store t sample_cert);
+      Cc.reset_session ();
+      Alcotest.(check bool) "rejected by validate" true
+        (Cc.find t ~key:sample_key
+           ~validate:(fun c -> c.Cc.cmd = "analyze")
+        = None);
+      let hits, misses, corrupt, _ = Cc.session () in
+      Alcotest.(check (list int)) "counted as corrupt miss, never a hit"
+        [ 0; 1; 1 ]
+        [ hits; misses; corrupt ];
+      (* the entry itself is intact: an accepting validate still hits *)
+      Alcotest.(check bool) "accepting validate hits" true
+        (Cc.find t ~key:sample_key ~validate:(fun c -> c.Cc.cmd = "run")
+        <> None))
+
+(* Committed entries are world-readable: Filename.temp_file creates the
+   staging file 0600, which must not leak into the store (a cache dir
+   shared between users or uploaded from CI stays readable). *)
+let test_entry_world_readable () =
+  with_cache (fun t ->
+      Alcotest.(check bool) "stored" true (Cc.store t sample_cert);
+      let st = Unix.stat (entry_path_of t sample_key) in
+      Alcotest.(check int) "entry mode 0644" 0o644
+        (st.Unix.st_perm land 0o777))
+
 let test_read_fault_hook () =
   with_cache (fun t ->
       Cc.reset_session ();
@@ -393,6 +431,86 @@ let test_cli_verify_corpus () =
       Alcotest.(check bool) "re-verification flips nothing" true
         (verdicts cold = verdicts third))
 
+(* The content key excludes --fail-on, so the replayed exit code must be
+   recomputed against the replaying invocation's --fail-on, not the
+   producing run's: a cert seeded under --fail-on=error (exit 0) must
+   still gate a warm --fail-on=warning run (exit 1) on a program whose
+   only finding is a warning. *)
+let test_cli_analyze_fail_on_replay () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      let out1 = Filename.concat dir "out1" in
+      let out2 = Filename.concat dir "out2" in
+      let err2 = Filename.concat dir "err2" in
+      (* 'let x = 1 in 2' has exactly one warning (scope/unused-let) *)
+      Alcotest.(check int) "cold run passes under --fail-on=error" 0
+        (sh
+           "%s analyze -e 'let x = 1 in 2' --format=json-stable --cache=%s \
+            > %s 2>/dev/null"
+           exe (Filename.quote cache) (Filename.quote out1));
+      Alcotest.(check int) "warm run still fails under --fail-on=warning" 1
+        (sh
+           "%s analyze -e 'let x = 1 in 2' --format=json-stable --cache=%s \
+            --fail-on=warning > %s 2> %s"
+           exe (Filename.quote cache) (Filename.quote out2)
+           (Filename.quote err2));
+      Alcotest.(check bool) "the strict run replayed from the cache" true
+        (contains (read_file err2) "cache hit");
+      Alcotest.(check string) "report byte-identical" (read_file out1)
+        (read_file out2))
+
+(* A certificate stores only the json-stable report: a warm run asking
+   for another format must compute fresh (byte-identical to an uncached
+   run), never dump the stored json-stable form instead. *)
+let test_cli_analyze_format_mismatch_runs_fresh () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      let fresh = Filename.concat dir "fresh" in
+      let warm = Filename.concat dir "warm" in
+      let warm_err = Filename.concat dir "warm_err" in
+      Alcotest.(check int) "uncached text run" 0
+        (sh "%s analyze -e 'let x = 1 in 2' > %s 2>/dev/null" exe
+           (Filename.quote fresh));
+      Alcotest.(check int) "seed the cache (json-stable)" 0
+        (sh
+           "%s analyze -e 'let x = 1 in 2' --format=json-stable --cache=%s \
+            > /dev/null 2>&1"
+           exe (Filename.quote cache));
+      Alcotest.(check int) "warm text run" 0
+        (sh "%s analyze -e 'let x = 1 in 2' --cache=%s > %s 2> %s" exe
+           (Filename.quote cache) (Filename.quote warm)
+           (Filename.quote warm_err));
+      Alcotest.(check bool) "format mismatch does not replay" false
+        (contains (read_file warm_err) "cache hit");
+      Alcotest.(check string) "text output matches the uncached run"
+        (read_file fresh) (read_file warm))
+
+(* run --stats prints step counts a certificate cannot reproduce: a
+   warm --stats run computes fresh (identical stdout), while its stored
+   cert still serves plain runs. *)
+let test_cli_run_stats_no_replay () =
+  if not (Sys.file_exists exe) then Alcotest.skip ();
+  with_tmpdir (fun dir ->
+      let cache = Filename.concat dir "cache" in
+      let out1 = Filename.concat dir "out1" in
+      let out2 = Filename.concat dir "out2" in
+      let err3 = Filename.concat dir "err3" in
+      Alcotest.(check int) "cold --stats run" 0
+        (sh "%s run -e '1 + 2' --stats --cache=%s > %s 2>/dev/null" exe
+           (Filename.quote cache) (Filename.quote out1));
+      Alcotest.(check int) "warm --stats run" 0
+        (sh "%s run -e '1 + 2' --stats --cache=%s > %s 2>/dev/null" exe
+           (Filename.quote cache) (Filename.quote out2));
+      Alcotest.(check string) "--stats stdout byte-identical" (read_file out1)
+        (read_file out2);
+      Alcotest.(check int) "plain warm run" 0
+        (sh "%s run -e '1 + 2' --cache=%s > /dev/null 2> %s" exe
+           (Filename.quote cache) (Filename.quote err3));
+      Alcotest.(check bool) "plain run replays the stats-run cert" true
+        (contains (read_file err3) "cache hit"))
+
 let suite =
   [
     Alcotest.test_case "certificate JSON golden" `Quick test_cert_golden;
@@ -407,6 +525,10 @@ let suite =
       test_store_refusals;
     Alcotest.test_case "corrupt entry degrades to miss" `Quick
       test_corrupt_entry_is_miss;
+    Alcotest.test_case "validate-rejected entry is a corrupt miss" `Quick
+      test_validate_reject_is_corrupt_miss;
+    Alcotest.test_case "committed entries are world-readable" `Quick
+      test_entry_world_readable;
     Alcotest.test_case "read-fault hook: miss, not crash" `Quick
       test_read_fault_hook;
     Alcotest.test_case "gc: age, cap, tmp sweep" `Quick test_gc;
@@ -416,4 +538,10 @@ let suite =
       test_cli_cache_stats_and_gc;
     Alcotest.test_case "cli: verify-corpus cold/warm/corrupt" `Slow
       test_cli_verify_corpus;
+    Alcotest.test_case "cli: replayed analyze honours --fail-on" `Quick
+      test_cli_analyze_fail_on_replay;
+    Alcotest.test_case "cli: analyze format mismatch runs fresh" `Quick
+      test_cli_analyze_format_mismatch_runs_fresh;
+    Alcotest.test_case "cli: run --stats never replays" `Quick
+      test_cli_run_stats_no_replay;
   ]
